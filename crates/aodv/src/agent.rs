@@ -1,0 +1,799 @@
+//! The AODV protocol agent.
+//!
+//! Implements RFC 3561's core machinery on the same substrate as DSR:
+//! route discovery by flooded RREQs with destination sequence numbers,
+//! hop-by-hop RREP forwarding along reverse routes, table-driven data
+//! forwarding, and RERRs on link-layer failure. Hello messages are off —
+//! link breakage comes from 802.11 feedback, exactly as in the CMU ns-2
+//! studies this codebase reproduces.
+//!
+//! Caching shows up *indirectly* (the paper's phrase): the routing table
+//! is a per-destination cache whose freshness is governed by sequence
+//! numbers and whose staleness is bounded by the active-route timeout —
+//! the protocol-native analogues of the paper's negative caches and
+//! timer-based expiry.
+
+use packet::{DropReason, ProtocolEvent};
+use runner::{AgentCommand, RoutingAgent};
+use sim_core::rng::uniform;
+use sim_core::{NodeId, SimDuration, SimRng, SimTime};
+
+use dsr::{PendingData, RequestTable, SendBuffer};
+
+use crate::packets::{AodvData, AodvPacket, Rerr, Rreq, Rrep};
+use crate::table::RoutingTable;
+
+/// TTL for network-wide request floods.
+const FLOOD_TTL: u8 = 32;
+/// Hop budget for data packets (guards against forwarding loops during
+/// convergence).
+const DATA_TTL: u8 = 32;
+
+/// AODV configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AodvConfig {
+    /// How long an unused route stays valid (RFC default is 3 s; the ns-2
+    /// comparative studies used longer values — 10 s here, configurable).
+    pub active_route_timeout: SimDuration,
+    /// Lifetime advertised by destinations in their replies.
+    pub my_route_timeout: SimDuration,
+    /// Whether intermediate nodes with fresh-enough routes answer requests
+    /// (the protocol's "indirect caching"; disable for the ablation).
+    pub intermediate_replies: bool,
+    /// Try a TTL-1 request before flooding (matching the DSR
+    /// configuration's non-propagating probe).
+    pub nonpropagating_requests: bool,
+    /// Expanding-ring search (RFC 3561 6.4): retry with TTL 3, 5, 7 before
+    /// a network-wide flood, bounding the cost of finding nearby nodes.
+    pub expanding_ring: bool,
+    /// Wait after a TTL-1 probe before flooding.
+    pub nonprop_timeout: SimDuration,
+    /// Base retransmission period for floods; doubles per retry.
+    pub request_period: SimDuration,
+    /// Ceiling on the request retransmission period.
+    pub max_request_period: SimDuration,
+    /// Send-buffer capacity at sources.
+    pub send_buffer_capacity: usize,
+    /// Send-buffer wait timeout.
+    pub send_buffer_timeout: SimDuration,
+    /// Uniform jitter on broadcasts.
+    pub broadcast_jitter: SimDuration,
+}
+
+impl Default for AodvConfig {
+    fn default() -> Self {
+        AodvConfig {
+            active_route_timeout: SimDuration::from_secs(10.0),
+            my_route_timeout: SimDuration::from_secs(20.0),
+            intermediate_replies: true,
+            nonpropagating_requests: true,
+            expanding_ring: true,
+            nonprop_timeout: SimDuration::from_millis(30.0),
+            request_period: SimDuration::from_millis(500.0),
+            max_request_period: SimDuration::from_secs(10.0),
+            send_buffer_capacity: 64,
+            send_buffer_timeout: SimDuration::from_secs(30.0),
+            broadcast_jitter: SimDuration::from_millis(10.0),
+        }
+    }
+}
+
+impl AodvConfig {
+    /// Label for result tables.
+    pub fn label(&self) -> String {
+        if self.intermediate_replies {
+            "AODV".to_string()
+        } else {
+            "AODV-noIR".to_string()
+        }
+    }
+}
+
+/// Timers the agent runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AodvTimer {
+    /// Periodic housekeeping (route expiry sweep, buffer purge).
+    Tick,
+    /// The outstanding discovery for this target timed out.
+    RequestTimeout(NodeId),
+}
+
+type Cmd = AgentCommand<AodvPacket, AodvTimer>;
+
+/// Per-node AODV protocol entity.
+pub struct AodvNode {
+    id: NodeId,
+    cfg: AodvConfig,
+    table: RoutingTable,
+    own_seq: u32,
+    send_buffer: SendBuffer,
+    requests: RequestTable,
+    uid_counter: u64,
+    rng: SimRng,
+}
+
+impl std::fmt::Debug for AodvNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AodvNode")
+            .field("id", &self.id)
+            .field("routes", &self.table.len())
+            .field("buffered", &self.send_buffer.len())
+            .finish()
+    }
+}
+
+impl AodvNode {
+    /// Creates the agent for `node`.
+    pub fn new(node: NodeId, cfg: AodvConfig, rng: SimRng) -> Self {
+        AodvNode {
+            id: node,
+            table: RoutingTable::new(),
+            own_seq: 0,
+            send_buffer: SendBuffer::new(cfg.send_buffer_capacity, cfg.send_buffer_timeout),
+            requests: RequestTable::default(),
+            uid_counter: 0,
+            rng,
+            cfg,
+        }
+    }
+
+    /// This agent's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Read access to the routing table (tests, examples).
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Packets currently waiting for a route.
+    pub fn buffered(&self) -> usize {
+        self.send_buffer.len()
+    }
+
+    fn fresh_uid(&mut self) -> u64 {
+        let uid = (self.id.index() as u64) << 40 | self.uid_counter;
+        self.uid_counter += 1;
+        uid
+    }
+
+    fn jitter(&mut self) -> SimDuration {
+        let max = self.cfg.broadcast_jitter.as_secs();
+        SimDuration::from_secs(uniform(&mut self.rng, 0.0, max))
+    }
+
+    // ------------------------------------------------------------------
+    // Discovery
+    // ------------------------------------------------------------------
+
+    fn ensure_discovery(&mut self, target: NodeId, now: SimTime, cmds: &mut Vec<Cmd>) {
+        if self.requests.discovering(target) {
+            return;
+        }
+        let nonprop = self.cfg.nonpropagating_requests;
+        let request_id = self.requests.start(target, nonprop);
+        let ttl = if nonprop { 1 } else { FLOOD_TTL };
+        self.send_request(target, request_id, ttl, cmds);
+        let timeout = if nonprop { self.cfg.nonprop_timeout } else { self.cfg.request_period };
+        cmds.push(Cmd::SetTimer { timer: AodvTimer::RequestTimeout(target), at: now + timeout });
+    }
+
+    fn send_request(&mut self, target: NodeId, request_id: u64, ttl: u8, cmds: &mut Vec<Cmd>) {
+        // RFC 3561: increment own sequence number before originating a RREQ.
+        self.own_seq += 1;
+        let rreq = Rreq {
+            uid: self.fresh_uid(),
+            origin: self.id,
+            origin_seq: self.own_seq,
+            request_id,
+            target,
+            target_seq: self.table.known_seq(target),
+            hop_count: 0,
+            ttl,
+        };
+        cmds.push(Cmd::Event {
+            event: ProtocolEvent::DiscoveryStarted { target, flood: ttl > 1 },
+        });
+        cmds.push(Cmd::Send {
+            packet: AodvPacket::Rreq(rreq),
+            next_hop: NodeId::BROADCAST,
+            jitter: SimDuration::ZERO,
+        });
+    }
+
+    fn handle_rreq(&mut self, mut rreq: Rreq, from: NodeId, now: SimTime, cmds: &mut Vec<Cmd>) {
+        if rreq.origin == self.id {
+            return;
+        }
+        // Install/refresh the reverse route to the origin via the
+        // transmitter.
+        self.table.update(
+            rreq.origin,
+            from,
+            rreq.hop_count + 1,
+            rreq.origin_seq,
+            self.cfg.active_route_timeout,
+            now,
+        );
+        if from != rreq.origin {
+            self.table.update(from, from, 1, 0, self.cfg.active_route_timeout, now);
+        }
+        self.flush_send_buffer(now, cmds);
+        if !self.requests.note_seen(rreq.origin, rreq.request_id) {
+            return; // duplicate copy
+        }
+        if rreq.target == self.id {
+            // RFC: destination sets its sequence to max(own, requested).
+            if let Some(ts) = rreq.target_seq {
+                self.own_seq = self.own_seq.max(ts);
+            }
+            self.own_seq += 1;
+            self.reply(rreq.origin, self.id, self.own_seq, 0, false, from, now, cmds);
+            return;
+        }
+        if self.cfg.intermediate_replies {
+            if let Some(entry) = self.table.valid_entry(rreq.target, now) {
+                let fresh_enough = rreq.target_seq.is_none_or(|ts| entry.dst_seq >= ts);
+                if fresh_enough {
+                    let (seq, hops) = (entry.dst_seq, entry.hop_count);
+                    self.table.add_precursor(rreq.target, from);
+                    self.reply(rreq.origin, rreq.target, seq, hops, true, from, now, cmds);
+                    return; // quench the flood here
+                }
+            }
+        }
+        if rreq.ttl > 1 {
+            rreq.ttl -= 1;
+            rreq.hop_count += 1;
+            rreq.uid = self.fresh_uid();
+            let jitter = self.jitter();
+            cmds.push(Cmd::Send {
+                packet: AodvPacket::Rreq(rreq),
+                next_hop: NodeId::BROADCAST,
+                jitter,
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn reply(
+        &mut self,
+        origin: NodeId,
+        target: NodeId,
+        target_seq: u32,
+        hop_count: u8,
+        from_cache: bool,
+        reverse_hop: NodeId,
+        _now: SimTime,
+        cmds: &mut Vec<Cmd>,
+    ) {
+        cmds.push(Cmd::Event { event: ProtocolEvent::ReplyOriginated { from_cache } });
+        let rrep = Rrep {
+            uid: self.fresh_uid(),
+            origin,
+            target,
+            target_seq,
+            hop_count,
+            from_cache,
+        };
+        cmds.push(Cmd::Send {
+            packet: AodvPacket::Rrep(rrep),
+            next_hop: reverse_hop,
+            jitter: SimDuration::ZERO,
+        });
+    }
+
+    fn handle_rrep(&mut self, mut rrep: Rrep, from: NodeId, now: SimTime, cmds: &mut Vec<Cmd>) {
+        // Install/refresh the forward route to the reply's target.
+        self.table.update(
+            rrep.target,
+            from,
+            rrep.hop_count + 1,
+            rrep.target_seq,
+            self.cfg.my_route_timeout,
+            now,
+        );
+        if from != rrep.target {
+            self.table.update(from, from, 1, 0, self.cfg.active_route_timeout, now);
+        }
+        if rrep.origin == self.id {
+            cmds.push(Cmd::Event { event: ProtocolEvent::ReplyAccepted { discovered: None } });
+            if self.requests.finish(rrep.target) {
+                cmds.push(Cmd::CancelTimer { timer: AodvTimer::RequestTimeout(rrep.target) });
+            }
+            self.flush_send_buffer(now, cmds);
+            return;
+        }
+        // Forward along the reverse route toward the requester.
+        let Some(back) = self.table.valid_entry(rrep.origin, now).map(|e| e.next_hop) else {
+            cmds.push(Cmd::Drop { uid: rrep.uid, reason: DropReason::ControlUndeliverable });
+            return;
+        };
+        // Precursor bookkeeping for later route errors.
+        self.table.add_precursor(rrep.target, back);
+        rrep.hop_count += 1;
+        cmds.push(Cmd::Send {
+            packet: AodvPacket::Rrep(rrep),
+            next_hop: back,
+            jitter: SimDuration::ZERO,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    fn send_data(&mut self, pending: PendingData, next_hop: NodeId, cmds: &mut Vec<Cmd>) {
+        let data = AodvData {
+            uid: pending.uid,
+            src: self.id,
+            dst: pending.dst,
+            seq: pending.seq,
+            payload_bytes: pending.payload_bytes,
+            sent_at: pending.sent_at,
+            hops_traveled: 0,
+        };
+        cmds.push(Cmd::Send {
+            packet: AodvPacket::Data(data),
+            next_hop,
+            jitter: SimDuration::ZERO,
+        });
+    }
+
+    fn handle_data(&mut self, mut data: AodvData, from: NodeId, now: SimTime, cmds: &mut Vec<Cmd>) {
+        if data.dst == self.id {
+            cmds.push(Cmd::Deliver {
+                uid: data.uid,
+                src: data.src,
+                sent_at: data.sent_at,
+                bytes: data.payload_bytes,
+                hops: usize::from(data.hops_traveled) + 1,
+            });
+            // Active traffic keeps the reverse route alive.
+            self.table.refresh(data.src, self.cfg.active_route_timeout, now);
+            return;
+        }
+        if data.hops_traveled >= DATA_TTL {
+            cmds.push(Cmd::Drop { uid: data.uid, reason: DropReason::TtlExpired });
+            return;
+        }
+        match self.table.valid_entry(data.dst, now).map(|e| e.next_hop) {
+            Some(next_hop) => {
+                // Forwarding refreshes the routes involved (RFC 6.2).
+                self.table.refresh(data.dst, self.cfg.active_route_timeout, now);
+                self.table.refresh(data.src, self.cfg.active_route_timeout, now);
+                self.table.refresh(next_hop, self.cfg.active_route_timeout, now);
+                self.table.add_precursor(data.dst, from);
+                data.hops_traveled += 1;
+                cmds.push(Cmd::Send {
+                    packet: AodvPacket::Data(data),
+                    next_hop,
+                    jitter: SimDuration::ZERO,
+                });
+            }
+            None => {
+                // No route: drop and report the destination unreachable.
+                cmds.push(Cmd::Drop { uid: data.uid, reason: DropReason::NoForwardingEntry });
+                let seq = self.table.known_seq(data.dst).map_or(1, |s| s.saturating_add(1));
+                self.send_rerr(vec![(data.dst, seq)], cmds);
+            }
+        }
+    }
+
+    fn send_rerr(&mut self, unreachable: Vec<(NodeId, u32)>, cmds: &mut Vec<Cmd>) {
+        if unreachable.is_empty() {
+            return;
+        }
+        cmds.push(Cmd::Event { event: ProtocolEvent::RouteErrorSent { wider: false } });
+        let rerr = Rerr { uid: self.fresh_uid(), unreachable };
+        // RFC 3561 6.11: broadcast when multiple precursors are affected.
+        let jitter = self.jitter();
+        cmds.push(Cmd::Send {
+            packet: AodvPacket::Rerr(rerr),
+            next_hop: NodeId::BROADCAST,
+            jitter,
+        });
+    }
+
+    fn handle_rerr(&mut self, rerr: Rerr, from: NodeId, _now: SimTime, cmds: &mut Vec<Cmd>) {
+        // Invalidate affected routes that go through the sender; propagate
+        // only what actually changed here.
+        let mut propagate = Vec::new();
+        for &(dst, seq) in &rerr.unreachable {
+            if self.table.invalidate_from_error(dst, seq, from) {
+                propagate.push((dst, seq));
+            }
+        }
+        if !propagate.is_empty() {
+            self.send_rerr(propagate, cmds);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer / discovery plumbing
+    // ------------------------------------------------------------------
+
+    fn flush_send_buffer(&mut self, now: SimTime, cmds: &mut Vec<Cmd>) {
+        if self.send_buffer.is_empty() {
+            return;
+        }
+        let routable: Vec<(NodeId, NodeId)> = self
+            .send_buffer
+            .destinations()
+            .into_iter()
+            .filter_map(|dst| self.table.valid_entry(dst, now).map(|e| (dst, e.next_hop)))
+            .collect();
+        for (dst, next_hop) in routable {
+            for pending in self.send_buffer.take_for(dst) {
+                self.send_data(pending, next_hop, cmds);
+            }
+            if self.requests.finish(dst) {
+                cmds.push(Cmd::CancelTimer { timer: AodvTimer::RequestTimeout(dst) });
+            }
+        }
+    }
+}
+
+impl RoutingAgent for AodvNode {
+    type Packet = AodvPacket;
+    type Timer = AodvTimer;
+
+    fn start(&mut self, now: SimTime) -> Vec<Cmd> {
+        vec![Cmd::SetTimer { timer: AodvTimer::Tick, at: now + SimDuration::from_millis(500.0) }]
+    }
+
+    fn originate(&mut self, dst: NodeId, payload_bytes: usize, seq: u64, now: SimTime) -> Vec<Cmd> {
+        assert!(dst != self.id && !dst.is_broadcast(), "invalid destination {dst}");
+        let mut cmds = Vec::new();
+        let pending = PendingData { uid: self.fresh_uid(), dst, seq, payload_bytes, sent_at: now };
+        match self.table.valid_entry(dst, now).map(|e| e.next_hop) {
+            Some(next_hop) => {
+                self.table.refresh(dst, self.cfg.active_route_timeout, now);
+                self.send_data(pending, next_hop, &mut cmds);
+            }
+            None => {
+                if let Some(evicted) = self.send_buffer.push(pending, now) {
+                    cmds.push(Cmd::Drop { uid: evicted.uid, reason: DropReason::SendBufferFull });
+                }
+                self.ensure_discovery(dst, now, &mut cmds);
+            }
+        }
+        cmds
+    }
+
+    fn on_receive(&mut self, from: NodeId, packet: AodvPacket, now: SimTime) -> Vec<Cmd> {
+        let mut cmds = Vec::new();
+        match packet {
+            AodvPacket::Rreq(rreq) => self.handle_rreq(rreq, from, now, &mut cmds),
+            AodvPacket::Rrep(rrep) => self.handle_rrep(rrep, from, now, &mut cmds),
+            AodvPacket::Rerr(rerr) => self.handle_rerr(rerr, from, now, &mut cmds),
+            AodvPacket::Data(data) => self.handle_data(data, from, now, &mut cmds),
+        }
+        cmds
+    }
+
+    fn on_snoop(&mut self, _transmitter: NodeId, _packet: &AodvPacket, _now: SimTime) -> Vec<Cmd> {
+        // AODV does not use promiscuous listening.
+        Vec::new()
+    }
+
+    fn on_tx_failed(&mut self, packet: AodvPacket, next_hop: NodeId, now: SimTime) -> Vec<Cmd> {
+        let mut cmds = Vec::new();
+        cmds.push(Cmd::Event {
+            event: ProtocolEvent::LinkBreakDetected {
+                link: packet::Link::new(self.id, next_hop),
+            },
+        });
+        let unreachable = self.table.invalidate_via(next_hop);
+        self.send_rerr(unreachable, &mut cmds);
+        // Re-buffer data we originated; everything else dies here.
+        match packet {
+            AodvPacket::Data(data) if data.src == self.id => {
+                let pending = PendingData {
+                    uid: data.uid,
+                    dst: data.dst,
+                    seq: data.seq,
+                    payload_bytes: data.payload_bytes,
+                    sent_at: data.sent_at,
+                };
+                if let Some(evicted) = self.send_buffer.push(pending, now) {
+                    cmds.push(Cmd::Drop { uid: evicted.uid, reason: DropReason::SendBufferFull });
+                }
+                self.ensure_discovery(data.dst, now, &mut cmds);
+            }
+            AodvPacket::Data(data) => {
+                cmds.push(Cmd::Drop { uid: data.uid, reason: DropReason::NoForwardingEntry });
+            }
+            other => {
+                cmds.push(Cmd::Drop {
+                    uid: packet::NetPacket::uid(&other),
+                    reason: DropReason::ControlUndeliverable,
+                });
+            }
+        }
+        cmds
+    }
+
+    fn on_timer(&mut self, timer: AodvTimer, now: SimTime) -> Vec<Cmd> {
+        let mut cmds = Vec::new();
+        match timer {
+            AodvTimer::Tick => {
+                cmds.push(Cmd::SetTimer {
+                    timer: AodvTimer::Tick,
+                    at: now + SimDuration::from_millis(500.0),
+                });
+                self.table.expire(now);
+                for expired in self.send_buffer.purge_expired(now) {
+                    cmds.push(Cmd::Drop {
+                        uid: expired.uid,
+                        reason: DropReason::SendBufferTimeout,
+                    });
+                }
+            }
+            AodvTimer::RequestTimeout(target) => {
+                if !self.requests.discovering(target) {
+                    return cmds;
+                }
+                if !self.send_buffer.has_packets_for(target) {
+                    self.requests.finish(target);
+                    return cmds;
+                }
+                let (request_id, backoff) = self.requests.escalate(
+                    target,
+                    self.cfg.request_period,
+                    self.cfg.max_request_period,
+                );
+                let attempts = self
+                    .requests
+                    .discovery(target)
+                    .expect("escalated discovery exists")
+                    .flood_attempts;
+                let ttl = if self.cfg.expanding_ring {
+                    // RFC 3561 6.4: TTL_START=1 (the probe), then +2 per
+                    // ring up to TTL_THRESHOLD=7, then network-wide.
+                    match attempts {
+                        0 | 1 => 3,
+                        2 => 5,
+                        3 => 7,
+                        _ => FLOOD_TTL,
+                    }
+                } else {
+                    FLOOD_TTL
+                };
+                self.send_request(target, request_id, ttl, &mut cmds);
+                cmds.push(Cmd::SetTimer {
+                    timer: AodvTimer::RequestTimeout(target),
+                    at: now + backoff,
+                });
+            }
+        }
+        cmds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::RngFactory;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn agent(i: u16) -> AodvNode {
+        AodvNode::new(n(i), AodvConfig::default(), RngFactory::new(5).stream("aodv", u64::from(i)))
+    }
+
+    fn sends(cmds: &[Cmd]) -> Vec<(AodvPacket, NodeId)> {
+        cmds.iter()
+            .filter_map(|c| match c {
+                Cmd::Send { packet, next_hop, .. } => Some((packet.clone(), *next_hop)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_discovery_and_delivery_cycle() {
+        let mut a = agent(0);
+        let mut b = agent(1);
+        let mut c = agent(2);
+        let now = t(1.0);
+
+        // A wants C: buffers and probes.
+        let cmds = a.originate(n(2), 512, 0, now);
+        let out = sends(&cmds);
+        let AodvPacket::Rreq(probe) = &out[0].0 else { panic!("expected RREQ") };
+        assert_eq!(probe.ttl, 1);
+        assert_eq!(a.buffered(), 1);
+
+        // Probe times out; flood follows.
+        let cmds = a.on_timer(AodvTimer::RequestTimeout(n(2)), t(1.03));
+        let out = sends(&cmds);
+        let AodvPacket::Rreq(flood) = &out[0].0 else { panic!("expected flood") };
+        assert!(flood.ttl > 1);
+
+        // B forwards the flood and learns the reverse route to A.
+        let cmds = b.on_receive(n(0), out[0].0.clone(), t(1.04));
+        let out_b = sends(&cmds);
+        assert_eq!(out_b.len(), 1);
+        assert!(b.table().valid_entry(n(0), t(1.04)).is_some(), "reverse route to origin");
+
+        // C (the target) replies via B.
+        let cmds = c.on_receive(n(1), out_b[0].0.clone(), t(1.05));
+        let out_c = sends(&cmds);
+        let (AodvPacket::Rrep(rrep), hop) = (&out_c[0].0, out_c[0].1) else { panic!("expected RREP") };
+        assert!(!rrep.from_cache);
+        assert_eq!(hop, n(1));
+
+        // B forwards the reply toward A and installs the forward route.
+        let cmds = b.on_receive(n(2), out_c[0].0.clone(), t(1.06));
+        let out_b = sends(&cmds);
+        assert_eq!(out_b[0].1, n(0));
+        assert_eq!(b.table().valid_entry(n(2), t(1.06)).unwrap().next_hop, n(2));
+
+        // A accepts the reply and flushes its buffered packet via B.
+        let cmds = a.on_receive(n(1), out_b[0].0.clone(), t(1.07));
+        assert!(cmds.iter().any(|c| matches!(
+            c,
+            Cmd::Event { event: ProtocolEvent::ReplyAccepted { .. } }
+        )));
+        let out_a = sends(&cmds);
+        let (AodvPacket::Data(_), hop) = (&out_a[0].0, out_a[0].1) else { panic!("expected DATA") };
+        assert_eq!(hop, n(1));
+        assert_eq!(a.buffered(), 0);
+
+        // B forwards, C delivers with the hop count intact.
+        let cmds = b.on_receive(n(0), out_a[0].0.clone(), t(1.08));
+        let out_b = sends(&cmds);
+        assert_eq!(out_b[0].1, n(2));
+        let cmds = c.on_receive(n(1), out_b[0].0.clone(), t(1.09));
+        assert!(cmds.iter().any(|c| matches!(c, Cmd::Deliver { hops: 2, .. })));
+    }
+
+    #[test]
+    fn intermediate_reply_quenches_flood() {
+        let mut b = agent(1);
+        // Teach B a fresh route to 5 via a reply.
+        let rrep = Rrep { uid: 1, origin: n(9), target: n(5), target_seq: 4, hop_count: 0, from_cache: false };
+        b.on_receive(n(5), AodvPacket::Rrep(rrep), t(0.5));
+        let rreq = Rreq {
+            uid: 2,
+            origin: n(0),
+            origin_seq: 1,
+            request_id: 0,
+            target: n(5),
+            target_seq: Some(3),
+            hop_count: 0,
+            ttl: 30,
+        };
+        let cmds = b.on_receive(n(0), AodvPacket::Rreq(rreq), t(1.0));
+        let out = sends(&cmds);
+        assert_eq!(out.len(), 1, "reply only, no rebroadcast");
+        let AodvPacket::Rrep(rep) = &out[0].0 else { panic!("expected cached RREP") };
+        assert!(rep.from_cache);
+        assert_eq!(rep.target_seq, 4);
+    }
+
+    #[test]
+    fn stale_route_does_not_answer_fresher_request() {
+        let mut b = agent(1);
+        let rrep = Rrep { uid: 1, origin: n(9), target: n(5), target_seq: 4, hop_count: 0, from_cache: false };
+        b.on_receive(n(5), AodvPacket::Rrep(rrep), t(0.5));
+        // Requester already knows seq 7 — B's seq-4 route is too stale.
+        let rreq = Rreq {
+            uid: 2,
+            origin: n(0),
+            origin_seq: 1,
+            request_id: 0,
+            target: n(5),
+            target_seq: Some(7),
+            hop_count: 0,
+            ttl: 30,
+        };
+        let cmds = b.on_receive(n(0), AodvPacket::Rreq(rreq), t(1.0));
+        let out = sends(&cmds);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].0, AodvPacket::Rreq(_)), "must rebroadcast, not reply stale");
+    }
+
+    #[test]
+    fn link_failure_invalidates_and_reports() {
+        let mut b = agent(1);
+        let rrep = Rrep { uid: 1, origin: n(9), target: n(5), target_seq: 4, hop_count: 1, from_cache: false };
+        b.on_receive(n(3), AodvPacket::Rrep(rrep), t(0.5));
+        assert!(b.table().valid_entry(n(5), t(0.6)).is_some());
+        let data = AodvData {
+            uid: 7,
+            src: n(0),
+            dst: n(5),
+            seq: 0,
+            payload_bytes: 512,
+            sent_at: t(0.9),
+            hops_traveled: 1,
+        };
+        let cmds = b.on_tx_failed(AodvPacket::Data(data), n(3), t(1.0));
+        assert!(b.table().valid_entry(n(5), t(1.0)).is_none(), "route via n3 invalidated");
+        let out = sends(&cmds);
+        assert!(out.iter().any(|(p, h)| matches!(p, AodvPacket::Rerr(_)) && h.is_broadcast()));
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, Cmd::Drop { reason: DropReason::NoForwardingEntry, .. })));
+    }
+
+    #[test]
+    fn rerr_propagates_only_when_it_invalidates() {
+        let mut b = agent(1);
+        let rrep = Rrep { uid: 1, origin: n(9), target: n(5), target_seq: 4, hop_count: 1, from_cache: false };
+        b.on_receive(n(3), AodvPacket::Rrep(rrep), t(0.5));
+        // An error from an unrelated neighbor changes nothing.
+        let unrelated = Rerr { uid: 2, unreachable: vec![(n(5), 9)] };
+        let cmds = b.on_receive(n(7), AodvPacket::Rerr(unrelated), t(1.0));
+        assert!(sends(&cmds).is_empty());
+        assert!(b.table().valid_entry(n(5), t(1.0)).is_some());
+        // The same error from our actual next hop invalidates + propagates.
+        let relevant = Rerr { uid: 3, unreachable: vec![(n(5), 9)] };
+        let cmds = b.on_receive(n(3), AodvPacket::Rerr(relevant), t(1.1));
+        assert!(b.table().valid_entry(n(5), t(1.1)).is_none());
+        assert_eq!(sends(&cmds).len(), 1);
+    }
+
+    #[test]
+    fn routes_expire_on_tick() {
+        let mut b = agent(1);
+        let rrep = Rrep { uid: 1, origin: n(9), target: n(5), target_seq: 4, hop_count: 1, from_cache: false };
+        b.on_receive(n(3), AodvPacket::Rrep(rrep), t(0.0));
+        b.on_timer(AodvTimer::Tick, t(25.0)); // past my_route_timeout (20 s)
+        assert!(b.table().valid_entry(n(5), t(25.0)).is_none());
+    }
+
+    #[test]
+    fn expanding_ring_grows_ttl_per_retry() {
+        let mut a = agent(0);
+        a.originate(n(4), 512, 0, t(0.0)); // TTL-1 probe
+        let ttls: Vec<u8> = (0..5)
+            .map(|i| {
+                let cmds = a.on_timer(AodvTimer::RequestTimeout(n(4)), t(0.1 * (i + 1) as f64));
+                sends(&cmds)
+                    .into_iter()
+                    .find_map(|(p, _)| match p {
+                        AodvPacket::Rreq(r) => Some(r.ttl),
+                        _ => None,
+                    })
+                    .expect("retry sends a request")
+            })
+            .collect();
+        assert_eq!(ttls, vec![3, 5, 7, FLOOD_TTL, FLOOD_TTL]);
+    }
+
+    #[test]
+    fn ring_can_be_disabled() {
+        let cfg = AodvConfig { expanding_ring: false, ..AodvConfig::default() };
+        let mut a = AodvNode::new(n(0), cfg, RngFactory::new(5).stream("aodv", 0));
+        a.originate(n(4), 512, 0, t(0.0));
+        let cmds = a.on_timer(AodvTimer::RequestTimeout(n(4)), t(0.1));
+        let ttl = sends(&cmds)
+            .into_iter()
+            .find_map(|(p, _)| match p {
+                AodvPacket::Rreq(r) => Some(r.ttl),
+                _ => None,
+            })
+            .expect("retry sends a request");
+        assert_eq!(ttl, FLOOD_TTL);
+    }
+
+    #[test]
+    fn data_without_route_at_source_buffers_and_discovers() {
+        let mut a = agent(0);
+        let cmds = a.originate(n(4), 512, 0, t(0.0));
+        assert_eq!(a.buffered(), 1);
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, Cmd::Event { event: ProtocolEvent::DiscoveryStarted { .. } })));
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion benchmarks for whole simulation runs: how fast the simulator
+//! chews through simulated time, per protocol variant.
+//!
+//! These use deliberately small scenarios (Criterion repeats each run many
+//! times); the paper-scale experiments live in the `experiments` crate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dsr::DsrConfig;
+use runner::{run_scenario, ScenarioConfig};
+
+fn bench_static_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("static_chain_5_nodes_30s", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig::static_line(5, 200.0, 2.0, DsrConfig::base(), 1);
+            black_box(run_scenario(cfg))
+        })
+    });
+    group.finish();
+}
+
+fn bench_mobile_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_mobile");
+    group.sample_size(10);
+    for (name, dsr) in [("base_dsr", DsrConfig::base()), ("dsr_combined", DsrConfig::combined())] {
+        group.bench_function(format!("tiny_20_nodes_30s_{name}"), |b| {
+            b.iter(|| {
+                let cfg = ScenarioConfig::tiny(0.0, 2.0, dsr.clone(), 1);
+                black_box(run_scenario(cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_chain, bench_mobile_variants);
+criterion_main!(benches);

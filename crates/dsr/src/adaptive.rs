@@ -1,0 +1,172 @@
+//! Adaptive timeout selection for timer-based route expiry.
+//!
+//! From the paper: *"We propose a heuristic for adaptive selection of
+//! timeouts locally at each node based on the average route lifetime and
+//! the time between link breaks seen by the node. [...] the timeout period
+//! `T` is calculated as `T = max(alpha * average route lifetime, time since
+//! last link breakage)`."*
+//!
+//! The first term tracks route stability when breaks occur uniformly in
+//! time; the second corrects the estimate during quiet periods so `T` keeps
+//! growing when nothing is breaking (otherwise a burst of past breaks would
+//! keep expiring perfectly good routes forever).
+
+use sim_core::{SimDuration, SimTime};
+
+/// Per-node adaptive timeout estimator.
+///
+/// # Example
+///
+/// ```
+/// use dsr::AdaptiveTimeout;
+/// use sim_core::{SimDuration, SimTime};
+///
+/// let mut est = AdaptiveTimeout::new(1.0, SimDuration::from_secs(1.0));
+/// est.observe_break(SimDuration::from_secs(4.0), SimTime::from_secs(10.0));
+/// // alpha * avg lifetime = 4 s; 2 s since the break => T = 4 s.
+/// let t = est.timeout(SimTime::from_secs(12.0));
+/// assert_eq!(t, SimDuration::from_secs(4.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveTimeout {
+    alpha: f64,
+    min_timeout: SimDuration,
+    lifetime_sum: f64,
+    lifetime_count: u64,
+    last_break: SimTime,
+}
+
+impl AdaptiveTimeout {
+    /// Creates an estimator with the given `alpha` multiplier and floor.
+    ///
+    /// Until the first observed break, "time since last link breakage" is
+    /// measured from the start of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive and finite.
+    pub fn new(alpha: f64, min_timeout: SimDuration) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "invalid alpha {alpha}");
+        AdaptiveTimeout {
+            alpha,
+            min_timeout,
+            lifetime_sum: 0.0,
+            lifetime_count: 0,
+            last_break: SimTime::ZERO,
+        }
+    }
+
+    /// Records that a cached route with the given `lifetime` (time since it
+    /// was last entered in the cache) broke at `now` — via link-layer
+    /// feedback or a received route error.
+    pub fn observe_break(&mut self, lifetime: SimDuration, now: SimTime) {
+        self.lifetime_sum += lifetime.as_secs();
+        self.lifetime_count += 1;
+        self.last_break = self.last_break.max(now);
+    }
+
+    /// Average lifetime of all routes observed to break so far, if any.
+    pub fn average_lifetime(&self) -> Option<SimDuration> {
+        (self.lifetime_count > 0)
+            .then(|| SimDuration::from_secs(self.lifetime_sum / self.lifetime_count as f64))
+    }
+
+    /// Number of route breaks observed.
+    pub fn breaks_observed(&self) -> u64 {
+        self.lifetime_count
+    }
+
+    /// The current timeout `T` at instant `now`.
+    pub fn timeout(&self, now: SimTime) -> SimDuration {
+        self.timeout_with(now, true)
+    }
+
+    /// `T` with the *time since last break* correction term optionally
+    /// disabled (the `ablation_adaptive` experiment).
+    pub fn timeout_with(&self, now: SimTime, quiet_term: bool) -> SimDuration {
+        let since_break = if quiet_term {
+            now.saturating_since(self.last_break)
+        } else {
+            SimDuration::ZERO
+        };
+        let scaled_avg = self
+            .average_lifetime()
+            .map(|avg| avg.mul_f64(self.alpha))
+            .unwrap_or(SimDuration::ZERO);
+        scaled_avg.max(since_break).max(self.min_timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn floor_applies_before_any_breaks() {
+        let est = AdaptiveTimeout::new(1.0, d(1.0));
+        assert_eq!(est.timeout(t(0.0)), d(1.0));
+    }
+
+    #[test]
+    fn quiet_start_grows_with_time() {
+        // No breaks yet: T = time since start.
+        let est = AdaptiveTimeout::new(1.0, d(1.0));
+        assert_eq!(est.timeout(t(42.0)), d(42.0));
+    }
+
+    #[test]
+    fn average_lifetime_accumulates() {
+        let mut est = AdaptiveTimeout::new(1.0, d(1.0));
+        est.observe_break(d(2.0), t(1.0));
+        est.observe_break(d(6.0), t(2.0));
+        assert_eq!(est.average_lifetime(), Some(d(4.0)));
+        assert_eq!(est.breaks_observed(), 2);
+    }
+
+    #[test]
+    fn alpha_scales_the_average_term() {
+        let mut est = AdaptiveTimeout::new(2.0, d(1.0));
+        est.observe_break(d(3.0), t(10.0));
+        // Right after the break: since_break ~ 0, so T = 2 * 3 = 6 s.
+        assert_eq!(est.timeout(t(10.0)), d(6.0));
+    }
+
+    #[test]
+    fn quiet_period_term_takes_over() {
+        let mut est = AdaptiveTimeout::new(1.0, d(1.0));
+        est.observe_break(d(2.0), t(10.0));
+        // 2 s average, but 30 s of silence since: T tracks the silence.
+        assert_eq!(est.timeout(t(40.0)), d(30.0));
+    }
+
+    #[test]
+    fn bursty_breaks_do_not_collapse_timeout_later() {
+        let mut est = AdaptiveTimeout::new(1.0, d(1.0));
+        for i in 0..5 {
+            est.observe_break(d(0.5), t(5.0 + 0.1 * f64::from(i)));
+        }
+        // Average lifetime is tiny, but long silence dominates.
+        assert!(est.timeout(t(100.0)) >= d(90.0));
+    }
+
+    #[test]
+    fn min_timeout_floors_small_estimates() {
+        let mut est = AdaptiveTimeout::new(0.1, d(1.0));
+        est.observe_break(d(0.2), t(5.0));
+        assert_eq!(est.timeout(t(5.0)), d(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid alpha")]
+    fn non_positive_alpha_rejected() {
+        let _ = AdaptiveTimeout::new(0.0, d(1.0));
+    }
+}

@@ -1,0 +1,997 @@
+//! The DSR protocol agent.
+//!
+//! One [`DsrNode`] per simulated node, driven — like the MAC — as a pure
+//! state machine: traffic origination, packet receptions, link-layer
+//! failure feedback, and timers go in; [`DsrCommand`]s come out (send a
+//! packet via the MAC, deliver data to the application, arm timers, report
+//! drops and metric events).
+//!
+//! Implements the full protocol of the paper's study:
+//!
+//! - route discovery (non-propagating request first, then network-wide
+//!   floods with exponential backoff), replies from the target *and* from
+//!   intermediate caches, send-buffering at sources;
+//! - route maintenance from link-layer feedback, with packet salvaging and
+//!   gratuitous route repair (error piggybacked on the next request);
+//! - promiscuous listening: snooping overheard source routes and errors,
+//!   and gratuitous replies advertising shorter routes;
+//! - the paper's three cache-correctness techniques, selected by
+//!   [`DsrConfig`]: wider error notification, timer-based route expiry
+//!   (static or adaptive), and negative caches.
+
+use std::collections::{HashSet, VecDeque};
+
+use packet::{
+    CacheHitKind, DataPacket, DropReason, ErrorDelivery, Link, Packet, ProtocolEvent,
+    RouteErrorPkt, RouteReply, RouteRequest, Route,
+};
+
+use sim_core::rng::uniform;
+use sim_core::{NodeId, SimDuration, SimRng, SimTime};
+
+use crate::adaptive::AdaptiveTimeout;
+use crate::cache::link_cache::LinkCache;
+use crate::cache::negative::NegativeCache;
+use crate::cache::path_cache::PathCache;
+use crate::cache::RouteCache;
+use crate::config::{CacheOrganization, DsrConfig, ExpiryPolicy, WiderErrorRebroadcast};
+use crate::request_table::RequestTable;
+use crate::send_buffer::{PendingData, SendBuffer};
+
+/// TTL used for network-wide floods.
+const FLOOD_TTL: u8 = 255;
+/// How many recently processed wider-error uids to remember.
+const SEEN_ERROR_CACHE: usize = 4096;
+/// How many recent gratuitous replies to remember (storm suppression).
+const GRAT_REPLY_CACHE: usize = 32;
+/// Minimum spacing between gratuitous replies for the same flow.
+const GRAT_REPLY_HOLDOFF: SimDuration = SimDuration::from_micros_u64(1_000_000);
+
+/// Timers the agent asks the driver to run. `SetTimer` replaces any pending
+/// timer with the same value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DsrTimer {
+    /// Periodic housekeeping: cache expiry sweep, send-buffer purge,
+    /// negative-cache purge.
+    Tick,
+    /// The outstanding route discovery for this target timed out.
+    RequestTimeout(NodeId),
+}
+
+/// Protocol events emitted for the metrics layer (shared vocabulary from
+/// the `packet` crate).
+pub type DsrEvent = ProtocolEvent;
+
+/// Effects the driver must apply after feeding the agent an input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DsrCommand {
+    /// Hand `packet` to the MAC for `next_hop` (or broadcast) after
+    /// `jitter`. Control packets (everything but data) go at control
+    /// priority in the interface queue.
+    Send {
+        /// The network-layer packet.
+        packet: Packet,
+        /// MAC-level next hop.
+        next_hop: NodeId,
+        /// Random de-synchronization delay (zero for unicast forwards).
+        jitter: SimDuration,
+    },
+    /// A data packet reached its final destination.
+    DeliverData {
+        /// The delivered packet (carrying origination time for the delay
+        /// metric).
+        packet: DataPacket,
+    },
+    /// Arm (or re-arm) a timer.
+    SetTimer {
+        /// Which timer.
+        timer: DsrTimer,
+        /// Absolute expiry.
+        at: SimTime,
+    },
+    /// Disarm a timer if pending.
+    CancelTimer {
+        /// Which timer.
+        timer: DsrTimer,
+    },
+    /// A packet was dropped.
+    Drop {
+        /// Unique id of the dropped packet.
+        uid: u64,
+        /// Why.
+        reason: DropReason,
+    },
+    /// A metrics event occurred.
+    Event {
+        /// The event.
+        event: DsrEvent,
+    },
+}
+
+/// Per-node DSR protocol entity.
+pub struct DsrNode {
+    id: NodeId,
+    cfg: DsrConfig,
+    cache: Box<dyn RouteCache>,
+    negative: Option<NegativeCache>,
+    adaptive: AdaptiveTimeout,
+    send_buffer: SendBuffer,
+    requests: RequestTable,
+    /// Last broken link learned, awaiting piggybacking on the next request
+    /// (gratuitous route repair).
+    pending_error: Option<Link>,
+    /// Wider-error uids already processed (re-broadcast suppression):
+    /// FIFO order for bounded eviction plus a set for O(1) membership.
+    seen_errors: VecDeque<u64>,
+    seen_errors_set: HashSet<u64>,
+    /// Recently sent gratuitous replies: `((source, destination), when)`.
+    grat_replies: VecDeque<((NodeId, NodeId), SimTime)>,
+    uid_counter: u64,
+    rng: SimRng,
+}
+
+impl std::fmt::Debug for DsrNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DsrNode")
+            .field("id", &self.id)
+            .field("cached_paths", &self.cache.len())
+            .field("buffered", &self.send_buffer.len())
+            .finish()
+    }
+}
+
+impl DsrNode {
+    /// Creates the agent for `node`. `rng` should be a per-node stream
+    /// (it only drives jitter draws).
+    pub fn new(node: NodeId, cfg: DsrConfig, rng: SimRng) -> Self {
+        let adaptive = match cfg.expiry {
+            ExpiryPolicy::Adaptive { alpha, min_timeout, .. } => {
+                AdaptiveTimeout::new(alpha, min_timeout)
+            }
+            // Unused estimator, still fed so ablations can inspect it.
+            _ => AdaptiveTimeout::new(1.0, SimDuration::from_secs(1.0)),
+        };
+        let cache: Box<dyn RouteCache> = match cfg.cache_organization {
+            CacheOrganization::Path => Box::new(PathCache::new(node, cfg.cache_capacity)),
+            CacheOrganization::Link => Box::new(LinkCache::new(node, cfg.cache_capacity)),
+        };
+        DsrNode {
+            id: node,
+            cache,
+            negative: cfg.negative_cache.map(NegativeCache::new),
+            adaptive,
+            send_buffer: SendBuffer::new(cfg.send_buffer_capacity, cfg.send_buffer_timeout),
+            requests: RequestTable::default(),
+            pending_error: None,
+            seen_errors: VecDeque::new(),
+            seen_errors_set: HashSet::new(),
+            grat_replies: VecDeque::new(),
+            uid_counter: 0,
+            rng,
+            cfg,
+        }
+    }
+
+    /// This agent's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Read access to the route cache (tests, metrics, examples).
+    pub fn cache(&self) -> &dyn RouteCache {
+        self.cache.as_ref()
+    }
+
+    /// Read access to the negative cache, when enabled.
+    pub fn negative_cache(&self) -> Option<&NegativeCache> {
+        self.negative.as_ref()
+    }
+
+    /// Read access to the adaptive-timeout estimator.
+    pub fn adaptive(&self) -> &AdaptiveTimeout {
+        &self.adaptive
+    }
+
+    /// Packets currently waiting for a route.
+    pub fn buffered(&self) -> usize {
+        self.send_buffer.len()
+    }
+
+    fn fresh_uid(&mut self) -> u64 {
+        let uid = (self.id.index() as u64) << 40 | self.uid_counter;
+        self.uid_counter += 1;
+        uid
+    }
+
+    fn tick_period(&self) -> SimDuration {
+        match self.cfg.expiry {
+            ExpiryPolicy::Adaptive { recompute_period, .. } => recompute_period,
+            _ => SimDuration::from_millis(500.0),
+        }
+    }
+
+    fn jitter(&mut self) -> SimDuration {
+        let max = self.cfg.broadcast_jitter.as_secs();
+        SimDuration::from_secs(uniform(&mut self.rng, 0.0, max))
+    }
+
+    // ------------------------------------------------------------------
+    // Inputs
+    // ------------------------------------------------------------------
+
+    /// Boots the agent's periodic housekeeping; call once at simulation
+    /// start.
+    pub fn start(&mut self, now: SimTime) -> Vec<DsrCommand> {
+        vec![DsrCommand::SetTimer { timer: DsrTimer::Tick, at: now + self.tick_period() }]
+    }
+
+    /// The application asks to send `payload_bytes` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is this node or the broadcast address.
+    pub fn originate(
+        &mut self,
+        dst: NodeId,
+        payload_bytes: usize,
+        seq: u64,
+        now: SimTime,
+    ) -> Vec<DsrCommand> {
+        assert!(dst != self.id && !dst.is_broadcast(), "invalid destination {dst}");
+        let mut cmds = Vec::new();
+        let pending = PendingData {
+            uid: self.fresh_uid(),
+            dst,
+            seq,
+            payload_bytes,
+            sent_at: now,
+        };
+        if let Some(route) = self.cache.find(dst, now) {
+            cmds.push(DsrCommand::Event {
+                event: DsrEvent::CacheHit { route: route.clone(), kind: CacheHitKind::Origination },
+            });
+            self.send_data_on_route(pending, route, 0, now, &mut cmds);
+        } else {
+            if let Some(evicted) = self.send_buffer.push(pending, now) {
+                cmds.push(DsrCommand::Drop { uid: evicted.uid, reason: DropReason::SendBufferFull });
+            }
+            self.ensure_discovery(dst, now, &mut cmds);
+        }
+        cmds
+    }
+
+    /// The MAC delivered a packet addressed to us (or broadcast).
+    pub fn on_receive(&mut self, from: NodeId, packet: Packet, now: SimTime) -> Vec<DsrCommand> {
+        let mut cmds = Vec::new();
+        match packet {
+            Packet::Request(req) => self.handle_request(req, now, &mut cmds),
+            Packet::Reply(rep) => self.handle_reply(rep, now, &mut cmds),
+            Packet::Error(err) => self.handle_error(err, from, now, &mut cmds),
+            Packet::Data(data) => self.handle_data(data, now, &mut cmds),
+        }
+        cmds
+    }
+
+    /// The MAC promiscuously overheard a data-bearing frame addressed to
+    /// someone else (`transmitter` is the MAC-level sender).
+    pub fn on_snoop(&mut self, transmitter: NodeId, packet: &Packet, now: SimTime) -> Vec<DsrCommand> {
+        let mut cmds = Vec::new();
+        if !self.cfg.promiscuous {
+            return cmds;
+        }
+        match packet {
+            Packet::Data(data) => {
+                self.learn_from_route(&data.route, Some(transmitter), now, &mut cmds);
+                self.cache.mark_used(&data.route, now);
+                if self.cfg.gratuitous_replies {
+                    self.maybe_gratuitous_reply(data, transmitter, now, &mut cmds);
+                }
+            }
+            Packet::Reply(rep) => {
+                self.learn_from_route(&rep.discovered, None, now, &mut cmds);
+            }
+            Packet::Error(err) => {
+                self.apply_link_break(err.broken, now);
+            }
+            Packet::Request(_) => {} // requests are broadcast, never snooped
+        }
+        cmds
+    }
+
+    /// Link-layer feedback: the MAC exhausted its retries sending `packet`
+    /// to `next_hop`.
+    pub fn on_tx_failed(&mut self, packet: Packet, next_hop: NodeId, now: SimTime) -> Vec<DsrCommand> {
+        let mut cmds = Vec::new();
+        let link = Link::new(self.id, next_hop);
+        cmds.push(DsrCommand::Event { event: DsrEvent::LinkBreakDetected { link } });
+        self.apply_link_break(link, now);
+        match packet {
+            Packet::Data(data) => {
+                self.originate_route_error(link, Some(&data), now, &mut cmds);
+                self.try_salvage(data, now, &mut cmds);
+            }
+            Packet::Reply(rep) => {
+                // Report the break toward the reply's own source route
+                // origin, then give the reply up.
+                self.originate_route_error_for_route(link, &rep.route, now, &mut cmds);
+                cmds.push(DsrCommand::Drop { uid: rep.uid, reason: DropReason::ControlUndeliverable });
+            }
+            Packet::Error(err) => {
+                cmds.push(DsrCommand::Drop { uid: err.uid, reason: DropReason::ControlUndeliverable });
+            }
+            Packet::Request(req) => {
+                // Requests are broadcast; a unicast failure here is
+                // impossible, but drop defensively.
+                cmds.push(DsrCommand::Drop { uid: req.uid, reason: DropReason::ControlUndeliverable });
+            }
+        }
+        cmds
+    }
+
+    /// A timer armed earlier fired.
+    pub fn on_timer(&mut self, timer: DsrTimer, now: SimTime) -> Vec<DsrCommand> {
+        let mut cmds = Vec::new();
+        match timer {
+            DsrTimer::Tick => self.tick(now, &mut cmds),
+            DsrTimer::RequestTimeout(target) => self.request_timed_out(target, now, &mut cmds),
+        }
+        cmds
+    }
+
+    // ------------------------------------------------------------------
+    // Discovery
+    // ------------------------------------------------------------------
+
+    fn ensure_discovery(&mut self, target: NodeId, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+        if self.requests.discovering(target) {
+            return;
+        }
+        let nonprop = self.cfg.nonpropagating_requests;
+        let request_id = self.requests.start(target, nonprop);
+        let ttl = if nonprop { 1 } else { FLOOD_TTL };
+        self.send_request(target, request_id, ttl, now, cmds);
+        let timeout = if nonprop {
+            self.cfg.nonprop_timeout
+        } else {
+            self.cfg.request_period
+        };
+        cmds.push(DsrCommand::SetTimer {
+            timer: DsrTimer::RequestTimeout(target),
+            at: now + timeout,
+        });
+    }
+
+    fn send_request(
+        &mut self,
+        target: NodeId,
+        request_id: u64,
+        ttl: u8,
+        _now: SimTime,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
+        let piggyback = if self.cfg.gratuitous_repair {
+            self.pending_error.take()
+        } else {
+            None
+        };
+        let req = RouteRequest {
+            uid: self.fresh_uid(),
+            origin: self.id,
+            target,
+            request_id,
+            path: vec![self.id],
+            ttl,
+            piggyback_error: piggyback,
+        };
+        cmds.push(DsrCommand::Event {
+            event: DsrEvent::DiscoveryStarted { target, flood: ttl > 1 },
+        });
+        cmds.push(DsrCommand::Send {
+            packet: Packet::Request(req),
+            next_hop: NodeId::BROADCAST,
+            jitter: SimDuration::ZERO,
+        });
+    }
+
+    fn request_timed_out(&mut self, target: NodeId, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+        if !self.requests.discovering(target) {
+            return;
+        }
+        if !self.send_buffer.has_packets_for(target) {
+            // Nothing waiting anymore: stop discovering.
+            self.requests.finish(target);
+            return;
+        }
+        let (request_id, backoff) =
+            self.requests
+                .escalate(target, self.cfg.request_period, self.cfg.max_request_period);
+        self.send_request(target, request_id, FLOOD_TTL, now, cmds);
+        cmds.push(DsrCommand::SetTimer {
+            timer: DsrTimer::RequestTimeout(target),
+            at: now + backoff,
+        });
+    }
+
+    fn handle_request(&mut self, mut req: RouteRequest, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+        if req.origin == self.id {
+            return; // our own flood reflected back
+        }
+        if let Some(link) = req.piggyback_error {
+            // Gratuitous route repair: clean the broken link out before we
+            // consider answering from cache.
+            self.apply_link_break(link, now);
+        }
+        if req.path.contains(&self.id) {
+            return; // already forwarded this copy
+        }
+        // Learn the reverse route back to the origin (801.11 links are
+        // bidirectional — RTS/CTS requires it).
+        let mut forward_nodes = req.path.clone();
+        forward_nodes.push(self.id);
+        if let Ok(forward) = Route::new(forward_nodes.clone()) {
+            self.insert_route(forward.reversed(), now, cmds);
+        }
+
+        if req.target == self.id {
+            // The destination answers every copy of the request, giving the
+            // source a supply of alternate routes.
+            let discovered = Route::new(forward_nodes).expect("checked loop-free above");
+            self.send_reply(discovered, false, now, cmds);
+            return;
+        }
+        if !self.requests.note_seen(req.origin, req.request_id) {
+            return; // duplicate
+        }
+        if self.cfg.replies_from_cache {
+            if let Some(cached) = self.cache.find(req.target, now) {
+                let prefix = Route::new(forward_nodes.clone()).expect("checked loop-free above");
+                if let Ok(full) = prefix.join(&cached) {
+                    cmds.push(DsrCommand::Event {
+                        event: DsrEvent::CacheHit { route: cached, kind: CacheHitKind::Reply },
+                    });
+                    self.send_reply_from_cache(full, now, cmds);
+                    return; // cached reply quenches the flood here
+                }
+            }
+        }
+        if req.ttl > 1 {
+            req.ttl -= 1;
+            req.path.push(self.id);
+            req.uid = self.fresh_uid();
+            let jitter = self.jitter();
+            cmds.push(DsrCommand::Send {
+                packet: Packet::Request(req),
+                next_hop: NodeId::BROADCAST,
+                jitter,
+            });
+        }
+        // TTL exhausted (non-propagating probe): quietly die here.
+    }
+
+    fn send_reply(&mut self, discovered: Route, from_cache: bool, _now: SimTime, cmds: &mut Vec<DsrCommand>) {
+        let reply_route = discovered
+            .prefix_through(self.id)
+            .expect("replier is on the discovered route")
+            .reversed();
+        cmds.push(DsrCommand::Event { event: DsrEvent::ReplyOriginated { from_cache } });
+        let next_hop = match reply_route.next_hop_after(self.id) {
+            Some(h) => h,
+            None => {
+                // One-node reply route: requester is ourselves (cannot
+                // happen — the origin never answers its own request).
+                return;
+            }
+        };
+        let rep = RouteReply {
+            uid: self.fresh_uid(),
+            discovered,
+            from_cache,
+            route: reply_route,
+            hop: 0,
+            gratuitous: false,
+        };
+        let jitter = self.jitter();
+        cmds.push(DsrCommand::Send { packet: Packet::Reply(rep), next_hop, jitter });
+    }
+
+    fn send_reply_from_cache(&mut self, full: Route, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+        self.send_reply(full, true, now, cmds);
+    }
+
+    fn handle_reply(&mut self, mut rep: RouteReply, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+        // Every node the reply passes through may learn the discovered
+        // route segments that involve it.
+        self.learn_from_route(&rep.discovered, None, now, cmds);
+        let final_recipient = rep.route.destination() == self.id;
+        if final_recipient {
+            let target = rep.discovered.destination();
+            cmds.push(DsrCommand::Event {
+                event: DsrEvent::ReplyAccepted { discovered: Some(rep.discovered.clone()) },
+            });
+            // Well-formed replies discover a route rooted at the requester;
+            // anything else (corrupt or misdirected) is still mined for
+            // usable segments by the learn_from_route call above.
+            if rep.discovered.source() == self.id {
+                self.insert_route(rep.discovered.clone(), now, cmds);
+            }
+            if self.requests.finish(target) {
+                cmds.push(DsrCommand::CancelTimer { timer: DsrTimer::RequestTimeout(target) });
+            }
+            self.flush_send_buffer(now, cmds);
+        } else {
+            // Forward toward the requester.
+            match rep.route.position(self.id) {
+                Some(idx) if idx + 1 < rep.route.len() => {
+                    rep.hop = idx;
+                    let next_hop = rep.route.nodes()[idx + 1];
+                    cmds.push(DsrCommand::Send {
+                        packet: Packet::Reply(rep),
+                        next_hop,
+                        jitter: SimDuration::ZERO,
+                    });
+                }
+                _ => {
+                    cmds.push(DsrCommand::Drop {
+                        uid: rep.uid,
+                        reason: DropReason::NotOnRoute,
+                    });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    fn send_data_on_route(
+        &mut self,
+        pending: PendingData,
+        route: Route,
+        salvage_count: u8,
+        now: SimTime,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
+        debug_assert_eq!(route.source(), self.id);
+        self.cache.mark_used(&route, now);
+        let next_hop = route.nodes()[1];
+        let data = DataPacket {
+            uid: pending.uid,
+            src: self.id,
+            dst: pending.dst,
+            seq: pending.seq,
+            payload_bytes: pending.payload_bytes,
+            sent_at: pending.sent_at,
+            route,
+            hop: 0,
+            salvage_count,
+        };
+        cmds.push(DsrCommand::Send {
+            packet: Packet::Data(data),
+            next_hop,
+            jitter: SimDuration::ZERO,
+        });
+    }
+
+    fn handle_data(&mut self, mut data: DataPacket, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+        // Forwarding nodes cache the routes they carry and refresh expiry
+        // timestamps ("seen in a unicast packet being forwarded").
+        self.learn_from_route(&data.route, None, now, cmds);
+        self.cache.mark_used(&data.route, now);
+        if data.dst == self.id {
+            cmds.push(DsrCommand::DeliverData { packet: data });
+            return;
+        }
+        let Some(idx) = data.route.position(self.id) else {
+            cmds.push(DsrCommand::Drop { uid: data.uid, reason: DropReason::NotOnRoute });
+            return;
+        };
+        data.hop = idx;
+        // Negative cache: refuse to forward along a recently broken link.
+        if let Some(neg) = &self.negative {
+            let remaining = data.route.links().skip(idx);
+            if let Some(bad) = neg.first_blacklisted(remaining, now) {
+                cmds.push(DsrCommand::Drop { uid: data.uid, reason: DropReason::NegativeCacheHit });
+                self.originate_route_error(bad, Some(&data), now, cmds);
+                return;
+            }
+        }
+        self.cache.mark_forwarded(&data.route);
+        let next_hop = data.route.nodes()[idx + 1];
+        cmds.push(DsrCommand::Send {
+            packet: Packet::Data(data),
+            next_hop,
+            jitter: SimDuration::ZERO,
+        });
+    }
+
+    fn try_salvage(&mut self, mut data: DataPacket, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+        let at_source = data.src == self.id;
+        if self.cfg.salvaging {
+            if data.salvage_count >= self.cfg.max_salvage_count {
+                cmds.push(DsrCommand::Drop { uid: data.uid, reason: DropReason::SalvageLimit });
+                return;
+            }
+            if let Some(alt) = self.cache.find(data.dst, now) {
+                cmds.push(DsrCommand::Event {
+                    event: DsrEvent::CacheHit { route: alt.clone(), kind: CacheHitKind::Salvage },
+                });
+                self.cache.mark_used(&alt, now);
+                let next_hop = alt.nodes()[1];
+                data.route = alt;
+                data.hop = 0;
+                data.salvage_count += 1;
+                cmds.push(DsrCommand::Send {
+                    packet: Packet::Data(data),
+                    next_hop,
+                    jitter: SimDuration::ZERO,
+                });
+                return;
+            }
+        }
+        if at_source {
+            // Sources re-buffer and rediscover; intermediates must drop
+            // (the paper: "a packet is dropped at the intermediate node if
+            // [...] there is no alternate route in the local cache").
+            let pending = PendingData {
+                uid: data.uid,
+                dst: data.dst,
+                seq: data.seq,
+                payload_bytes: data.payload_bytes,
+                sent_at: data.sent_at,
+            };
+            if let Some(evicted) = self.send_buffer.push(pending, now) {
+                cmds.push(DsrCommand::Drop { uid: evicted.uid, reason: DropReason::SendBufferFull });
+            }
+            self.ensure_discovery(data.dst, now, cmds);
+        } else {
+            cmds.push(DsrCommand::Drop { uid: data.uid, reason: DropReason::NoRouteToSalvage });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Route errors
+    // ------------------------------------------------------------------
+
+    /// Originates the route error for `link`, for a failed data packet
+    /// (`data`) or a negative-cache refusal.
+    fn originate_route_error(
+        &mut self,
+        link: Link,
+        data: Option<&DataPacket>,
+        now: SimTime,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
+        if self.cfg.wider_error_notification {
+            let uid = self.fresh_uid();
+            self.note_error_seen(uid);
+            let err = RouteErrorPkt {
+                uid,
+                broken: link,
+                detector: self.id,
+                delivery: ErrorDelivery::Broadcast,
+            };
+            cmds.push(DsrCommand::Event { event: DsrEvent::RouteErrorSent { wider: true } });
+            let jitter = self.jitter();
+            cmds.push(DsrCommand::Send {
+                packet: Packet::Error(err),
+                next_hop: NodeId::BROADCAST,
+                jitter,
+            });
+        } else if let Some(data) = data {
+            self.originate_route_error_for_route(link, &data.route, now, cmds);
+        }
+    }
+
+    /// Base-DSR unicast error: notify the node that placed this source
+    /// route, along the reversed traversed prefix.
+    fn originate_route_error_for_route(
+        &mut self,
+        link: Link,
+        route: &Route,
+        now: SimTime,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
+        if self.cfg.wider_error_notification {
+            self.originate_route_error(link, None, now, cmds);
+            return;
+        }
+        let source = route.source();
+        if source == self.id {
+            // We *are* the source: route maintenance is local; remember the
+            // break for gratuitous repair.
+            self.pending_error = Some(link);
+            return;
+        }
+        let Some(back) = route.prefix_through(self.id).map(|p| p.reversed()) else {
+            return;
+        };
+        let Some(next_hop) = back.next_hop_after(self.id) else {
+            return;
+        };
+        let err = RouteErrorPkt {
+            uid: self.fresh_uid(),
+            broken: link,
+            detector: self.id,
+            delivery: ErrorDelivery::Unicast { to: source, route: back, hop: 0 },
+        };
+        cmds.push(DsrCommand::Event { event: DsrEvent::RouteErrorSent { wider: false } });
+        cmds.push(DsrCommand::Send {
+            packet: Packet::Error(err),
+            next_hop,
+            jitter: SimDuration::ZERO,
+        });
+    }
+
+    fn handle_error(
+        &mut self,
+        err: RouteErrorPkt,
+        _from: NodeId,
+        now: SimTime,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
+        match err.delivery {
+            ErrorDelivery::Unicast { to, ref route, .. } => {
+                self.apply_link_break(err.broken, now);
+                if to == self.id {
+                    // We are the notified source: remember the break for
+                    // gratuitous route repair.
+                    self.pending_error = Some(err.broken);
+                } else if let Some(idx) = route.position(self.id) {
+                    if idx + 1 < route.len() {
+                        let next_hop = route.nodes()[idx + 1];
+                        let mut fwd = err.clone();
+                        if let ErrorDelivery::Unicast { hop, .. } = &mut fwd.delivery {
+                            *hop = idx;
+                        }
+                        cmds.push(DsrCommand::Send {
+                            packet: Packet::Error(fwd),
+                            next_hop,
+                            jitter: SimDuration::ZERO,
+                        });
+                    }
+                }
+            }
+            ErrorDelivery::Broadcast => {
+                if self.have_seen_error(err.uid) {
+                    return;
+                }
+                self.note_error_seen(err.uid);
+                let removed = self.cache.remove_link(err.broken, now);
+                for lifetime in &removed.route_lifetimes {
+                    self.adaptive.observe_break(*lifetime, now);
+                }
+                if let Some(neg) = &mut self.negative {
+                    neg.insert(err.broken, now);
+                }
+                if removed.contained {
+                    self.pending_error = Some(err.broken);
+                }
+                // The re-broadcast predicate (the paper's default: cached
+                // the link AND used such a route in packets we forwarded).
+                let rebroadcast = match self.cfg.wider_error_rebroadcast {
+                    WiderErrorRebroadcast::CachedAndUsed => {
+                        removed.contained && removed.was_used_for_forwarding
+                    }
+                    WiderErrorRebroadcast::CachedOnly => removed.contained,
+                    WiderErrorRebroadcast::Flood => true,
+                };
+                if rebroadcast {
+                    cmds.push(DsrCommand::Event { event: DsrEvent::RouteErrorRebroadcast });
+                    let jitter = self.jitter();
+                    cmds.push(DsrCommand::Send {
+                        packet: Packet::Error(err),
+                        next_hop: NodeId::BROADCAST,
+                        jitter,
+                    });
+                }
+            }
+        }
+    }
+
+    fn have_seen_error(&self, uid: u64) -> bool {
+        self.seen_errors_set.contains(&uid)
+    }
+
+    fn note_error_seen(&mut self, uid: u64) {
+        if !self.seen_errors_set.insert(uid) {
+            return;
+        }
+        if self.seen_errors.len() >= SEEN_ERROR_CACHE {
+            if let Some(evicted) = self.seen_errors.pop_front() {
+                self.seen_errors_set.remove(&evicted);
+            }
+        }
+        self.seen_errors.push_back(uid);
+    }
+
+    /// Common bookkeeping when a link is learned broken (feedback, error
+    /// packet, or piggyback): purge it from the route cache, blacklist it,
+    /// and feed the adaptive-timeout estimator.
+    fn apply_link_break(&mut self, link: Link, now: SimTime) {
+        let removed = self.cache.remove_link(link, now);
+        for lifetime in removed.route_lifetimes {
+            self.adaptive.observe_break(lifetime, now);
+        }
+        if let Some(neg) = &mut self.negative {
+            neg.insert(link, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cache learning
+    // ------------------------------------------------------------------
+
+    /// Caches whatever of `route` is usable from this node: the suffix
+    /// from us onward, the reversed prefix back to the route's source, or —
+    /// when we are not on the route but overheard `transmitter` — routes
+    /// through the transmitter.
+    fn learn_from_route(
+        &mut self,
+        route: &Route,
+        transmitter: Option<NodeId>,
+        now: SimTime,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
+        if route.contains(self.id) {
+            if let Some(sfx) = route.suffix_from(self.id) {
+                self.insert_route(sfx, now, cmds);
+            }
+            if let Some(pfx) = route.prefix_through(self.id) {
+                self.insert_route(pfx.reversed(), now, cmds);
+            }
+        } else if let Some(tx) = transmitter {
+            // We overheard `tx` transmitting: the link self->tx exists.
+            if let Some(pos) = route.position(tx) {
+                let mut via_fwd = vec![self.id];
+                via_fwd.extend_from_slice(&route.nodes()[pos..]);
+                if let Ok(r) = Route::new(via_fwd) {
+                    self.insert_route(r, now, cmds);
+                }
+                let mut via_back = vec![self.id];
+                via_back.extend(route.nodes()[..=pos].iter().rev());
+                if let Ok(r) = Route::new(via_back) {
+                    self.insert_route(r, now, cmds);
+                }
+            }
+        }
+    }
+
+    /// Inserts `route` into the path cache, honoring negative-cache mutual
+    /// exclusion (the route is truncated before any blacklisted link), and
+    /// flushes any send-buffered packets the new route can serve.
+    fn insert_route(&mut self, route: Route, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+        let filtered = match &self.negative {
+            Some(neg) => {
+                let mut cut = route.len();
+                for (i, link) in route.links().enumerate() {
+                    if neg.contains(link, now) {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                if cut >= route.len() {
+                    route
+                } else if cut >= 2 {
+                    Route::new(route.nodes()[..cut].to_vec()).expect("prefix of loop-free route")
+                } else {
+                    return;
+                }
+            }
+            None => route,
+        };
+        if filtered.hops() == 0 {
+            return;
+        }
+        self.cache.insert(filtered, now);
+        if !self.send_buffer.is_empty() {
+            self.flush_send_buffer(now, cmds);
+        }
+    }
+
+    /// Sends every buffered packet whose destination is now routable.
+    fn flush_send_buffer(&mut self, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+        let routable: Vec<NodeId> = self
+            .send_buffer
+            .destinations()
+            .into_iter()
+            .filter(|&dst| self.cache.find(dst, now).is_some())
+            .collect();
+        for dst in routable {
+            let packets = self.send_buffer.take_for(dst);
+            for pending in packets {
+                if let Some(route) = self.cache.find(dst, now) {
+                    self.send_data_on_route(pending, route, 0, now, cmds);
+                } else {
+                    // Route vanished mid-flush (cannot happen today; be
+                    // safe and re-buffer).
+                    let _ = self.send_buffer.push(pending, now);
+                }
+            }
+            if self.requests.finish(dst) {
+                cmds.push(DsrCommand::CancelTimer { timer: DsrTimer::RequestTimeout(dst) });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Gratuitous replies
+    // ------------------------------------------------------------------
+
+    fn maybe_gratuitous_reply(
+        &mut self,
+        data: &DataPacket,
+        transmitter: NodeId,
+        now: SimTime,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
+        let route = &data.route;
+        let (Some(i), Some(j)) = (route.position(transmitter), route.position(self.id)) else {
+            return;
+        };
+        if j <= i + 1 {
+            return; // no shortcut available
+        }
+        let flow = (route.source(), route.destination());
+        self.grat_replies.retain(|&(_, at)| at + GRAT_REPLY_HOLDOFF > now);
+        if self.grat_replies.iter().any(|&(f, _)| f == flow) {
+            return; // recently advertised for this flow
+        }
+        if self.grat_replies.len() >= GRAT_REPLY_CACHE {
+            self.grat_replies.pop_front();
+        }
+        self.grat_replies.push_back((flow, now));
+
+        // Shortened route: source .. transmitter, then directly us, then
+        // the rest from our position.
+        let mut nodes = route.nodes()[..=i].to_vec();
+        nodes.extend_from_slice(&route.nodes()[j..]);
+        let Ok(shortened) = Route::new(nodes) else {
+            return;
+        };
+        // Reply route from us back to the source via the transmitter.
+        let mut back = vec![self.id];
+        back.extend(route.nodes()[..=i].iter().rev());
+        let Ok(reply_route) = Route::new(back) else {
+            return;
+        };
+        let Some(next_hop) = reply_route.next_hop_after(self.id) else {
+            return;
+        };
+        cmds.push(DsrCommand::Event { event: DsrEvent::ReplyOriginated { from_cache: true } });
+        let rep = RouteReply {
+            uid: self.fresh_uid(),
+            discovered: shortened,
+            from_cache: true,
+            route: reply_route,
+            hop: 0,
+            gratuitous: true,
+        };
+        let jitter = self.jitter();
+        cmds.push(DsrCommand::Send { packet: Packet::Reply(rep), next_hop, jitter });
+    }
+
+    // ------------------------------------------------------------------
+    // Housekeeping
+    // ------------------------------------------------------------------
+
+    fn tick(&mut self, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+        cmds.push(DsrCommand::SetTimer { timer: DsrTimer::Tick, at: now + self.tick_period() });
+        for expired in self.send_buffer.purge_expired(now) {
+            cmds.push(DsrCommand::Drop { uid: expired.uid, reason: DropReason::SendBufferTimeout });
+        }
+        if let Some(neg) = &mut self.negative {
+            neg.purge(now);
+        }
+        match self.cfg.expiry {
+            ExpiryPolicy::None => {}
+            ExpiryPolicy::Static { timeout } => {
+                self.cache.expire(now, timeout);
+            }
+            ExpiryPolicy::Adaptive { quiet_term, .. } => {
+                let timeout = self.adaptive.timeout_with(now, quiet_term);
+                self.cache.expire(now, timeout);
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Route-cache organizations and the negative cache.
+//!
+//! Two organizations implement [`RouteCache`]:
+//!
+//! - [`path_cache::PathCache`] — whole paths rooted at the owner, the
+//!   organization of the CMU ns-2 DSR and of the paper's study;
+//! - [`link_cache::LinkCache`] — a graph of individual links with
+//!   shortest-path answers, the Hu & Johnson alternative the paper's
+//!   related work contrasts (available as an ablation).
+
+pub mod link_cache;
+pub mod negative;
+pub mod path_cache;
+
+pub use link_cache::LinkCache;
+pub use path_cache::{PathCache, RemovedLink};
+
+use packet::{Link, Route};
+use sim_core::{NodeId, SimDuration, SimTime};
+
+/// Operations the DSR agent needs from a route cache, regardless of its
+/// internal organization.
+pub trait RouteCache: Send {
+    /// Inserts a route starting at the owner; returns whether the cache
+    /// changed.
+    fn insert(&mut self, route: Route, now: SimTime) -> bool;
+
+    /// Shortest known route from the owner to `dst`, if any.
+    fn find(&self, dst: NodeId, now: SimTime) -> Option<Route>;
+
+    /// Purges a broken link and reports what was affected (for the
+    /// adaptive-timeout estimator and the wider-error re-broadcast
+    /// predicate).
+    fn remove_link(&mut self, link: Link, now: SimTime) -> RemovedLink;
+
+    /// Refreshes last-used timestamps for cached state matching the links
+    /// of `seen` (timer-based expiry bookkeeping).
+    fn mark_used(&mut self, seen: &Route, now: SimTime);
+
+    /// Flags cached state matching `seen` as used in forwarded traffic
+    /// (wider-error re-broadcast predicate).
+    fn mark_forwarded(&mut self, seen: &Route);
+
+    /// Prunes state unused for longer than `timeout`; returns how many
+    /// entries were affected.
+    fn expire(&mut self, now: SimTime, timeout: SimDuration) -> usize;
+
+    /// Whether the cache holds `link` anywhere.
+    fn contains_link(&self, link: Link) -> bool;
+
+    /// Number of cached entries (paths or links, by organization).
+    fn len(&self) -> usize;
+
+    /// Whether the cache is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

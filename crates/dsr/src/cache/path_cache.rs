@@ -1,0 +1,510 @@
+//! The DSR path cache.
+//!
+//! Stores complete paths, each starting at the owning node (the *path
+//! cache* organization of the CMU ns-2 implementation, as opposed to the
+//! link-cache organization of Hu & Johnson — see
+//! [`LinkCache`](crate::cache::link_cache::LinkCache) for that ablation).
+//!
+//! Beyond plain storage the cache carries the metadata the paper's
+//! techniques need:
+//!
+//! - a per-node **last-used timestamp** inside every path, updated whenever
+//!   (part of) the path is observed in a unicast packet — timer-based
+//!   expiry prunes the unused suffix portions;
+//! - an **entered-at timestamp** per path — the adaptive timeout derives
+//!   route lifetimes from it when a cached route breaks;
+//! - a **used-for-forwarding flag** — wider error notification re-broadcasts
+//!   an error only at nodes that both cache the broken link *and* used such
+//!   a route in traffic they forwarded.
+
+use packet::{Link, Route};
+use sim_core::{NodeId, SimDuration, SimTime};
+
+/// One cached path with its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PathEntry {
+    path: Route,
+    entered_at: SimTime,
+    /// Parallel to `path.nodes()`: when each node was last seen in use.
+    last_used: Vec<SimTime>,
+    used_for_forwarding: bool,
+}
+
+impl PathEntry {
+    fn new(path: Route, now: SimTime) -> Self {
+        let n = path.len();
+        PathEntry { path, entered_at: now, last_used: vec![now; n], used_for_forwarding: false }
+    }
+
+    /// The stored path (starts at the cache owner).
+    pub fn path(&self) -> &Route {
+        &self.path
+    }
+
+    /// When this path was last (re-)entered into the cache.
+    pub fn entered_at(&self) -> SimTime {
+        self.entered_at
+    }
+
+    /// Whether this path was observed in packets the owner forwarded.
+    pub fn used_for_forwarding(&self) -> bool {
+        self.used_for_forwarding
+    }
+
+    fn most_recent_use(&self) -> SimTime {
+        self.last_used.iter().copied().max().unwrap_or(self.entered_at)
+    }
+}
+
+/// Result of [`PathCache::remove_link`], feeding the adaptive-timeout
+/// estimator and the wider-error re-broadcast predicate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RemovedLink {
+    /// Whether any cached path contained the link.
+    pub contained: bool,
+    /// Whether any affected path had been used in forwarded packets.
+    pub was_used_for_forwarding: bool,
+    /// `now - entered_at` of every affected path (its observed lifetime).
+    pub route_lifetimes: Vec<SimDuration>,
+}
+
+/// A bounded cache of loop-free paths rooted at one node.
+///
+/// # Example
+///
+/// ```
+/// use dsr::PathCache;
+/// use packet::{Route, Link};
+/// use sim_core::{NodeId, SimTime};
+///
+/// let n = |i| NodeId::new(i);
+/// let mut cache = PathCache::new(n(0), 16);
+/// let now = SimTime::ZERO;
+/// cache.insert(Route::new(vec![n(0), n(1), n(2), n(3)]).unwrap(), now);
+/// // A route to an intermediate node falls out of the same entry:
+/// let r = cache.find(n(2), now).unwrap();
+/// assert_eq!(r.hops(), 2);
+/// // Breaking 1->2 truncates the path:
+/// cache.remove_link(Link::new(n(1), n(2)), now);
+/// assert!(cache.find(n(2), now).is_none());
+/// assert!(cache.find(n(1), now).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathCache {
+    owner: NodeId,
+    capacity: usize,
+    entries: Vec<PathEntry>,
+}
+
+impl PathCache {
+    /// Creates an empty cache owned by `owner` holding at most `capacity`
+    /// paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(owner: NodeId, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        PathCache { owner, capacity, entries: Vec::new() }
+    }
+
+    /// The owning node.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Number of cached paths.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no paths.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over cached entries (inspection/testing).
+    pub fn iter(&self) -> impl Iterator<Item = &PathEntry> {
+        self.entries.iter()
+    }
+
+    /// Inserts `path` (which must start at the owner and have at least one
+    /// hop). Returns `true` if the cache changed.
+    ///
+    /// An exact duplicate — or a prefix of an existing path — refreshes the
+    /// matching portion's timestamps instead of adding a new entry (this is
+    /// also how stale entries get *re-polluted* by in-flight packets, the
+    /// paper's "quick pollution" problem). A path extending an existing
+    /// prefix replaces it. On overflow the least-recently-used entry is
+    /// evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` does not start at the owner.
+    pub fn insert(&mut self, path: Route, now: SimTime) -> bool {
+        assert_eq!(path.source(), self.owner, "cached paths start at the owner");
+        if path.hops() == 0 {
+            return false;
+        }
+        // Refresh if `path` is a prefix of (or equal to) an existing entry.
+        for entry in &mut self.entries {
+            if entry.path.len() >= path.len()
+                && entry.path.nodes()[..path.len()] == *path.nodes()
+            {
+                for ts in entry.last_used[..path.len()].iter_mut() {
+                    *ts = now;
+                }
+                entry.entered_at = now;
+                return true;
+            }
+        }
+        // Replace any existing entries that are prefixes of the new path.
+        self.entries
+            .retain(|e| e.path.nodes() != &path.nodes()[..e.path.len().min(path.len())]);
+        if self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.entries.push(PathEntry::new(path, now));
+        true
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some((idx, _)) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.most_recent_use())
+        {
+            self.entries.swap_remove(idx);
+        }
+    }
+
+    /// Shortest cached route from the owner to `dst` (paths may be used up
+    /// to any intermediate node). Ties favor the most recently entered.
+    pub fn find(&self, dst: NodeId, _now: SimTime) -> Option<Route> {
+        let mut best: Option<(usize, SimTime, Route)> = None;
+        for entry in &self.entries {
+            if let Some(prefix) = entry.path.prefix_through(dst) {
+                if prefix.hops() == 0 {
+                    continue;
+                }
+                let candidate = (prefix.hops(), entry.entered_at, prefix);
+                best = match best {
+                    None => Some(candidate),
+                    Some(b) => {
+                        if candidate.0 < b.0 || (candidate.0 == b.0 && candidate.1 > b.1) {
+                            Some(candidate)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+        }
+        best.map(|(_, _, route)| route)
+    }
+
+    /// Whether any cached path uses `link`.
+    pub fn contains_link(&self, link: Link) -> bool {
+        self.entries.iter().any(|e| e.path.contains_link(link))
+    }
+
+    /// Truncates every path containing `link` at the point of failure
+    /// (paths reduced below one hop are dropped) and reports what was
+    /// affected.
+    pub fn remove_link(&mut self, link: Link, now: SimTime) -> RemovedLink {
+        let mut outcome = RemovedLink::default();
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for mut entry in self.entries.drain(..) {
+            if let Some(truncated) = entry.path.truncate_before_link(link) {
+                outcome.contained = true;
+                outcome.was_used_for_forwarding |= entry.used_for_forwarding;
+                outcome.route_lifetimes.push(now.saturating_since(entry.entered_at));
+                if truncated.hops() >= 1 {
+                    entry.last_used.truncate(truncated.len());
+                    entry.path = truncated;
+                    kept.push(entry);
+                }
+            } else {
+                kept.push(entry);
+            }
+        }
+        // Truncation can create duplicates; drop exact repeats.
+        let mut deduped: Vec<PathEntry> = Vec::with_capacity(kept.len());
+        for entry in kept {
+            if !deduped.iter().any(|e| e.path == entry.path) {
+                deduped.push(entry);
+            }
+        }
+        self.entries = deduped;
+        outcome
+    }
+
+    /// Records that the links of `seen` were observed in a unicast packet
+    /// at `now`: every cached node adjacent to one of those links gets its
+    /// last-used timestamp refreshed. This is the paper's expiry-timestamp
+    /// update rule.
+    pub fn mark_used(&mut self, seen: &Route, now: SimTime) {
+        for entry in &mut self.entries {
+            for j in 1..entry.path.len() {
+                let l = entry.path.link(j - 1);
+                if seen.contains_link(l) {
+                    entry.last_used[j - 1] = now;
+                    entry.last_used[j] = now;
+                }
+            }
+        }
+    }
+
+    /// Records that the owner *forwarded* a packet along `seen`: cached
+    /// paths sharing a link with it are flagged, enabling the wider-error
+    /// re-broadcast predicate.
+    pub fn mark_forwarded(&mut self, seen: &Route) {
+        for entry in &mut self.entries {
+            if entry.path.links().any(|l| seen.contains_link(l)) {
+                entry.used_for_forwarding = true;
+            }
+        }
+    }
+
+    /// Timer-based expiry: prunes the portion of every path unused for
+    /// longer than `timeout` (truncating at the first stale node); paths
+    /// reduced below one hop are dropped. Returns how many entries were
+    /// affected.
+    pub fn expire(&mut self, now: SimTime, timeout: SimDuration) -> usize {
+        let mut affected = 0;
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for mut entry in self.entries.drain(..) {
+            // Node 0 is the owner itself; staleness starts at index 1.
+            let cut = (1..entry.path.len())
+                .find(|&j| entry.last_used[j] + timeout < now)
+                .unwrap_or(entry.path.len());
+            if cut == entry.path.len() {
+                kept.push(entry);
+                continue;
+            }
+            affected += 1;
+            if cut >= 2 {
+                let nodes = entry.path.nodes()[..cut].to_vec();
+                entry.path = Route::new(nodes).expect("prefix of a loop-free route");
+                entry.last_used.truncate(cut);
+                kept.push(entry);
+            }
+        }
+        self.entries = kept;
+        affected
+    }
+
+    /// Removes every cached path (testing / reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl crate::cache::RouteCache for PathCache {
+    fn insert(&mut self, path: Route, now: SimTime) -> bool {
+        PathCache::insert(self, path, now)
+    }
+
+    fn find(&self, dst: NodeId, now: SimTime) -> Option<Route> {
+        PathCache::find(self, dst, now)
+    }
+
+    fn remove_link(&mut self, link: Link, now: SimTime) -> RemovedLink {
+        PathCache::remove_link(self, link, now)
+    }
+
+    fn mark_used(&mut self, seen: &Route, now: SimTime) {
+        PathCache::mark_used(self, seen, now)
+    }
+
+    fn mark_forwarded(&mut self, seen: &Route) {
+        PathCache::mark_forwarded(self, seen)
+    }
+
+    fn expire(&mut self, now: SimTime, timeout: SimDuration) -> usize {
+        PathCache::expire(self, now, timeout)
+    }
+
+    fn contains_link(&self, link: Link) -> bool {
+        PathCache::contains_link(self, link)
+    }
+
+    fn len(&self) -> usize {
+        PathCache::len(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn route(ids: &[u16]) -> Route {
+        Route::new(ids.iter().map(|&i| n(i)).collect()).expect("valid route")
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn cache_with(paths: &[&[u16]]) -> PathCache {
+        let mut c = PathCache::new(n(0), 16);
+        for p in paths {
+            c.insert(route(p), SimTime::ZERO);
+        }
+        c
+    }
+
+    #[test]
+    fn find_prefers_shortest() {
+        let c = cache_with(&[&[0, 1, 2, 3], &[0, 4, 3]]);
+        assert_eq!(c.find(n(3), t(0.0)).unwrap(), route(&[0, 4, 3]));
+    }
+
+    #[test]
+    fn find_uses_intermediate_nodes() {
+        let c = cache_with(&[&[0, 1, 2, 3]]);
+        assert_eq!(c.find(n(1), t(0.0)).unwrap(), route(&[0, 1]));
+        assert_eq!(c.find(n(2), t(0.0)).unwrap(), route(&[0, 1, 2]));
+        assert!(c.find(n(9), t(0.0)).is_none());
+    }
+
+    #[test]
+    fn find_never_returns_zero_hop_route() {
+        let c = cache_with(&[&[0, 1]]);
+        assert!(c.find(n(0), t(0.0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "start at the owner")]
+    fn insert_rejects_foreign_path() {
+        let mut c = PathCache::new(n(0), 4);
+        c.insert(route(&[1, 2]), t(0.0));
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes_not_duplicates() {
+        let mut c = PathCache::new(n(0), 4);
+        c.insert(route(&[0, 1, 2]), t(0.0));
+        c.insert(route(&[0, 1, 2]), t(5.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.iter().next().unwrap().entered_at(), t(5.0));
+    }
+
+    #[test]
+    fn prefix_insert_refreshes_existing_entry() {
+        let mut c = PathCache::new(n(0), 4);
+        c.insert(route(&[0, 1, 2, 3]), t(0.0));
+        c.insert(route(&[0, 1]), t(2.0));
+        assert_eq!(c.len(), 1, "prefix must not create a second entry");
+    }
+
+    #[test]
+    fn extension_replaces_prefix_entry() {
+        let mut c = PathCache::new(n(0), 4);
+        c.insert(route(&[0, 1]), t(0.0));
+        c.insert(route(&[0, 1, 2]), t(1.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.find(n(2), t(1.0)).unwrap(), route(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn remove_link_truncates_and_reports() {
+        let mut c = cache_with(&[&[0, 1, 2, 3], &[0, 4, 3]]);
+        let out = c.remove_link(Link::new(n(2), n(3)), t(7.0));
+        assert!(out.contained);
+        assert_eq!(out.route_lifetimes, vec![SimDuration::from_secs(7.0)]);
+        assert!(c.find(n(3), t(7.0)).is_some(), "alternate route survives");
+        assert_eq!(c.find(n(2), t(7.0)).unwrap(), route(&[0, 1, 2]), "truncated prefix kept");
+    }
+
+    #[test]
+    fn remove_first_hop_drops_entry() {
+        let mut c = cache_with(&[&[0, 1, 2]]);
+        let out = c.remove_link(Link::new(n(0), n(1)), t(1.0));
+        assert!(out.contained);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn remove_unknown_link_reports_not_contained() {
+        let mut c = cache_with(&[&[0, 1, 2]]);
+        let out = c.remove_link(Link::new(n(5), n(6)), t(1.0));
+        assert!(!out.contained);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn forwarding_flag_feeds_removal_outcome() {
+        let mut c = cache_with(&[&[0, 1, 2, 3]]);
+        assert!(!c.remove_link(Link::new(n(9), n(8)), t(0.0)).was_used_for_forwarding);
+        c.mark_forwarded(&route(&[5, 1, 2, 6]));
+        let out = c.remove_link(Link::new(n(1), n(2)), t(1.0));
+        assert!(out.was_used_for_forwarding);
+    }
+
+    #[test]
+    fn expiry_prunes_stale_suffix() {
+        let mut c = PathCache::new(n(0), 4);
+        c.insert(route(&[0, 1, 2, 3]), t(0.0));
+        // Links 0-1 and 1-2 observed at t=9; 2-3 never again.
+        c.mark_used(&route(&[0, 1, 2]), t(9.0));
+        let affected = c.expire(t(10.0), SimDuration::from_secs(5.0));
+        assert_eq!(affected, 1);
+        assert_eq!(c.find(n(2), t(10.0)).unwrap(), route(&[0, 1, 2]));
+        assert!(c.find(n(3), t(10.0)).is_none(), "stale tail must be pruned");
+    }
+
+    #[test]
+    fn expiry_drops_fully_stale_entries() {
+        let mut c = PathCache::new(n(0), 4);
+        c.insert(route(&[0, 1, 2]), t(0.0));
+        assert_eq!(c.expire(t(20.0), SimDuration::from_secs(5.0)), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fresh_entries_survive_expiry() {
+        let mut c = PathCache::new(n(0), 4);
+        c.insert(route(&[0, 1, 2]), t(0.0));
+        assert_eq!(c.expire(t(3.0), SimDuration::from_secs(5.0)), 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn mark_used_is_link_directed() {
+        let mut c = PathCache::new(n(0), 4);
+        c.insert(route(&[0, 1, 2]), t(0.0));
+        // Reverse direction does not refresh.
+        c.mark_used(&route(&[2, 1, 0]), t(9.0));
+        assert_eq!(c.expire(t(10.0), SimDuration::from_secs(5.0)), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut c = PathCache::new(n(0), 2);
+        c.insert(route(&[0, 1]), t(0.0));
+        c.insert(route(&[0, 2]), t(1.0));
+        // Touch the older entry so the other becomes LRU.
+        c.mark_used(&route(&[0, 1]), t(5.0));
+        c.insert(route(&[0, 3]), t(6.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.find(n(1), t(6.0)).is_some(), "recently used entry kept");
+        assert!(c.find(n(2), t(6.0)).is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn truncation_dedupes_identical_prefixes() {
+        let mut c = PathCache::new(n(0), 8);
+        c.insert(route(&[0, 1, 2, 3]), t(0.0));
+        c.insert(route(&[0, 1, 2, 4]), t(0.0));
+        c.remove_link(Link::new(n(2), n(3)), t(1.0));
+        c.remove_link(Link::new(n(2), n(4)), t(1.0));
+        assert_eq!(c.len(), 1, "identical truncated prefixes must merge");
+    }
+}

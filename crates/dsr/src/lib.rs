@@ -1,0 +1,40 @@
+//! Dynamic Source Routing with configurable route-caching strategies.
+//!
+//! This crate is the primary contribution of the reproduction of
+//! *Marina & Das, "Performance of Route Caching Strategies in Dynamic
+//! Source Routing" (ICDCS 2001)*: a full DSR implementation whose cache
+//! behaviour is controlled by [`DsrConfig`] —
+//!
+//! - **base DSR** with the four standard optimizations (replies from
+//!   cache, salvaging, gratuitous route repair, promiscuous listening,
+//!   non-propagating route requests);
+//! - **wider error notification** — broadcast route errors with
+//!   conditional re-broadcast;
+//! - **timer-based route expiry** — static or adaptive per-node timeout
+//!   selection;
+//! - **negative caches** — a blacklist of recently broken links, mutually
+//!   exclusive with the route cache.
+//!
+//! The protocol engine is [`DsrNode`]; supporting structures ([`PathCache`],
+//! [`NegativeCache`], [`AdaptiveTimeout`], [`SendBuffer`], [`RequestTable`])
+//! are public for inspection, testing, and the benchmark ablations.
+
+pub mod adaptive;
+pub mod agent;
+pub mod cache;
+pub mod config;
+pub mod request_table;
+pub mod send_buffer;
+
+pub use adaptive::AdaptiveTimeout;
+pub use agent::{DsrCommand, DsrEvent, DsrNode, DsrTimer};
+pub use packet::{CacheHitKind, DropReason};
+pub use cache::link_cache::LinkCache;
+pub use cache::negative::NegativeCache;
+pub use cache::path_cache::{PathCache, PathEntry, RemovedLink};
+pub use cache::RouteCache;
+pub use config::{
+    CacheOrganization, DsrConfig, ExpiryPolicy, NegativeCacheConfig, WiderErrorRebroadcast,
+};
+pub use request_table::{DiscoveryPhase, RequestTable};
+pub use send_buffer::{PendingData, SendBuffer};

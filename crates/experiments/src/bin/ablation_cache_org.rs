@@ -1,0 +1,53 @@
+//! **Ablation: cache organization** — path cache vs link cache.
+//!
+//! The paper uses a path cache and contrasts (in related work, vs Hu &
+//! Johnson) the link-cache organization. This ablation runs base DSR and
+//! DSR-C under both organizations at pause 0 / 3 pkt/s.
+//!
+//! Expected shape: the link cache synthesizes more (and often staler)
+//! routes — more cache answers, lower reply quality for base DSR; the
+//! paper's correctness techniques recover much of the gap.
+//!
+//! ```sh
+//! cargo run --release -p experiments --bin ablation_cache_org [--quick|--full]
+//! ```
+
+use dsr::DsrConfig;
+use experiments::{f3, pct, run_point, ExpMode, Table};
+
+fn main() {
+    let mode = ExpMode::from_args();
+    eprintln!("Ablation ({mode:?}): path cache vs link cache at pause 0, 3 pkt/s");
+
+    let mut table = Table::new(
+        format!("ablation_cache_org_{}", mode.tag()),
+        &[
+            "variant",
+            "delivery_fraction",
+            "avg_delay_s",
+            "normalized_overhead",
+            "good_replies_pct",
+            "invalid_cache_pct",
+        ],
+    );
+
+    for dsr in [
+        DsrConfig::base(),
+        DsrConfig::base().with_link_cache(),
+        DsrConfig::combined(),
+        DsrConfig::combined().with_link_cache(),
+    ] {
+        let r = run_point(&mode.scenario(0.0, 3.0, dsr), mode);
+        table.row(vec![
+            r.label.clone(),
+            f3(r.delivery_fraction),
+            f3(r.avg_delay_s),
+            f3(r.normalized_overhead),
+            pct(r.good_reply_pct),
+            pct(r.invalid_cache_pct),
+        ]);
+    }
+
+    println!("\nAblation: cache organization (path vs link)\n");
+    table.finish();
+}

@@ -1,0 +1,91 @@
+//! **Extension: AODV on the same substrate** — the paper's future-work
+//! direction ("incorporating techniques proposed in this paper to other
+//! on-demand routing protocols. An example is AODV...").
+//!
+//! Compares base DSR, DSR-C, AODV, and AODV without intermediate replies
+//! (its "indirect caching" turned off) across the mobility sweep.
+//!
+//! Expected shape: AODV is competitive with DSR-C in delivery under
+//! constant motion — its routing table is effectively a route cache with
+//! built-in freshness (sequence numbers) and expiry (active-route
+//! timeout), i.e. protocol-native versions of the paper's techniques — at
+//! the price of more routing packets (no aggressive caching, so more
+//! floods). Disabling intermediate replies costs latency and overhead.
+//!
+//! ```sh
+//! cargo run --release -p experiments --bin ext_aodv [--quick|--full]
+//! ```
+
+use aodv::{AodvConfig, AodvNode};
+use dsr::DsrConfig;
+use experiments::{f3, ExpMode, Table};
+use metrics::Report;
+use runner::{run_scenario_with, ScenarioConfig};
+
+fn run_aodv_point(base: &ScenarioConfig, aodv: &AodvConfig, seeds: &[u64]) -> Report {
+    let reports: Vec<Report> = seeds
+        .iter()
+        .map(|&seed| {
+            let cfg = ScenarioConfig { seed, ..base.clone() };
+            let aodv = aodv.clone();
+            run_scenario_with(cfg, aodv.label(), move |node, rng| {
+                AodvNode::new(node, aodv.clone(), rng)
+            })
+        })
+        .collect();
+    Report::mean(&reports)
+}
+
+fn main() {
+    let mode = ExpMode::from_args();
+    let rate_pps = 3.0;
+    eprintln!("Extension ({mode:?}): DSR vs AODV across mobility at {rate_pps} pkt/s");
+
+    let mut table = Table::new(
+        format!("ext_aodv_{}", mode.tag()),
+        &["pause_s", "variant", "delivery_fraction", "avg_delay_s", "normalized_overhead"],
+    );
+
+    for pause_s in mode.pause_sweep() {
+        eprintln!("pause {pause_s}s:");
+        // The two DSR anchors.
+        for dsr in [DsrConfig::base(), DsrConfig::combined()] {
+            let r = experiments::run_point(&mode.scenario(pause_s, rate_pps, dsr), mode);
+            table.row(vec![
+                format!("{pause_s:.0}"),
+                r.label.clone(),
+                f3(r.delivery_fraction),
+                f3(r.avg_delay_s),
+                f3(r.normalized_overhead),
+            ]);
+        }
+        // AODV with and without intermediate replies.
+        for aodv in [
+            AodvConfig::default(),
+            AodvConfig { intermediate_replies: false, ..AodvConfig::default() },
+        ] {
+            let base = mode.scenario(pause_s, rate_pps, DsrConfig::base());
+            let started = std::time::Instant::now();
+            let r = run_aodv_point(&base, &aodv, &mode.seeds());
+            eprintln!(
+                "  [{}] {} seeds -> delivery {:.1}%, delay {:.3}s, overhead {:.2} ({:.0}s wall)",
+                r.label,
+                mode.seeds().len(),
+                100.0 * r.delivery_fraction,
+                r.avg_delay_s,
+                r.normalized_overhead,
+                started.elapsed().as_secs_f64()
+            );
+            table.row(vec![
+                format!("{pause_s:.0}"),
+                r.label.clone(),
+                f3(r.delivery_fraction),
+                f3(r.avg_delay_s),
+                f3(r.normalized_overhead),
+            ]);
+        }
+    }
+
+    println!("\nExtension: DSR vs AODV across mobility\n");
+    table.finish();
+}

@@ -1,0 +1,44 @@
+//! **Table 3** — Cache-related metrics for different caching techniques.
+//!
+//! At pause time 0 (constant mobility) and 3 pkt/s, reports for each
+//! protocol variant the percentage of *good replies* (route replies
+//! received at sources whose route was fully up on arrival, judged by the
+//! ground-truth oracle) and the percentage of *invalid cached routes*
+//! (cache hits handing out an already-broken route).
+//!
+//! Paper shape: base DSR has the worst reply quality and the most invalid
+//! cache hits; each technique improves both; DSR-C improves reply quality
+//! by ~70% relative to base DSR.
+//!
+//! ```sh
+//! cargo run --release -p experiments --bin table3_cache [--quick|--full]
+//! ```
+
+use experiments::{pct, run_point, variants, ExpMode, Table};
+
+fn main() {
+    let mode = ExpMode::from_args();
+    let pause_s = 0.0;
+    let rate_pps = 3.0;
+    eprintln!("Table 3 ({mode:?}): cache metrics at pause {pause_s}s, {rate_pps} pkt/s");
+
+    let mut table = Table::new(
+        format!("table3_cache_{}", mode.tag()),
+        &["variant", "good_replies_pct", "invalid_cached_routes_pct", "replies_received", "cache_hits"],
+    );
+
+    for dsr in variants() {
+        let r = run_point(&mode.scenario(pause_s, rate_pps, dsr), mode);
+        table.row(vec![
+            r.label.clone(),
+            pct(r.good_reply_pct),
+            pct(r.invalid_cache_pct),
+            r.replies_received.to_string(),
+            r.cache_hits.to_string(),
+        ]);
+    }
+
+    println!("\nTable 3: cache-related metrics (pause 0 s)\n");
+    table.finish();
+    println!("expected shape: base DSR worst on both columns; DSR-C best; ordering AE > WE > NC in between.");
+}

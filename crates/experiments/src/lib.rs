@@ -1,0 +1,244 @@
+//! Shared plumbing for the experiment harnesses.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper. They share:
+//!
+//! - [`ExpMode`] — `--quick` (time-compressed scenario, 2 seeds; the
+//!   default) vs `--full` (the paper's exact 500 s / 5 seed setup);
+//! - [`run_point`] — run one `(scenario, variant)` point across seeds and
+//!   average, echoing progress to stderr;
+//! - [`Table`] — aligned stdout tables plus CSV files under `results/`.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use dsr::DsrConfig;
+use metrics::Report;
+use runner::{run_seeds, ScenarioConfig};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpMode {
+    /// 120 simulated seconds, 2 seeds (same topology/workload as the
+    /// paper). Minutes of wall clock; shapes preserved.
+    Quick,
+    /// The paper's full scale: 500 simulated seconds, 5 seeds. Hours of
+    /// wall clock on one core.
+    Full,
+}
+
+impl ExpMode {
+    /// Parses `--quick` / `--full` from the command line (default quick).
+    pub fn from_args() -> ExpMode {
+        let mut mode = ExpMode::Quick;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--full" => mode = ExpMode::Full,
+                "--quick" => mode = ExpMode::Quick,
+                other => {
+                    eprintln!("warning: ignoring unknown argument {other} (use --quick/--full)")
+                }
+            }
+        }
+        mode
+    }
+
+    /// The seeds averaged per data point.
+    pub fn seeds(self) -> Vec<u64> {
+        match self {
+            ExpMode::Quick => vec![1, 2],
+            ExpMode::Full => vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    /// The base scenario for this mode.
+    pub fn scenario(self, pause_s: f64, rate_pps: f64, dsr: DsrConfig) -> ScenarioConfig {
+        match self {
+            ExpMode::Quick => ScenarioConfig::quick(pause_s, rate_pps, dsr, 0),
+            ExpMode::Full => ScenarioConfig::paper(pause_s, rate_pps, dsr, 0),
+        }
+    }
+
+    /// Pause-time sweep (x-axis of Fig. 2), scaled to the mode's run
+    /// length: a pause equal to the run length is a static network.
+    pub fn pause_sweep(self) -> Vec<f64> {
+        match self {
+            ExpMode::Quick => vec![0.0, 10.0, 30.0, 60.0, 120.0],
+            ExpMode::Full => vec![0.0, 30.0, 60.0, 120.0, 300.0, 500.0],
+        }
+    }
+
+    /// Static-timeout sweep (x-axis of Fig. 1).
+    pub fn timeout_sweep(self) -> Vec<f64> {
+        match self {
+            ExpMode::Quick => vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0],
+            ExpMode::Full => vec![1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 50.0],
+        }
+    }
+
+    /// Per-flow rate sweep (x-axis of Fig. 4, as offered load).
+    pub fn rate_sweep(self) -> Vec<f64> {
+        match self {
+            ExpMode::Quick => vec![1.0, 2.0, 3.0, 4.5, 6.0],
+            ExpMode::Full => vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        }
+    }
+
+    /// Mode name for filenames.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ExpMode::Quick => "quick",
+            ExpMode::Full => "full",
+        }
+    }
+}
+
+/// The five protocol variants every comparison figure plots.
+pub fn variants() -> Vec<DsrConfig> {
+    vec![
+        DsrConfig::base(),
+        DsrConfig::wider_error(),
+        DsrConfig::adaptive_expiry(),
+        DsrConfig::negative_cache(),
+        DsrConfig::combined(),
+    ]
+}
+
+/// Runs one configuration across the mode's seeds and returns the mean
+/// report, logging progress to stderr.
+pub fn run_point(base: &ScenarioConfig, mode: ExpMode) -> Report {
+    let seeds = mode.seeds();
+    let started = std::time::Instant::now();
+    let reports = run_seeds(base, &seeds, 1);
+    let mean = Report::mean(&reports);
+    eprintln!(
+        "  [{}] {} seeds -> delivery {:.1}%, delay {:.3}s, overhead {:.2} ({:.0}s wall)",
+        mean.label,
+        seeds.len(),
+        100.0 * mean.delivery_fraction,
+        mean.avg_delay_s,
+        mean.normalized_overhead,
+        started.elapsed().as_secs_f64()
+    );
+    mean
+}
+
+/// An aligned results table that also lands in `results/<name>.csv`.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given CSV base-name and column headers.
+    pub fn new(name: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            name: name.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", c, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Prints the table to stdout and writes `results/<name>.csv`.
+    pub fn finish(&self) {
+        println!("{}", self.render());
+        let path = self.csv_path();
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", self.headers.join(","));
+                for row in &self.rows {
+                    let _ = writeln!(f, "{}", row.join(","));
+                }
+                eprintln!("wrote {}", path.display());
+            }
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+
+    fn csv_path(&self) -> PathBuf {
+        PathBuf::from("results").join(format!("{}.csv", self.name))
+    }
+}
+
+/// Formats a float with three significant decimals for tables.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_cover_the_paper() {
+        let labels: Vec<String> = variants().iter().map(|v| v.label()).collect();
+        assert_eq!(labels, vec!["DSR", "DSR-WE", "DSR-AE", "DSR-NC", "DSR-C"]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("test", &["a", "metric"]);
+        t.row(vec!["1".into(), "0.5".into()]);
+        t.row(vec!["200".into(), "0.75".into()]);
+        let s = t.render();
+        assert!(s.contains("a  "));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("test", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn modes_have_sane_sweeps() {
+        assert!(ExpMode::Quick.seeds().len() < ExpMode::Full.seeds().len());
+        assert!(ExpMode::Quick.pause_sweep().contains(&0.0));
+        assert!(ExpMode::Full.pause_sweep().contains(&500.0));
+        assert!(ExpMode::Full.timeout_sweep().contains(&10.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! 802.11 DSSS timing and framing constants.
+
+use sim_core::SimDuration;
+
+/// MAC-layer parameters. Defaults model the 2 Mb/s DSSS PHY of the
+/// WaveLAN radio used in the paper (IEEE 802.11-1997 numbers, matching the
+/// ns-2 CMU Monarch MAC).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacConfig {
+    /// Slot time (DSSS: 20 µs).
+    pub slot: SimDuration,
+    /// Short interframe space (DSSS: 10 µs).
+    pub sifs: SimDuration,
+    /// DCF interframe space (SIFS + 2 slots = 50 µs).
+    pub difs: SimDuration,
+    /// PLCP preamble + header, transmitted at 1 Mb/s (192 µs).
+    pub plcp_overhead: SimDuration,
+    /// MPDU bit-rate in bits per second (WaveLAN: 2 Mb/s).
+    pub data_rate_bps: f64,
+    /// Minimum contention window (CWmin = 31).
+    pub cw_min: u32,
+    /// Maximum contention window (CWmax = 1023).
+    pub cw_max: u32,
+    /// Maximum RTS attempts before the frame is dropped (dot11ShortRetryLimit = 7).
+    pub short_retry_limit: u32,
+    /// Maximum DATA attempts before the frame is dropped (dot11LongRetryLimit = 4).
+    pub long_retry_limit: u32,
+    /// RTS frame size in bytes (20).
+    pub rts_bytes: usize,
+    /// CTS frame size in bytes (14).
+    pub cts_bytes: usize,
+    /// ACK frame size in bytes (14).
+    pub ack_bytes: usize,
+    /// MAC header + FCS added to every data frame (28 bytes).
+    pub data_header_bytes: usize,
+    /// Unicast payloads of at least this many bytes are preceded by
+    /// RTS/CTS. 0 means "always", matching the ns-2 configuration used by
+    /// the CMU studies (and making the paper's RTS/CTS overhead counts
+    /// meaningful).
+    pub rts_threshold_bytes: usize,
+    /// Interface queue capacity in packets (ns-2 CMU PriQueue: 50).
+    pub queue_capacity: usize,
+}
+
+impl MacConfig {
+    /// The 802.11 DSSS / WaveLAN configuration used throughout the paper.
+    pub fn ieee80211_dsss() -> Self {
+        MacConfig {
+            slot: SimDuration::from_micros_u64(20),
+            sifs: SimDuration::from_micros_u64(10),
+            difs: SimDuration::from_micros_u64(50),
+            plcp_overhead: SimDuration::from_micros_u64(192),
+            data_rate_bps: 2.0e6,
+            cw_min: 31,
+            cw_max: 1023,
+            short_retry_limit: 7,
+            long_retry_limit: 4,
+            rts_bytes: 20,
+            cts_bytes: 14,
+            ack_bytes: 14,
+            data_header_bytes: 28,
+            rts_threshold_bytes: 0,
+            queue_capacity: 50,
+        }
+    }
+
+    /// Airtime of a frame of `bytes` bytes: PLCP overhead plus the MPDU at
+    /// the data rate.
+    pub fn frame_duration(&self, bytes: usize) -> SimDuration {
+        self.plcp_overhead + SimDuration::from_secs(bytes as f64 * 8.0 / self.data_rate_bps)
+    }
+
+    /// Airtime of an RTS frame.
+    pub fn rts_duration(&self) -> SimDuration {
+        self.frame_duration(self.rts_bytes)
+    }
+
+    /// Airtime of a CTS frame.
+    pub fn cts_duration(&self) -> SimDuration {
+        self.frame_duration(self.cts_bytes)
+    }
+
+    /// Airtime of an ACK frame.
+    pub fn ack_duration(&self) -> SimDuration {
+        self.frame_duration(self.ack_bytes)
+    }
+
+    /// Airtime of a data frame with the given network-layer payload size.
+    pub fn data_duration(&self, payload_bytes: usize) -> SimDuration {
+        self.frame_duration(self.data_header_bytes + payload_bytes)
+    }
+
+    /// How long an RTS sender waits for the CTS before declaring the
+    /// attempt failed: SIFS + CTS airtime + 2 slots of grace (propagation
+    /// and turnaround).
+    pub fn cts_timeout(&self) -> SimDuration {
+        self.sifs + self.cts_duration() + self.slot * 2
+    }
+
+    /// How long a DATA sender waits for the ACK.
+    pub fn ack_timeout(&self) -> SimDuration {
+        self.sifs + self.ack_duration() + self.slot * 2
+    }
+
+    /// Whether a unicast payload of this size uses the RTS/CTS exchange.
+    pub fn uses_rts(&self, payload_bytes: usize) -> bool {
+        payload_bytes >= self.rts_threshold_bytes
+    }
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig::ieee80211_dsss()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difs_is_sifs_plus_two_slots() {
+        let c = MacConfig::ieee80211_dsss();
+        assert_eq!(c.difs, c.sifs + c.slot * 2);
+    }
+
+    #[test]
+    fn frame_duration_scales_with_bytes() {
+        let c = MacConfig::ieee80211_dsss();
+        // 512-byte payload + 28-byte header at 2 Mb/s = 2160 µs + 192 µs PLCP.
+        let d = c.data_duration(512);
+        assert_eq!(d, SimDuration::from_micros_u64(192 + (512 + 28) * 4));
+    }
+
+    #[test]
+    fn control_frames_are_short() {
+        let c = MacConfig::ieee80211_dsss();
+        assert!(c.rts_duration() < c.data_duration(512));
+        assert!(c.cts_duration() <= c.rts_duration());
+        assert_eq!(c.cts_duration(), c.ack_duration());
+    }
+
+    #[test]
+    fn timeouts_cover_the_response() {
+        let c = MacConfig::ieee80211_dsss();
+        assert!(c.cts_timeout() > c.sifs + c.cts_duration());
+        assert!(c.ack_timeout() > c.sifs + c.ack_duration());
+    }
+
+    #[test]
+    fn default_uses_rts_for_everything() {
+        let c = MacConfig::default();
+        assert!(c.uses_rts(0));
+        assert!(c.uses_rts(512));
+    }
+}

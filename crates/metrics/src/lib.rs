@@ -1,0 +1,545 @@
+//! Online metrics for the DSR route-caching study.
+//!
+//! Collects exactly the quantities the paper evaluates:
+//!
+//! **Routing performance** (Figs. 1, 2, 4)
+//! - *packet delivery fraction* — delivered / originated CBR packets (and
+//!   the related *received throughput* in kb/s);
+//! - *average end-to-end delay* — including send-buffer, interface-queue,
+//!   MAC retransmission, and propagation delays;
+//! - *normalized overhead* — every hop-wise transmission of routing
+//!   packets **and** MAC control frames (RTS/CTS/ACK) per delivered data
+//!   packet.
+//!
+//! **Cache correctness** (Table 3)
+//! - *percentage of good replies* — route replies received at sources whose
+//!   route contains no broken link (checked against the ground-truth
+//!   oracle at reception time);
+//! - *percentage of invalid cached routes* — cache hits whose route was
+//!   already physically broken when pulled from the cache.
+
+use std::collections::{HashMap, HashSet};
+
+use mac::FrameKind;
+use packet::{CacheHitKind, DropReason};
+use sim_core::SimTime;
+
+pub mod stats;
+
+pub use stats::{DeliverySeries, Distribution, SeriesPoint};
+
+/// Accumulates raw counters during one simulation run.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    originated: u64,
+    delivered_uids: HashSet<u64>,
+    delivered: u64,
+    bytes_delivered: u64,
+    delays: Distribution,
+    hops: Distribution,
+    series: Option<DeliverySeries>,
+
+    rts_tx: u64,
+    cts_tx: u64,
+    ack_tx: u64,
+    routing_tx: u64,
+    data_tx: u64,
+
+    replies_received: u64,
+    good_replies: u64,
+    cache_hits: u64,
+    invalid_cache_hits: u64,
+    hits_by_kind: HashMap<CacheHitKind, (u64, u64)>, // (hits, invalid)
+    replies_originated: u64,
+    replies_from_cache: u64,
+
+    discoveries: u64,
+    floods: u64,
+    link_breaks: u64,
+    errors_sent: u64,
+    error_rebroadcasts: u64,
+
+    drops: HashMap<DropReason, u64>,
+    ifq_drops: u64,
+}
+
+impl Metrics {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Enables the delivery-over-time series with the given bucket width.
+    pub fn enable_series(&mut self, bucket_s: f64) {
+        self.series = Some(DeliverySeries::new(bucket_s));
+    }
+
+    /// The delivery time series, if enabled.
+    pub fn series_points(&self) -> Option<Vec<SeriesPoint>> {
+        self.series.as_ref().map(|s| s.points())
+    }
+
+    /// A CBR source handed a packet to DSR at `now`.
+    pub fn record_origination(&mut self, now: SimTime) {
+        self.originated += 1;
+        if let Some(series) = &mut self.series {
+            series.record_origination(now);
+        }
+    }
+
+    /// A data packet reached its destination after traversing `hops`
+    /// links. Returns `false` (and records nothing) for duplicate
+    /// deliveries of the same uid.
+    pub fn record_delivery(
+        &mut self,
+        uid: u64,
+        sent_at: SimTime,
+        bytes: usize,
+        hops: usize,
+        now: SimTime,
+    ) -> bool {
+        if !self.delivered_uids.insert(uid) {
+            return false;
+        }
+        self.delivered += 1;
+        self.bytes_delivered += bytes as u64;
+        self.delays.record(now.saturating_since(sent_at).as_secs());
+        self.hops.record(hops as f64);
+        if let Some(series) = &mut self.series {
+            series.record_delivery(now);
+        }
+        true
+    }
+
+    /// One hop-wise MAC transmission. `payload_is_routing` describes data
+    /// frames: `Some(true)` for frames carrying DSR control packets,
+    /// `Some(false)` for application data, `None` for control frames.
+    pub fn record_mac_tx(&mut self, kind: FrameKind, payload_is_routing: Option<bool>) {
+        match kind {
+            FrameKind::Rts => self.rts_tx += 1,
+            FrameKind::Cts => self.cts_tx += 1,
+            FrameKind::Ack => self.ack_tx += 1,
+            FrameKind::Data => match payload_is_routing {
+                Some(true) => self.routing_tx += 1,
+                _ => self.data_tx += 1,
+            },
+        }
+    }
+
+    /// A route reply arrived at the node that requested it; `good` is the
+    /// oracle's verdict on the carried route.
+    pub fn record_reply_received(&mut self, good: bool) {
+        self.replies_received += 1;
+        if good {
+            self.good_replies += 1;
+        }
+    }
+
+    /// A route was pulled from a cache; `valid` is the oracle's verdict.
+    pub fn record_cache_hit(&mut self, kind: CacheHitKind, valid: bool) {
+        self.cache_hits += 1;
+        let slot = self.hits_by_kind.entry(kind).or_insert((0, 0));
+        slot.0 += 1;
+        if !valid {
+            self.invalid_cache_hits += 1;
+            slot.1 += 1;
+        }
+    }
+
+    /// A node generated a route reply.
+    pub fn record_reply_originated(&mut self, from_cache: bool) {
+        self.replies_originated += 1;
+        if from_cache {
+            self.replies_from_cache += 1;
+        }
+    }
+
+    /// A discovery round started.
+    pub fn record_discovery(&mut self, flood: bool) {
+        self.discoveries += 1;
+        if flood {
+            self.floods += 1;
+        }
+    }
+
+    /// Link-layer feedback reported a break.
+    pub fn record_link_break(&mut self) {
+        self.link_breaks += 1;
+    }
+
+    /// A route error was originated (`rebroadcast = false`) or re-broadcast.
+    pub fn record_error(&mut self, rebroadcast: bool) {
+        if rebroadcast {
+            self.error_rebroadcasts += 1;
+        } else {
+            self.errors_sent += 1;
+        }
+    }
+
+    /// A DSR-level drop.
+    pub fn record_drop(&mut self, reason: DropReason) {
+        *self.drops.entry(reason).or_insert(0) += 1;
+    }
+
+    /// An interface-queue (MAC) drop.
+    pub fn record_ifq_drop(&mut self) {
+        self.ifq_drops += 1;
+    }
+
+    /// Drop count for one reason.
+    pub fn drops(&self, reason: DropReason) -> u64 {
+        self.drops.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// `(hits, invalid)` for one kind of cache use.
+    pub fn cache_hits_of(&self, kind: CacheHitKind) -> (u64, u64) {
+        self.hits_by_kind.get(&kind).copied().unwrap_or((0, 0))
+    }
+
+    /// Finalizes the run into a [`Report`].
+    pub fn report(&self, label: impl Into<String>, duration_s: f64) -> Report {
+        assert!(duration_s > 0.0, "report needs a positive duration");
+        let pct = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                100.0 * num as f64 / den as f64
+            }
+        };
+        Report {
+            label: label.into(),
+            duration_s,
+            originated: self.originated,
+            delivered: self.delivered,
+            delivery_fraction: if self.originated == 0 {
+                0.0
+            } else {
+                self.delivered as f64 / self.originated as f64
+            },
+            throughput_kbps: self.bytes_delivered as f64 * 8.0 / 1_000.0 / duration_s,
+            avg_delay_s: self.delays.mean().unwrap_or(0.0),
+            delay_p50_s: self.delays.quantile(0.5).unwrap_or(0.0),
+            delay_p95_s: self.delays.quantile(0.95).unwrap_or(0.0),
+            avg_hops: self.hops.mean().unwrap_or(0.0),
+            normalized_overhead: if self.delivered == 0 {
+                f64::INFINITY
+            } else {
+                (self.routing_tx + self.rts_tx + self.cts_tx + self.ack_tx) as f64
+                    / self.delivered as f64
+            },
+            routing_tx: self.routing_tx,
+            mac_control_tx: self.rts_tx + self.cts_tx + self.ack_tx,
+            data_tx: self.data_tx,
+            replies_received: self.replies_received,
+            good_reply_pct: pct(self.good_replies, self.replies_received),
+            cache_hits: self.cache_hits,
+            invalid_cache_pct: pct(self.invalid_cache_hits, self.cache_hits),
+            origination_hits: self.cache_hits_of(CacheHitKind::Origination).0,
+            salvage_hits: self.cache_hits_of(CacheHitKind::Salvage).0,
+            reply_hits: self.cache_hits_of(CacheHitKind::Reply).0,
+            replies_originated: self.replies_originated,
+            reply_from_cache_pct: pct(self.replies_from_cache, self.replies_originated),
+            discoveries: self.discoveries,
+            floods: self.floods,
+            link_breaks: self.link_breaks,
+            errors_sent: self.errors_sent,
+            error_rebroadcasts: self.error_rebroadcasts,
+            ifq_drops: self.ifq_drops,
+            dsr_drops: self.drops.values().sum(),
+            series: self.series_points(),
+        }
+    }
+}
+
+/// Summary of one run (or the mean of several), mirroring the paper's
+/// reported metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Protocol variant label (e.g. "DSR-C").
+    pub label: String,
+    /// Simulated seconds the metrics cover.
+    pub duration_s: f64,
+    /// CBR packets originated.
+    pub originated: u64,
+    /// CBR packets delivered (unique).
+    pub delivered: u64,
+    /// Packet delivery fraction in `[0, 1]`.
+    pub delivery_fraction: f64,
+    /// Received throughput in kb/s.
+    pub throughput_kbps: f64,
+    /// Mean end-to-end delay in seconds.
+    pub avg_delay_s: f64,
+    /// Median end-to-end delay in seconds.
+    pub delay_p50_s: f64,
+    /// 95th-percentile end-to-end delay in seconds.
+    pub delay_p95_s: f64,
+    /// Mean links traversed per delivered packet (final route).
+    pub avg_hops: f64,
+    /// (routing + MAC control transmissions) / delivered packet.
+    pub normalized_overhead: f64,
+    /// Hop-wise routing packet transmissions.
+    pub routing_tx: u64,
+    /// Hop-wise RTS+CTS+ACK transmissions.
+    pub mac_control_tx: u64,
+    /// Hop-wise data-frame transmissions carrying application data.
+    pub data_tx: u64,
+    /// Route replies received at requesting sources.
+    pub replies_received: u64,
+    /// Percentage of those whose route was fully up on arrival.
+    pub good_reply_pct: f64,
+    /// Cache hits (origination + salvage + cached replies).
+    pub cache_hits: u64,
+    /// Percentage of cache hits handing out a broken route.
+    pub invalid_cache_pct: f64,
+    /// Cache hits serving the node's own originations.
+    pub origination_hits: u64,
+    /// Cache hits used to salvage packets around broken links.
+    pub salvage_hits: u64,
+    /// Cache hits answering other nodes' route requests.
+    pub reply_hits: u64,
+    /// Route replies generated anywhere.
+    pub replies_originated: u64,
+    /// Percentage of generated replies that came from caches.
+    pub reply_from_cache_pct: f64,
+    /// Discovery rounds started.
+    pub discoveries: u64,
+    /// Of which network-wide floods.
+    pub floods: u64,
+    /// Link breaks detected by link-layer feedback.
+    pub link_breaks: u64,
+    /// Route errors originated.
+    pub errors_sent: u64,
+    /// Wider-error re-broadcasts.
+    pub error_rebroadcasts: u64,
+    /// Interface-queue drops.
+    pub ifq_drops: u64,
+    /// All DSR-level drops.
+    pub dsr_drops: u64,
+    /// Delivery time series, when enabled on the collector.
+    pub series: Option<Vec<SeriesPoint>>,
+}
+
+impl Report {
+    /// Averages several reports of the same variant (the paper averages
+    /// five runs per point). Counters are averaged too (as f64 then
+    /// rounded), which keeps ratios consistent across heterogeneous runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    pub fn mean(reports: &[Report]) -> Report {
+        assert!(!reports.is_empty(), "cannot average zero reports");
+        let n = reports.len() as f64;
+        let favg = |f: &dyn Fn(&Report) -> f64| reports.iter().map(f).sum::<f64>() / n;
+        let uavg =
+            |f: &dyn Fn(&Report) -> u64| (reports.iter().map(f).sum::<u64>() as f64 / n).round() as u64;
+        // Overhead can be infinite in a degenerate run; propagate finitely.
+        let overhead = {
+            let vals: Vec<f64> =
+                reports.iter().map(|r| r.normalized_overhead).filter(|v| v.is_finite()).collect();
+            if vals.is_empty() {
+                f64::INFINITY
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        };
+        Report {
+            label: reports[0].label.clone(),
+            duration_s: favg(&|r| r.duration_s),
+            originated: uavg(&|r| r.originated),
+            delivered: uavg(&|r| r.delivered),
+            delivery_fraction: favg(&|r| r.delivery_fraction),
+            throughput_kbps: favg(&|r| r.throughput_kbps),
+            avg_delay_s: favg(&|r| r.avg_delay_s),
+            delay_p50_s: favg(&|r| r.delay_p50_s),
+            delay_p95_s: favg(&|r| r.delay_p95_s),
+            avg_hops: favg(&|r| r.avg_hops),
+            normalized_overhead: overhead,
+            routing_tx: uavg(&|r| r.routing_tx),
+            mac_control_tx: uavg(&|r| r.mac_control_tx),
+            data_tx: uavg(&|r| r.data_tx),
+            replies_received: uavg(&|r| r.replies_received),
+            good_reply_pct: favg(&|r| r.good_reply_pct),
+            cache_hits: uavg(&|r| r.cache_hits),
+            invalid_cache_pct: favg(&|r| r.invalid_cache_pct),
+            origination_hits: uavg(&|r| r.origination_hits),
+            salvage_hits: uavg(&|r| r.salvage_hits),
+            reply_hits: uavg(&|r| r.reply_hits),
+            replies_originated: uavg(&|r| r.replies_originated),
+            reply_from_cache_pct: favg(&|r| r.reply_from_cache_pct),
+            discoveries: uavg(&|r| r.discoveries),
+            floods: uavg(&|r| r.floods),
+            link_breaks: uavg(&|r| r.link_breaks),
+            errors_sent: uavg(&|r| r.errors_sent),
+            error_rebroadcasts: uavg(&|r| r.error_rebroadcasts),
+            ifq_drops: uavg(&|r| r.ifq_drops),
+            dsr_drops: uavg(&|r| r.dsr_drops),
+            // Per-seed series are not merged; averaging loses alignment.
+            series: None,
+        }
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} ({}s simulated)", self.label, self.duration_s)?;
+        writeln!(
+            f,
+            "  delivery {:.1}% ({}/{}), throughput {:.1} kb/s, delay {:.3} s (p50 {:.3}, p95 {:.3}), {:.1} hops",
+            100.0 * self.delivery_fraction,
+            self.delivered,
+            self.originated,
+            self.throughput_kbps,
+            self.avg_delay_s,
+            self.delay_p50_s,
+            self.delay_p95_s,
+            self.avg_hops
+        )?;
+        writeln!(
+            f,
+            "  overhead {:.2}/pkt (routing {} + mac {}), discoveries {} ({} floods)",
+            self.normalized_overhead, self.routing_tx, self.mac_control_tx, self.discoveries, self.floods
+        )?;
+        write!(
+            f,
+            "  good replies {:.1}% of {}, invalid cache hits {:.1}% of {}, link breaks {}",
+            self.good_reply_pct,
+            self.replies_received,
+            self.invalid_cache_pct,
+            self.cache_hits,
+            self.link_breaks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn delivery_fraction_and_delay() {
+        let mut m = Metrics::new();
+        for _ in 0..4 {
+            m.record_origination(t(0.5));
+        }
+        assert!(m.record_delivery(1, t(1.0), 512, 3, t(1.5)));
+        assert!(m.record_delivery(2, t(1.0), 512, 5, t(2.5)));
+        let r = m.report("DSR", 100.0);
+        assert_eq!(r.delivered, 2);
+        assert!((r.delivery_fraction - 0.5).abs() < 1e-12);
+        assert!((r.avg_delay_s - 1.0).abs() < 1e-12);
+        assert!((r.avg_hops - 4.0).abs() < 1e-12);
+        assert!((r.delay_p95_s - 1.5).abs() < 1e-12);
+        assert!((r.throughput_kbps - 2.0 * 512.0 * 8.0 / 1_000.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_deliveries_ignored() {
+        let mut m = Metrics::new();
+        m.record_origination(t(0.0));
+        assert!(m.record_delivery(1, t(0.0), 512, 2, t(1.0)));
+        assert!(!m.record_delivery(1, t(0.0), 512, 2, t(2.0)));
+        assert_eq!(m.report("x", 10.0).delivered, 1);
+    }
+
+    #[test]
+    fn normalized_overhead_counts_routing_and_mac_control() {
+        let mut m = Metrics::new();
+        m.record_origination(t(0.0));
+        m.record_delivery(1, t(0.0), 512, 2, t(1.0));
+        m.record_mac_tx(FrameKind::Rts, None);
+        m.record_mac_tx(FrameKind::Cts, None);
+        m.record_mac_tx(FrameKind::Ack, None);
+        m.record_mac_tx(FrameKind::Data, Some(false)); // app data: not overhead
+        m.record_mac_tx(FrameKind::Data, Some(true)); // RREQ: overhead
+        let r = m.report("x", 10.0);
+        assert_eq!(r.normalized_overhead, 4.0);
+        assert_eq!(r.data_tx, 1);
+        assert_eq!(r.routing_tx, 1);
+        assert_eq!(r.mac_control_tx, 3);
+    }
+
+    #[test]
+    fn overhead_is_infinite_with_zero_deliveries() {
+        let mut m = Metrics::new();
+        m.record_mac_tx(FrameKind::Rts, None);
+        assert!(m.report("x", 10.0).normalized_overhead.is_infinite());
+    }
+
+    #[test]
+    fn cache_quality_percentages() {
+        let mut m = Metrics::new();
+        m.record_reply_received(true);
+        m.record_reply_received(true);
+        m.record_reply_received(false);
+        m.record_cache_hit(CacheHitKind::Origination, true);
+        m.record_cache_hit(CacheHitKind::Reply, false);
+        let r = m.report("x", 10.0);
+        assert!((r.good_reply_pct - 66.666).abs() < 0.01);
+        assert!((r.invalid_cache_pct - 50.0).abs() < 1e-9);
+        assert_eq!(r.origination_hits, 1);
+        assert_eq!(r.reply_hits, 1);
+        assert_eq!(r.salvage_hits, 0);
+        assert_eq!(m.cache_hits_of(CacheHitKind::Reply), (1, 1));
+    }
+
+    #[test]
+    fn zero_denominators_report_zero_percent() {
+        let r = Metrics::new().report("x", 10.0);
+        assert_eq!(r.good_reply_pct, 0.0);
+        assert_eq!(r.invalid_cache_pct, 0.0);
+        assert_eq!(r.delivery_fraction, 0.0);
+    }
+
+    #[test]
+    fn drops_tallied_by_reason() {
+        let mut m = Metrics::new();
+        m.record_drop(DropReason::SendBufferTimeout);
+        m.record_drop(DropReason::SendBufferTimeout);
+        m.record_drop(DropReason::NoRouteToSalvage);
+        m.record_ifq_drop();
+        assert_eq!(m.drops(DropReason::SendBufferTimeout), 2);
+        assert_eq!(m.drops(DropReason::NoRouteToSalvage), 1);
+        assert_eq!(m.drops(DropReason::NegativeCacheHit), 0);
+        let r = m.report("x", 10.0);
+        assert_eq!(r.dsr_drops, 3);
+        assert_eq!(r.ifq_drops, 1);
+    }
+
+    #[test]
+    fn mean_averages_fields() {
+        let mut a = Metrics::new();
+        a.record_origination(t(0.0));
+        a.record_delivery(1, t(0.0), 500, 2, t(1.0));
+        let mut b = Metrics::new();
+        b.record_origination(t(0.0));
+        b.record_origination(t(0.0));
+        let ra = a.report("DSR", 10.0);
+        let rb = b.report("DSR", 10.0);
+        let mean = Report::mean(&[ra, rb]);
+        assert!((mean.delivery_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(mean.originated, 2); // (1 + 2) / 2 rounded
+        assert_eq!(mean.label, "DSR");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut m = Metrics::new();
+        m.record_origination(t(0.0));
+        m.record_delivery(1, t(0.0), 512, 2, t(0.2));
+        let text = format!("{}", m.report("DSR-C", 100.0));
+        assert!(text.contains("DSR-C"));
+        assert!(text.contains("delivery"));
+        assert!(text.contains("overhead"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_duration_report_rejected() {
+        let _ = Metrics::new().report("x", 0.0);
+    }
+}

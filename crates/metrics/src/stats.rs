@@ -1,0 +1,205 @@
+//! Supplementary statistics: delay distribution and delivery time series.
+//!
+//! The paper reports scalar means; these richer views (percentiles, hop
+//! counts, per-interval delivery) are used by the examples and when
+//! debugging why a variant behaves as it does.
+
+use sim_core::SimTime;
+
+/// Accumulates a sample distribution and reports order statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Distribution {
+    samples: Vec<f64>,
+}
+
+impl Distribution {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Distribution::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "non-finite sample {value}");
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.samples.is_empty())
+            .then(|| self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// The `q`-quantile (0..=1) by the nearest-rank method, or `None` when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+/// One point of the delivery time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Start of the interval in simulated seconds.
+    pub start_s: f64,
+    /// Packets originated during the interval.
+    pub originated: u64,
+    /// Packets delivered during the interval.
+    pub delivered: u64,
+}
+
+impl SeriesPoint {
+    /// Delivery fraction within this interval (delivered may exceed
+    /// originated when queued packets drain).
+    pub fn delivery_fraction(&self) -> f64 {
+        if self.originated == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.originated as f64
+        }
+    }
+}
+
+/// Buckets originations and deliveries into fixed intervals, giving the
+/// delivery-over-time view.
+#[derive(Debug, Clone)]
+pub struct DeliverySeries {
+    bucket_s: f64,
+    buckets: Vec<(u64, u64)>, // (originated, delivered)
+}
+
+impl DeliverySeries {
+    /// Creates a series with `bucket_s`-second intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_s` is not positive and finite.
+    pub fn new(bucket_s: f64) -> Self {
+        assert!(bucket_s.is_finite() && bucket_s > 0.0, "invalid bucket {bucket_s}");
+        DeliverySeries { bucket_s, buckets: Vec::new() }
+    }
+
+    fn bucket_mut(&mut self, at: SimTime) -> &mut (u64, u64) {
+        let idx = (at.as_secs() / self.bucket_s) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, (0, 0));
+        }
+        &mut self.buckets[idx]
+    }
+
+    /// Records one origination at `at`.
+    pub fn record_origination(&mut self, at: SimTime) {
+        self.bucket_mut(at).0 += 1;
+    }
+
+    /// Records one delivery at `at`.
+    pub fn record_delivery(&mut self, at: SimTime) {
+        self.bucket_mut(at).1 += 1;
+    }
+
+    /// The series points in time order.
+    pub fn points(&self) -> Vec<SeriesPoint> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &(o, d))| SeriesPoint {
+                start_s: i as f64 * self.bucket_s,
+                originated: o,
+                delivered: d,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_mean_and_quantiles() {
+        let mut d = Distribution::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            d.record(v);
+        }
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.mean(), Some(3.0));
+        assert_eq!(d.quantile(0.5), Some(3.0));
+        assert_eq!(d.quantile(1.0), Some(5.0));
+        assert_eq!(d.quantile(0.0), Some(1.0));
+        assert_eq!(d.max(), Some(5.0));
+    }
+
+    #[test]
+    fn empty_distribution_returns_none() {
+        let d = Distribution::new();
+        assert!(d.is_empty());
+        assert_eq!(d.mean(), None);
+        assert_eq!(d.quantile(0.5), None);
+        assert_eq!(d.max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_validates_range() {
+        let mut d = Distribution::new();
+        d.record(1.0);
+        let _ = d.quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn distribution_rejects_nan() {
+        Distribution::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn series_buckets_by_time() {
+        let mut s = DeliverySeries::new(10.0);
+        s.record_origination(SimTime::from_secs(1.0));
+        s.record_origination(SimTime::from_secs(9.0));
+        s.record_delivery(SimTime::from_secs(9.5));
+        s.record_origination(SimTime::from_secs(25.0));
+        let pts = s.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], SeriesPoint { start_s: 0.0, originated: 2, delivered: 1 });
+        assert_eq!(pts[1].originated, 0);
+        assert_eq!(pts[2].originated, 1);
+        assert!((pts[0].delivery_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interval_fraction_is_zero() {
+        let p = SeriesPoint { start_s: 0.0, originated: 0, delivered: 3 };
+        assert_eq!(p.delivery_fraction(), 0.0);
+    }
+}

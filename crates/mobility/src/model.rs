@@ -1,0 +1,156 @@
+//! The mobility model abstraction and simple placements.
+
+use sim_core::{NodeId, SimTime};
+
+use crate::geom::{Field, Point};
+
+/// Source of node positions over simulated time.
+///
+/// Implementations must be *pure*: the position of a node at an instant is
+/// fully determined at construction, so every layer (channel, metrics
+/// oracle) observes an identical, consistent world without position-update
+/// events.
+pub trait MobilityModel: Send + Sync {
+    /// Number of nodes in the scenario.
+    fn num_nodes(&self) -> usize;
+
+    /// Position of `node` at instant `t`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `node` is out of range.
+    fn position(&self, node: NodeId, t: SimTime) -> Point;
+
+    /// The field nodes live in.
+    fn field(&self) -> Field;
+
+    /// Positions of all nodes at instant `t`, in node-index order.
+    fn snapshot(&self, t: SimTime) -> Vec<Point> {
+        (0..self.num_nodes())
+            .map(|i| self.position(NodeId::new(i as u16), t))
+            .collect()
+    }
+}
+
+/// Immobile nodes at fixed positions — the workhorse for unit and
+/// integration tests where topology must be exact.
+///
+/// # Example
+///
+/// ```
+/// use mobility::{StaticPositions, MobilityModel, Point};
+/// use sim_core::{NodeId, SimTime};
+///
+/// let m = StaticPositions::line(3, 200.0);
+/// assert_eq!(m.position(NodeId::new(2), SimTime::ZERO), Point::new(400.0, 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticPositions {
+    positions: Vec<Point>,
+    field: Field,
+}
+
+impl StaticPositions {
+    /// Creates a static scenario from explicit positions.
+    ///
+    /// The field is sized to the bounding box of the positions (with a
+    /// small margin so boundary points stay inside).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty.
+    pub fn new(positions: Vec<Point>) -> Self {
+        assert!(!positions.is_empty(), "a scenario needs at least one node");
+        let w = positions.iter().map(|p| p.x).fold(0.0_f64, f64::max);
+        let h = positions.iter().map(|p| p.y).fold(0.0_f64, f64::max);
+        StaticPositions {
+            positions,
+            field: Field::new(w.max(1.0) + 1.0, h.max(1.0) + 1.0),
+        }
+    }
+
+    /// `n` nodes on a horizontal line, `spacing` meters apart.
+    ///
+    /// With spacing below the radio range this yields an `n`-hop chain:
+    /// node `i` can reach exactly nodes `i - 1` and `i + 1`.
+    pub fn line(n: usize, spacing: f64) -> Self {
+        StaticPositions::new((0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect())
+    }
+
+    /// `cols x rows` grid with the given spacing.
+    pub fn grid(cols: usize, rows: usize, spacing: f64) -> Self {
+        let mut positions = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                positions.push(Point::new(c as f64 * spacing, r as f64 * spacing));
+            }
+        }
+        StaticPositions::new(positions)
+    }
+}
+
+impl MobilityModel for StaticPositions {
+    fn num_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn position(&self, node: NodeId, _t: SimTime) -> Point {
+        self.positions[node.index()]
+    }
+
+    fn field(&self) -> Field {
+        self.field
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_spacing() {
+        let m = StaticPositions::line(5, 100.0);
+        assert_eq!(m.num_nodes(), 5);
+        for i in 0..5u16 {
+            assert_eq!(m.position(NodeId::new(i), SimTime::ZERO).x, f64::from(i) * 100.0);
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let m = StaticPositions::grid(3, 2, 50.0);
+        assert_eq!(m.num_nodes(), 6);
+        assert_eq!(m.position(NodeId::new(5), SimTime::ZERO), Point::new(100.0, 50.0));
+    }
+
+    #[test]
+    fn snapshot_orders_by_index() {
+        let m = StaticPositions::line(4, 10.0);
+        let snap = m.snapshot(SimTime::from_secs(3.0));
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[3], Point::new(30.0, 0.0));
+    }
+
+    #[test]
+    fn static_positions_ignore_time() {
+        let m = StaticPositions::line(2, 10.0);
+        let a = m.position(NodeId::new(1), SimTime::ZERO);
+        let b = m.position(NodeId::new(1), SimTime::from_secs(100.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn field_covers_positions() {
+        let m = StaticPositions::grid(4, 4, 75.0);
+        let f = m.field();
+        for p in m.snapshot(SimTime::ZERO) {
+            assert!(f.contains(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_scenario_rejected() {
+        let _ = StaticPositions::new(vec![]);
+    }
+}

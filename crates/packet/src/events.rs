@@ -1,0 +1,139 @@
+//! Protocol-neutral vocabulary shared by routing agents, the simulation
+//! driver, and the metrics layer: drop reasons, cache-hit kinds, semantic
+//! metric events, and the [`NetPacket`] trait every network-layer packet
+//! type implements.
+
+use sim_core::NodeId;
+
+use crate::route::{Link, Route};
+
+/// Why a packet was dropped (metrics taxonomy). Shared across routing
+/// protocols; not every protocol uses every reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Send buffer overflow at the source.
+    SendBufferFull,
+    /// Waited more than the send-buffer timeout for a route.
+    SendBufferTimeout,
+    /// Broken link en route and no cached alternative to salvage with.
+    NoRouteToSalvage,
+    /// Salvaged too many times already.
+    SalvageLimit,
+    /// The source route contains a negatively cached (recently broken)
+    /// link.
+    NegativeCacheHit,
+    /// A control packet could not be delivered (failed unicast forward).
+    ControlUndeliverable,
+    /// A data packet arrived at a node that is not on its source route
+    /// (stale forwarding state).
+    NotOnRoute,
+    /// No forwarding-table entry for the destination (table-driven
+    /// protocols such as AODV).
+    NoForwardingEntry,
+    /// The packet's TTL expired.
+    TtlExpired,
+}
+
+/// Which cache use produced a cache hit (drives the *invalid cached
+/// routes* metric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheHitKind {
+    /// Source found a route for its own data without discovery.
+    Origination,
+    /// Intermediate node re-routed a packet around a broken link.
+    Salvage,
+    /// Intermediate node answered a route request from its cache.
+    Reply,
+}
+
+/// Semantic protocol events for the metrics layer. Route validity is
+/// *not* judged here — the driver checks the attached routes against the
+/// ground-truth oracle at the instant the event is emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolEvent {
+    /// A discovery round was launched.
+    DiscoveryStarted {
+        /// Node being sought.
+        target: NodeId,
+        /// `false` for an initial restricted probe (TTL-limited).
+        flood: bool,
+    },
+    /// This node generated a route reply.
+    ReplyOriginated {
+        /// `true` when answered from cached state rather than by the
+        /// target itself.
+        from_cache: bool,
+    },
+    /// A route reply reached the node that requested it. The driver
+    /// validates `discovered` for the *percentage of good replies* metric.
+    /// Protocols that do not expose full routes (e.g. AODV) omit it.
+    ReplyAccepted {
+        /// The route the reply carried, when the protocol knows it.
+        discovered: Option<Route>,
+    },
+    /// A route was pulled from a cache and put into use. The driver
+    /// validates it for the *percentage of invalid cached routes* metric.
+    CacheHit {
+        /// The cached route placed into service.
+        route: Route,
+        /// What it was used for.
+        kind: CacheHitKind,
+    },
+    /// A route error was originated at this node.
+    RouteErrorSent {
+        /// `true` under wider error notification (MAC broadcast).
+        wider: bool,
+    },
+    /// A wider error was re-broadcast by this node.
+    RouteErrorRebroadcast,
+    /// Link-layer feedback reported a broken link.
+    LinkBreakDetected {
+        /// The failed link.
+        link: Link,
+    },
+}
+
+/// What the simulation driver needs to know about any network-layer packet
+/// type, independent of the routing protocol that defines it.
+pub trait NetPacket: Clone + Send + 'static {
+    /// Globally unique packet id (stable across hops).
+    fn uid(&self) -> u64;
+
+    /// Total bytes on the wire (excluding MAC/PHY framing).
+    fn wire_size(&self) -> usize;
+
+    /// Whether this is routing-protocol overhead (anything but data).
+    fn is_routing_overhead(&self) -> bool;
+
+    /// Short human-readable tag for traces ("DATA", "RREQ", ...).
+    fn kind_str(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_reasons_are_hashable_and_distinct() {
+        use std::collections::HashSet;
+        let all = [
+            DropReason::SendBufferFull,
+            DropReason::SendBufferTimeout,
+            DropReason::NoRouteToSalvage,
+            DropReason::SalvageLimit,
+            DropReason::NegativeCacheHit,
+            DropReason::ControlUndeliverable,
+            DropReason::NotOnRoute,
+            DropReason::NoForwardingEntry,
+            DropReason::TtlExpired,
+        ];
+        let set: HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn reply_accepted_allows_unknown_route() {
+        let ev = ProtocolEvent::ReplyAccepted { discovered: None };
+        assert_eq!(ev, ProtocolEvent::ReplyAccepted { discovered: None });
+    }
+}

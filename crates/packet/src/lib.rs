@@ -1,0 +1,19 @@
+//! Typed packet formats for the DSR/MANET simulator.
+//!
+//! - [`Route`] / [`Link`] — loop-free source routes and directed links;
+//! - [`Packet`] and its variants — the four DSR network-layer packet kinds
+//!   with byte-accurate wire sizes.
+//!
+//! MAC-layer frames (RTS/CTS/DATA/ACK) live in the `mac` crate; this crate
+//! covers everything the routing layer sees.
+
+pub mod dsr;
+pub mod events;
+pub mod route;
+
+pub use dsr::{
+    DataPacket, ErrorDelivery, Packet, PacketUid, RouteErrorPkt, RouteReply, RouteRequest,
+    ADDR_BYTES, IP_HEADER_BYTES,
+};
+pub use events::{CacheHitKind, DropReason, NetPacket, ProtocolEvent};
+pub use route::{InvalidRoute, Link, Route};

@@ -1,0 +1,354 @@
+//! Loop-free source routes.
+//!
+//! DSR's central data structure: an explicit node sequence from a source to
+//! a destination, carried in every data packet header. Because the full
+//! route is visible, loop freedom is a *representation invariant* — a route
+//! never contains the same node twice — which this module enforces at
+//! construction ([`Route::new`]) so the rest of the protocol can rely on it.
+
+use std::fmt;
+
+use sim_core::NodeId;
+
+/// A directed link between two neighboring nodes, as named by route error
+/// packets and negative cache entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Link {
+    /// Upstream endpoint (the node that detected or uses the link).
+    pub from: NodeId,
+    /// Downstream endpoint.
+    pub to: NodeId,
+}
+
+impl Link {
+    /// Creates a directed link.
+    pub const fn new(from: NodeId, to: NodeId) -> Self {
+        Link { from, to }
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// Error returned when a node sequence cannot form a valid source route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidRoute {
+    /// The sequence was empty.
+    Empty,
+    /// A node appeared more than once (would create a loop).
+    Loop(NodeId),
+}
+
+impl fmt::Display for InvalidRoute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidRoute::Empty => write!(f, "route must contain at least one node"),
+            InvalidRoute::Loop(n) => write!(f, "route visits {n} twice"),
+        }
+    }
+}
+
+impl std::error::Error for InvalidRoute {}
+
+/// An ordered, loop-free sequence of nodes from a source to a destination
+/// (both inclusive).
+///
+/// # Example
+///
+/// ```
+/// use packet::{Route, Link};
+/// use sim_core::NodeId;
+///
+/// let route = Route::new(vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)])?;
+/// assert_eq!(route.len(), 3);
+/// assert_eq!(route.hops(), 2);
+/// assert!(route.contains_link(Link::new(NodeId::new(1), NodeId::new(2))));
+/// # Ok::<(), packet::InvalidRoute>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Route {
+    nodes: Vec<NodeId>,
+}
+
+impl Route {
+    /// Creates a route, validating the loop-freedom invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRoute::Empty`] for an empty sequence and
+    /// [`InvalidRoute::Loop`] if any node repeats.
+    pub fn new(nodes: Vec<NodeId>) -> Result<Self, InvalidRoute> {
+        if nodes.is_empty() {
+            return Err(InvalidRoute::Empty);
+        }
+        for (i, &n) in nodes.iter().enumerate() {
+            if nodes[..i].contains(&n) {
+                return Err(InvalidRoute::Loop(n));
+            }
+        }
+        Ok(Route { nodes })
+    }
+
+    /// A single-node route (source == destination); useful as a neighbor
+    /// route seed.
+    pub fn single(node: NodeId) -> Self {
+        Route { nodes: vec![node] }
+    }
+
+    /// The source (first node).
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The destination (last node).
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("routes are non-empty")
+    }
+
+    /// Number of nodes on the route.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Routes are never empty; this always returns `false` and exists only
+    /// to satisfy the `len`/`is_empty` API convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of links (`len() - 1`).
+    pub fn hops(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The node sequence.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Position of `node` on the route.
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == node)
+    }
+
+    /// Whether the route traverses `node`.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Whether the route uses the directed link `link`.
+    pub fn contains_link(&self, link: Link) -> bool {
+        self.nodes.windows(2).any(|w| w[0] == link.from && w[1] == link.to)
+    }
+
+    /// The `i`-th link of the route (`route[i] -> route[i + 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= hops()`.
+    pub fn link(&self, i: usize) -> Link {
+        Link::new(self.nodes[i], self.nodes[i + 1])
+    }
+
+    /// Iterates over the directed links of the route in order.
+    pub fn links(&self) -> impl Iterator<Item = Link> + '_ {
+        self.nodes.windows(2).map(|w| Link::new(w[0], w[1]))
+    }
+
+    /// The next hop after `node`, if `node` is on the route and not the
+    /// destination.
+    pub fn next_hop_after(&self, node: NodeId) -> Option<NodeId> {
+        let i = self.position(node)?;
+        self.nodes.get(i + 1).copied()
+    }
+
+    /// The route reversed (destination becomes source). Loop freedom is
+    /// preserved by construction.
+    pub fn reversed(&self) -> Route {
+        let mut nodes = self.nodes.clone();
+        nodes.reverse();
+        Route { nodes }
+    }
+
+    /// The prefix of this route up to and including `node`, or `None` if
+    /// `node` is not on the route.
+    pub fn prefix_through(&self, node: NodeId) -> Option<Route> {
+        let i = self.position(node)?;
+        Some(Route { nodes: self.nodes[..=i].to_vec() })
+    }
+
+    /// The suffix of this route from `node` (inclusive) to the destination,
+    /// or `None` if `node` is not on the route.
+    pub fn suffix_from(&self, node: NodeId) -> Option<Route> {
+        let i = self.position(node)?;
+        Some(Route { nodes: self.nodes[i..].to_vec() })
+    }
+
+    /// Truncates the route just *before* the broken link, i.e. keeps nodes
+    /// up to and including `link.from`. Returns `None` if the route does
+    /// not use `link`.
+    ///
+    /// This is the cache-update primitive of the paper's wider error
+    /// notification: *"all source routes containing the broken link are
+    /// truncated at the point of failure."*
+    pub fn truncate_before_link(&self, link: Link) -> Option<Route> {
+        let i = self
+            .nodes
+            .windows(2)
+            .position(|w| w[0] == link.from && w[1] == link.to)?;
+        Some(Route { nodes: self.nodes[..=i].to_vec() })
+    }
+
+    /// Concatenates `self` (ending at some node) with `rest` (starting at
+    /// that same node), e.g. a request path joined to a cached route when an
+    /// intermediate node answers from its cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRoute::Loop`] if the concatenation would visit a node
+    /// twice — DSR forbids such replies precisely because the resulting
+    /// source route would loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.destination() != rest.source()`; callers join routes
+    /// only at a shared node.
+    pub fn join(&self, rest: &Route) -> Result<Route, InvalidRoute> {
+        assert_eq!(
+            self.destination(),
+            rest.source(),
+            "joined routes must share the junction node"
+        );
+        let mut nodes = self.nodes.clone();
+        nodes.extend_from_slice(&rest.nodes[1..]);
+        Route::new(nodes)
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for n in &self.nodes {
+            if !first {
+                write!(f, "-")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[NodeId]> for Route {
+    fn as_ref(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(ids: &[u16]) -> Route {
+        Route::new(ids.iter().map(|&i| NodeId::new(i)).collect()).expect("valid route")
+    }
+
+    #[test]
+    fn rejects_empty_and_loops() {
+        assert_eq!(Route::new(vec![]), Err(InvalidRoute::Empty));
+        let looped = vec![NodeId::new(0), NodeId::new(1), NodeId::new(0)];
+        assert_eq!(Route::new(looped), Err(InvalidRoute::Loop(NodeId::new(0))));
+    }
+
+    #[test]
+    fn endpoints_and_hops() {
+        let route = r(&[3, 1, 4]);
+        assert_eq!(route.source(), NodeId::new(3));
+        assert_eq!(route.destination(), NodeId::new(4));
+        assert_eq!(route.hops(), 2);
+        assert_eq!(route.len(), 3);
+    }
+
+    #[test]
+    fn link_queries() {
+        let route = r(&[0, 1, 2, 3]);
+        assert!(route.contains_link(Link::new(NodeId::new(1), NodeId::new(2))));
+        // Links are directed.
+        assert!(!route.contains_link(Link::new(NodeId::new(2), NodeId::new(1))));
+        assert_eq!(route.link(0), Link::new(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(route.links().count(), 3);
+    }
+
+    #[test]
+    fn next_hop() {
+        let route = r(&[0, 1, 2]);
+        assert_eq!(route.next_hop_after(NodeId::new(0)), Some(NodeId::new(1)));
+        assert_eq!(route.next_hop_after(NodeId::new(2)), None);
+        assert_eq!(route.next_hop_after(NodeId::new(9)), None);
+    }
+
+    #[test]
+    fn reversal_swaps_endpoints() {
+        let route = r(&[0, 1, 2]);
+        let rev = route.reversed();
+        assert_eq!(rev.source(), NodeId::new(2));
+        assert_eq!(rev.destination(), NodeId::new(0));
+        assert_eq!(rev.reversed(), route);
+    }
+
+    #[test]
+    fn prefix_and_suffix() {
+        let route = r(&[0, 1, 2, 3]);
+        assert_eq!(route.prefix_through(NodeId::new(2)), Some(r(&[0, 1, 2])));
+        assert_eq!(route.suffix_from(NodeId::new(2)), Some(r(&[2, 3])));
+        assert_eq!(route.prefix_through(NodeId::new(7)), None);
+    }
+
+    #[test]
+    fn truncation_at_broken_link() {
+        let route = r(&[0, 1, 2, 3]);
+        let broken = Link::new(NodeId::new(2), NodeId::new(3));
+        assert_eq!(route.truncate_before_link(broken), Some(r(&[0, 1, 2])));
+        let elsewhere = Link::new(NodeId::new(3), NodeId::new(2));
+        assert_eq!(route.truncate_before_link(elsewhere), None);
+    }
+
+    #[test]
+    fn join_at_junction() {
+        let a = r(&[0, 1, 2]);
+        let b = r(&[2, 3, 4]);
+        assert_eq!(a.join(&b).expect("loop-free"), r(&[0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn join_detects_loop() {
+        let a = r(&[0, 1, 2]);
+        let b = r(&[2, 1, 5]); // node 1 repeats
+        assert_eq!(a.join(&b), Err(InvalidRoute::Loop(NodeId::new(1))));
+    }
+
+    #[test]
+    #[should_panic(expected = "junction")]
+    fn join_requires_shared_node() {
+        let _ = r(&[0, 1]).join(&r(&[2, 3]));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", r(&[0, 1, 2])), "n0-n1-n2");
+        assert_eq!(
+            format!("{}", Link::new(NodeId::new(1), NodeId::new(2))),
+            "n1->n2"
+        );
+    }
+
+    #[test]
+    fn single_node_route() {
+        let route = Route::single(NodeId::new(5));
+        assert_eq!(route.hops(), 0);
+        assert_eq!(route.source(), route.destination());
+    }
+}

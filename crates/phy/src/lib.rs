@@ -1,0 +1,30 @@
+//! Radio physical layer for the MANET simulator.
+//!
+//! Reproduces the ns-2 WaveLAN model the paper's evaluation runs on:
+//!
+//! - [`RadioConfig`] — two-ray-ground/Friis propagation with the stock
+//!   ns-2 constants (250 m reception range, ~550 m carrier-sense range,
+//!   capture ratio 10);
+//! - [`ReceiverState`] — per-node reception state machine handling
+//!   collisions, capture, and half-duplex constraints;
+//! - [`plan_arrivals`] — computes who senses a transmission, at what
+//!   power, and when.
+//!
+//! # Example
+//!
+//! ```
+//! use phy::RadioConfig;
+//!
+//! let radio = RadioConfig::wavelan();
+//! assert!(radio.in_rx_range(240.0));
+//! assert!(!radio.in_rx_range(260.0));
+//! assert!(radio.in_cs_range(500.0)); // sensed, but not decodable
+//! ```
+
+pub mod medium;
+pub mod propagation;
+pub mod receiver;
+
+pub use medium::{plan_arrivals, Arrival, TxIdSource};
+pub use propagation::{RadioConfig, SPEED_OF_LIGHT};
+pub use receiver::{ArrivalVerdict, ReceiverState, TxId};

@@ -1,0 +1,294 @@
+//! Per-node radio receiver state machine.
+//!
+//! Tracks overlapping frame arrivals at one node and decides, ns-2 style,
+//! which (if any) frame is successfully received:
+//!
+//! - a frame *locks* the receiver if it is above the RX threshold and the
+//!   receiver is neither transmitting nor already locked on a stronger
+//!   frame;
+//! - a later arrival within the capture ratio of the locked frame corrupts
+//!   it (collision); a much stronger one captures the receiver; a much
+//!   weaker one is absorbed as noise;
+//! - any energy above the carrier-sense threshold keeps the channel busy,
+//!   which the MAC polls via [`ReceiverState::busy_until`].
+//!
+//! The state machine is pure: it never schedules events itself. The driver
+//! feeds it `arrival_start` / `arrival_end` / `begin_tx` calls and reacts
+//! to the returned verdicts, keeping this layer trivially unit-testable.
+
+use sim_core::SimTime;
+
+use crate::propagation::RadioConfig;
+
+/// Identifier of one over-the-air transmission (assigned by the driver).
+pub type TxId = u64;
+
+/// What happened when a new arrival hit the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalVerdict {
+    /// The receiver locked onto the frame; if nothing corrupts it, the
+    /// frame will be delivered at `arrival_end`.
+    Locked,
+    /// The frame is sensed but cannot be decoded (too weak, receiver busy
+    /// transmitting, or lost a capture contest). It still occupies the
+    /// carrier.
+    Noise,
+    /// The frame collided with the currently locked frame: *both* are lost.
+    /// The new frame becomes noise; the locked frame stays locked-corrupted
+    /// until its scheduled end (its energy still occupies the medium).
+    Collision,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LockedFrame {
+    tx_id: TxId,
+    power_w: f64,
+    end: SimTime,
+    corrupted: bool,
+}
+
+/// Receiver-side radio state for a single node.
+#[derive(Debug, Default)]
+pub struct ReceiverState {
+    /// While `Some`, the node's own transmitter is active until the given
+    /// instant; reception is impossible (half-duplex radio).
+    tx_until: Option<SimTime>,
+    locked: Option<LockedFrame>,
+    /// Arrivals not locked onto: `(end_time, power)`; pruned lazily.
+    noise: Vec<(SimTime, f64)>,
+}
+
+impl ReceiverState {
+    /// Creates an idle receiver.
+    pub fn new() -> Self {
+        ReceiverState::default()
+    }
+
+    /// The node's own transmitter switches on until `until`. Any frame
+    /// being received is corrupted (half-duplex).
+    pub fn begin_tx(&mut self, now: SimTime, until: SimTime) {
+        debug_assert!(until >= now);
+        self.tx_until = Some(until);
+        if let Some(locked) = &mut self.locked {
+            locked.corrupted = true;
+        }
+    }
+
+    /// Whether the node's own transmitter is active at `now`.
+    pub fn transmitting(&self, now: SimTime) -> bool {
+        self.tx_until.is_some_and(|until| until > now)
+    }
+
+    /// A frame begins arriving with the given received power, ending at
+    /// `end`. Returns what the receiver did with it.
+    ///
+    /// Arrivals below the carrier-sense threshold must be filtered out by
+    /// the driver (they are invisible to this node).
+    pub fn arrival_start(
+        &mut self,
+        tx_id: TxId,
+        power_w: f64,
+        now: SimTime,
+        end: SimTime,
+        cfg: &RadioConfig,
+    ) -> ArrivalVerdict {
+        self.prune(now);
+        if self.transmitting(now) {
+            // Half-duplex: we cannot decode while our transmitter is on.
+            self.noise.push((end, power_w));
+            return ArrivalVerdict::Noise;
+        }
+        match &mut self.locked {
+            None => {
+                if power_w >= cfg.rx_threshold_w {
+                    self.locked = Some(LockedFrame { tx_id, power_w, end, corrupted: false });
+                    ArrivalVerdict::Locked
+                } else {
+                    self.noise.push((end, power_w));
+                    ArrivalVerdict::Noise
+                }
+            }
+            Some(locked) => {
+                if locked.power_w >= power_w * cfg.capture_ratio {
+                    // Locked frame powers through the newcomer.
+                    self.noise.push((end, power_w));
+                    ArrivalVerdict::Noise
+                } else if power_w >= locked.power_w * cfg.capture_ratio
+                    && power_w >= cfg.rx_threshold_w
+                {
+                    // Newcomer captures the receiver; old frame lost but its
+                    // energy remains on the air until its end.
+                    self.noise.push((locked.end, locked.power_w));
+                    *locked = LockedFrame { tx_id, power_w, end, corrupted: false };
+                    ArrivalVerdict::Locked
+                } else {
+                    // Comparable powers: both frames are lost.
+                    locked.corrupted = true;
+                    self.noise.push((end, power_w));
+                    ArrivalVerdict::Collision
+                }
+            }
+        }
+    }
+
+    /// The arrival `tx_id` finished. Returns `true` if the frame was
+    /// received intact and should be delivered to the MAC.
+    pub fn arrival_end(&mut self, tx_id: TxId, now: SimTime) -> bool {
+        self.prune(now);
+        if let Some(locked) = &self.locked {
+            if locked.tx_id == tx_id {
+                let ok = !locked.corrupted && !self.transmitting(now);
+                self.locked = None;
+                return ok;
+            }
+        }
+        false
+    }
+
+    /// Until when the medium is sensed busy at this node, or `None` if it
+    /// is idle at `now`. Accounts for our own transmission, the locked
+    /// frame, and all noise arrivals.
+    pub fn busy_until(&mut self, now: SimTime) -> Option<SimTime> {
+        self.prune(now);
+        let mut latest: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            if t > now {
+                latest = Some(latest.map_or(t, |l| l.max(t)));
+            }
+        };
+        if let Some(t) = self.tx_until {
+            consider(t);
+        }
+        if let Some(locked) = &self.locked {
+            consider(locked.end);
+        }
+        for &(end, _) in &self.noise {
+            consider(end);
+        }
+        latest
+    }
+
+    /// Whether the medium is sensed busy at `now`.
+    pub fn busy(&mut self, now: SimTime) -> bool {
+        self.busy_until(now).is_some()
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        self.noise.retain(|&(end, _)| end > now);
+        if self.tx_until.is_some_and(|until| until <= now) {
+            self.tx_until = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RadioConfig {
+        RadioConfig::wavelan()
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    const STRONG: f64 = 1e-6; // well above RX threshold
+    const MEDIUM: f64 = 1e-9; // above RX threshold (3.652e-10)
+    const WEAK: f64 = 1e-10; // below RX, above CS threshold
+
+    #[test]
+    fn clean_reception_delivers() {
+        let mut rx = ReceiverState::new();
+        assert_eq!(rx.arrival_start(1, MEDIUM, t(0.0), t(0.001), &cfg()), ArrivalVerdict::Locked);
+        assert!(rx.busy(t(0.0005)));
+        assert!(rx.arrival_end(1, t(0.001)));
+        assert!(!rx.busy(t(0.001)));
+    }
+
+    #[test]
+    fn weak_frame_is_noise_not_delivered() {
+        let mut rx = ReceiverState::new();
+        assert_eq!(rx.arrival_start(1, WEAK, t(0.0), t(0.001), &cfg()), ArrivalVerdict::Noise);
+        assert!(rx.busy(t(0.0005)), "noise still occupies the carrier");
+        assert!(!rx.arrival_end(1, t(0.001)));
+    }
+
+    #[test]
+    fn comparable_overlap_collides_both() {
+        let mut rx = ReceiverState::new();
+        assert_eq!(rx.arrival_start(1, MEDIUM, t(0.0), t(0.002), &cfg()), ArrivalVerdict::Locked);
+        assert_eq!(
+            rx.arrival_start(2, MEDIUM * 2.0, t(0.001), t(0.003), &cfg()),
+            ArrivalVerdict::Collision
+        );
+        assert!(!rx.arrival_end(1, t(0.002)));
+        assert!(!rx.arrival_end(2, t(0.003)));
+    }
+
+    #[test]
+    fn strong_first_frame_survives_weak_interferer() {
+        let mut rx = ReceiverState::new();
+        assert_eq!(rx.arrival_start(1, STRONG, t(0.0), t(0.002), &cfg()), ArrivalVerdict::Locked);
+        assert_eq!(rx.arrival_start(2, MEDIUM, t(0.001), t(0.003), &cfg()), ArrivalVerdict::Noise);
+        assert!(rx.arrival_end(1, t(0.002)), "capture should protect the locked frame");
+    }
+
+    #[test]
+    fn much_stronger_newcomer_captures() {
+        let mut rx = ReceiverState::new();
+        assert_eq!(rx.arrival_start(1, MEDIUM, t(0.0), t(0.002), &cfg()), ArrivalVerdict::Locked);
+        assert_eq!(rx.arrival_start(2, STRONG, t(0.001), t(0.003), &cfg()), ArrivalVerdict::Locked);
+        assert!(!rx.arrival_end(1, t(0.002)), "captured-away frame must not deliver");
+        assert!(rx.arrival_end(2, t(0.003)));
+    }
+
+    #[test]
+    fn transmitting_blocks_reception() {
+        let mut rx = ReceiverState::new();
+        rx.begin_tx(t(0.0), t(0.002));
+        assert_eq!(rx.arrival_start(1, STRONG, t(0.001), t(0.003), &cfg()), ArrivalVerdict::Noise);
+        assert!(!rx.arrival_end(1, t(0.003)));
+    }
+
+    #[test]
+    fn starting_tx_corrupts_reception_in_progress() {
+        let mut rx = ReceiverState::new();
+        assert_eq!(rx.arrival_start(1, MEDIUM, t(0.0), t(0.002), &cfg()), ArrivalVerdict::Locked);
+        rx.begin_tx(t(0.001), t(0.0015));
+        assert!(!rx.arrival_end(1, t(0.002)));
+    }
+
+    #[test]
+    fn busy_until_spans_own_tx_and_noise() {
+        let mut rx = ReceiverState::new();
+        rx.begin_tx(t(0.0), t(0.001));
+        rx.arrival_start(1, WEAK, t(0.0005), t(0.003), &cfg());
+        assert_eq!(rx.busy_until(t(0.0006)), Some(t(0.003)));
+        assert_eq!(rx.busy_until(t(0.0031)), None);
+    }
+
+    #[test]
+    fn idle_receiver_reports_idle() {
+        let mut rx = ReceiverState::new();
+        assert!(!rx.busy(t(1.0)));
+        assert_eq!(rx.busy_until(t(1.0)), None);
+    }
+
+    #[test]
+    fn capture_keeps_old_energy_on_air() {
+        let mut rx = ReceiverState::new();
+        rx.arrival_start(1, MEDIUM, t(0.0), t(0.005), &cfg());
+        rx.arrival_start(2, STRONG, t(0.001), t(0.002), &cfg());
+        assert!(rx.arrival_end(2, t(0.002)));
+        // Frame 1's energy still occupies the medium until t=5ms.
+        assert!(rx.busy(t(0.003)));
+        assert!(!rx.busy(t(0.0051)));
+    }
+
+    #[test]
+    fn unknown_arrival_end_is_ignored() {
+        let mut rx = ReceiverState::new();
+        assert!(!rx.arrival_end(99, t(0.0)));
+    }
+}

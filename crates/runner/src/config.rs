@@ -1,0 +1,169 @@
+//! Scenario configuration: everything that defines one simulation run.
+
+use mobility::{Field, Point, WaypointConfig};
+use phy::RadioConfig;
+use sim_core::SimDuration;
+use traffic::TrafficConfig;
+
+use dsr::DsrConfig;
+use mac::MacConfig;
+
+/// How nodes are placed and moved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MobilitySpec {
+    /// Random waypoint scenario generated from the run's seed.
+    Waypoint(WaypointConfig),
+    /// Fixed positions (controlled tests).
+    Static(Vec<Point>),
+}
+
+impl MobilitySpec {
+    /// Number of nodes this spec produces.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            MobilitySpec::Waypoint(cfg) => cfg.num_nodes,
+            MobilitySpec::Static(points) => points.len(),
+        }
+    }
+}
+
+/// Complete description of one simulation run. A `(ScenarioConfig, seed)`
+/// pair fully determines the run — mobility, traffic, and every protocol
+/// coin flip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Root RNG seed; vary this across repetitions of the same point.
+    pub seed: u64,
+    /// The DSR variant under test.
+    pub dsr: DsrConfig,
+    /// MAC parameters (802.11 DSSS defaults).
+    pub mac: MacConfig,
+    /// Radio parameters (WaveLAN defaults).
+    pub radio: RadioConfig,
+    /// Node placement and movement.
+    pub mobility: MobilitySpec,
+    /// CBR workload.
+    pub traffic: TrafficConfig,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// Node-position snapshot granularity for the radio channel. 50 ms at
+    /// 20 m/s is at most one meter of error against a 250 m radio range,
+    /// and caps position interpolation cost.
+    pub position_refresh: SimDuration,
+}
+
+impl ScenarioConfig {
+    /// The paper's scenario: 100 nodes, 2200 m x 600 m, U(0, 20) m/s with
+    /// the given pause time, 25 CBR flows at `rate_pps`, 500 s.
+    pub fn paper(pause_s: f64, rate_pps: f64, dsr: DsrConfig, seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            dsr,
+            mac: MacConfig::ieee80211_dsss(),
+            radio: RadioConfig::wavelan(),
+            mobility: MobilitySpec::Waypoint(WaypointConfig::paper(SimDuration::from_secs(pause_s))),
+            traffic: TrafficConfig::paper(rate_pps),
+            duration: SimDuration::from_secs(500.0),
+            position_refresh: SimDuration::from_millis(50.0),
+        }
+    }
+
+    /// A time-compressed variant of the paper's scenario for quick
+    /// experiments and CI: the *same* 100-node topology, field, and
+    /// workload (so network stress, route lengths, and the relative
+    /// behaviour of caching strategies are preserved) but 120 simulated
+    /// seconds instead of 500. A smaller network would hit a delivery
+    /// ceiling and hide the techniques' effect.
+    pub fn quick(pause_s: f64, rate_pps: f64, dsr: DsrConfig, seed: u64) -> Self {
+        let mut cfg = ScenarioConfig::paper(pause_s, rate_pps, dsr, seed);
+        cfg.mobility = MobilitySpec::Waypoint(WaypointConfig {
+            duration: SimDuration::from_secs(120.0),
+            ..WaypointConfig::paper(SimDuration::from_secs(pause_s))
+        });
+        cfg.duration = SimDuration::from_secs(120.0);
+        cfg
+    }
+
+    /// A genuinely small scenario (20 nodes, short run) for unit tests and
+    /// doc examples where wall-clock time matters more than fidelity.
+    pub fn tiny(pause_s: f64, rate_pps: f64, dsr: DsrConfig, seed: u64) -> Self {
+        let mut cfg = ScenarioConfig::paper(pause_s, rate_pps, dsr, seed);
+        cfg.mobility = MobilitySpec::Waypoint(WaypointConfig {
+            num_nodes: 20,
+            field: Field::new(1000.0, 300.0),
+            min_speed: 0.01,
+            max_speed: 20.0,
+            pause_time: SimDuration::from_secs(pause_s),
+            duration: SimDuration::from_secs(30.0),
+        });
+        cfg.traffic = TrafficConfig {
+            num_flows: 5,
+            rate_pps,
+            packet_bytes: 512,
+            start_window: SimDuration::from_secs(3.0),
+        };
+        cfg.duration = SimDuration::from_secs(30.0);
+        cfg
+    }
+
+    /// A static chain of `n` nodes `spacing` meters apart with one flow
+    /// from the first to the last node — the standard controlled topology
+    /// for integration tests.
+    pub fn static_line(n: usize, spacing: f64, rate_pps: f64, dsr: DsrConfig, seed: u64) -> Self {
+        let positions = (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect();
+        ScenarioConfig {
+            seed,
+            dsr,
+            mac: MacConfig::ieee80211_dsss(),
+            radio: RadioConfig::wavelan(),
+            mobility: MobilitySpec::Static(positions),
+            traffic: TrafficConfig {
+                num_flows: 1,
+                rate_pps,
+                packet_bytes: 512,
+                start_window: SimDuration::from_millis(1.0),
+            },
+            duration: SimDuration::from_secs(30.0),
+            position_refresh: SimDuration::from_secs(1.0),
+        }
+    }
+
+    /// Number of nodes in the scenario.
+    pub fn num_nodes(&self) -> usize {
+        self.mobility.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_matches_the_paper() {
+        let cfg = ScenarioConfig::paper(0.0, 3.0, DsrConfig::base(), 1);
+        assert_eq!(cfg.num_nodes(), 100);
+        assert_eq!(cfg.duration, SimDuration::from_secs(500.0));
+        assert_eq!(cfg.traffic.num_flows, 25);
+        assert_eq!(cfg.traffic.packet_bytes, 512);
+        let MobilitySpec::Waypoint(w) = &cfg.mobility else { panic!("expected waypoint") };
+        assert_eq!(w.field, Field::paper());
+        assert_eq!(w.max_speed, 20.0);
+    }
+
+    #[test]
+    fn quick_scenario_is_smaller() {
+        let cfg = ScenarioConfig::quick(0.0, 3.0, DsrConfig::base(), 1);
+        assert_eq!(cfg.num_nodes(), 100, "quick keeps the full topology");
+        assert!(cfg.duration < SimDuration::from_secs(500.0));
+        let tiny = ScenarioConfig::tiny(0.0, 3.0, DsrConfig::base(), 1);
+        assert!(tiny.num_nodes() < 100);
+    }
+
+    #[test]
+    fn static_line_places_nodes() {
+        let cfg = ScenarioConfig::static_line(4, 200.0, 2.0, DsrConfig::base(), 1);
+        assert_eq!(cfg.num_nodes(), 4);
+        let MobilitySpec::Static(p) = &cfg.mobility else { panic!("expected static") };
+        assert_eq!(p[3], Point::new(600.0, 0.0));
+    }
+}

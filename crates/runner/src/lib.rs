@@ -1,0 +1,27 @@
+//! Scenario assembly and the simulation driver.
+//!
+//! [`ScenarioConfig`] describes a run (mobility, radio, MAC, DSR variant,
+//! workload, duration); [`Simulator`] executes it deterministically and
+//! produces a [`metrics::Report`].
+//!
+//! # Example
+//!
+//! ```
+//! use runner::{run_scenario, ScenarioConfig};
+//! use dsr::DsrConfig;
+//!
+//! // A 5-node static chain: every packet must traverse 4 hops.
+//! let cfg = ScenarioConfig::static_line(5, 200.0, 2.0, DsrConfig::base(), 42);
+//! let report = run_scenario(cfg);
+//! assert!(report.delivery_fraction > 0.9);
+//! ```
+
+pub mod config;
+pub mod proto;
+pub mod sim;
+pub mod trace;
+
+pub use config::{MobilitySpec, ScenarioConfig};
+pub use proto::{AgentCommand, RoutingAgent};
+pub use sim::{run_scenario, run_scenario_with, run_seeds, Simulator};
+pub use trace::{TraceEvent, TraceKind, TraceSink};

@@ -1,0 +1,212 @@
+//! The routing-protocol abstraction the simulation driver runs on.
+//!
+//! The driver ([`Simulator`](crate::Simulator)) is generic over a
+//! [`RoutingAgent`]: any per-node state machine with the
+//! originate/receive/snoop/failure/timer inputs and [`AgentCommand`]
+//! outputs can ride on the same mobility + radio + 802.11 substrate. DSR
+//! ([`dsr::DsrNode`]) is the primary implementation; the `aodv` crate
+//! provides a second one — the paper's stated future-work direction of
+//! carrying its caching techniques to other on-demand protocols.
+
+use packet::{DropReason, NetPacket, ProtocolEvent};
+use sim_core::{NodeId, SimDuration, SimTime};
+
+/// Effects a routing agent asks the driver to apply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentCommand<P, T> {
+    /// Hand `packet` to the MAC for `next_hop` (or broadcast) after
+    /// `jitter`. Routing-overhead packets ride at control priority in the
+    /// interface queue.
+    Send {
+        /// The network-layer packet.
+        packet: P,
+        /// MAC-level next hop.
+        next_hop: NodeId,
+        /// Random de-synchronization delay (zero for unicast forwards).
+        jitter: SimDuration,
+    },
+    /// A data packet reached its final destination.
+    Deliver {
+        /// Packet uid (delivery is deduplicated by it).
+        uid: u64,
+        /// Originating node.
+        src: NodeId,
+        /// Origination instant (end-to-end delay clock).
+        sent_at: SimTime,
+        /// Application payload bytes.
+        bytes: usize,
+        /// Links traversed (best known).
+        hops: usize,
+    },
+    /// Arm (or re-arm) a timer; replaces any pending timer of equal value.
+    SetTimer {
+        /// Which timer.
+        timer: T,
+        /// Absolute expiry.
+        at: SimTime,
+    },
+    /// Disarm a timer if pending.
+    CancelTimer {
+        /// Which timer.
+        timer: T,
+    },
+    /// A packet was dropped.
+    Drop {
+        /// Unique id of the dropped packet.
+        uid: u64,
+        /// Why.
+        reason: DropReason,
+    },
+    /// A metrics event occurred.
+    Event {
+        /// The event.
+        event: ProtocolEvent,
+    },
+}
+
+/// A per-node routing protocol entity the driver can run.
+pub trait RoutingAgent: Send {
+    /// The protocol's network-layer packet type.
+    type Packet: NetPacket;
+    /// The protocol's timer vocabulary.
+    type Timer: Copy + Eq + std::hash::Hash + Send + std::fmt::Debug;
+
+    /// Called once at simulation start (arm periodic timers here).
+    fn start(&mut self, now: SimTime) -> Vec<AgentCommand<Self::Packet, Self::Timer>>;
+
+    /// The application asks to send `payload_bytes` to `dst`.
+    fn originate(
+        &mut self,
+        dst: NodeId,
+        payload_bytes: usize,
+        seq: u64,
+        now: SimTime,
+    ) -> Vec<AgentCommand<Self::Packet, Self::Timer>>;
+
+    /// The MAC delivered a packet addressed to this node (or broadcast).
+    fn on_receive(
+        &mut self,
+        from: NodeId,
+        packet: Self::Packet,
+        now: SimTime,
+    ) -> Vec<AgentCommand<Self::Packet, Self::Timer>>;
+
+    /// The MAC promiscuously overheard a data frame addressed elsewhere.
+    fn on_snoop(
+        &mut self,
+        transmitter: NodeId,
+        packet: &Self::Packet,
+        now: SimTime,
+    ) -> Vec<AgentCommand<Self::Packet, Self::Timer>>;
+
+    /// Link-layer feedback: `packet` could not be delivered to `next_hop`.
+    fn on_tx_failed(
+        &mut self,
+        packet: Self::Packet,
+        next_hop: NodeId,
+        now: SimTime,
+    ) -> Vec<AgentCommand<Self::Packet, Self::Timer>>;
+
+    /// A previously armed timer fired.
+    fn on_timer(
+        &mut self,
+        timer: Self::Timer,
+        now: SimTime,
+    ) -> Vec<AgentCommand<Self::Packet, Self::Timer>>;
+}
+
+fn translate(cmd: dsr::DsrCommand) -> AgentCommand<packet::Packet, dsr::DsrTimer> {
+    match cmd {
+        dsr::DsrCommand::Send { packet, next_hop, jitter } => {
+            AgentCommand::Send { packet, next_hop, jitter }
+        }
+        dsr::DsrCommand::DeliverData { packet } => AgentCommand::Deliver {
+            uid: packet.uid,
+            src: packet.src,
+            sent_at: packet.sent_at,
+            bytes: packet.payload_bytes,
+            hops: packet.route.hops(),
+        },
+        dsr::DsrCommand::SetTimer { timer, at } => AgentCommand::SetTimer { timer, at },
+        dsr::DsrCommand::CancelTimer { timer } => AgentCommand::CancelTimer { timer },
+        dsr::DsrCommand::Drop { uid, reason } => AgentCommand::Drop { uid, reason },
+        dsr::DsrCommand::Event { event } => AgentCommand::Event { event },
+    }
+}
+
+fn translate_all(cmds: Vec<dsr::DsrCommand>) -> Vec<AgentCommand<packet::Packet, dsr::DsrTimer>> {
+    cmds.into_iter().map(translate).collect()
+}
+
+impl RoutingAgent for dsr::DsrNode {
+    type Packet = packet::Packet;
+    type Timer = dsr::DsrTimer;
+
+    fn start(&mut self, now: SimTime) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
+        translate_all(dsr::DsrNode::start(self, now))
+    }
+
+    fn originate(
+        &mut self,
+        dst: NodeId,
+        payload_bytes: usize,
+        seq: u64,
+        now: SimTime,
+    ) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
+        translate_all(dsr::DsrNode::originate(self, dst, payload_bytes, seq, now))
+    }
+
+    fn on_receive(
+        &mut self,
+        from: NodeId,
+        packet: Self::Packet,
+        now: SimTime,
+    ) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
+        translate_all(dsr::DsrNode::on_receive(self, from, packet, now))
+    }
+
+    fn on_snoop(
+        &mut self,
+        transmitter: NodeId,
+        packet: &Self::Packet,
+        now: SimTime,
+    ) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
+        translate_all(dsr::DsrNode::on_snoop(self, transmitter, packet, now))
+    }
+
+    fn on_tx_failed(
+        &mut self,
+        packet: Self::Packet,
+        next_hop: NodeId,
+        now: SimTime,
+    ) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
+        translate_all(dsr::DsrNode::on_tx_failed(self, packet, next_hop, now))
+    }
+
+    fn on_timer(
+        &mut self,
+        timer: Self::Timer,
+        now: SimTime,
+    ) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
+        translate_all(dsr::DsrNode::on_timer(self, timer, now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::RngFactory;
+
+    #[test]
+    fn dsr_node_drives_through_the_trait() {
+        let mut agent =
+            dsr::DsrNode::new(NodeId::new(0), dsr::DsrConfig::base(), RngFactory::new(1).stream("dsr", 0));
+        let cmds = RoutingAgent::start(&mut agent, SimTime::ZERO);
+        assert!(cmds.iter().any(|c| matches!(c, AgentCommand::SetTimer { .. })));
+        let cmds = RoutingAgent::originate(&mut agent, NodeId::new(5), 512, 0, SimTime::ZERO);
+        assert!(cmds.iter().any(|c| matches!(c, AgentCommand::Send { .. })));
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, AgentCommand::Event { event: ProtocolEvent::DiscoveryStarted { .. } })));
+    }
+}

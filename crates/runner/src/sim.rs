@@ -1,0 +1,487 @@
+//! The discrete-event simulation driver.
+//!
+//! Owns every layer instance (mobility model, per-node radio receiver
+//! states, MACs, routing agents), the global event queue, and the metrics
+//! collector, and shuttles commands between them:
+//!
+//! ```text
+//! traffic event ──> agent ──Send──> Dcf ──StartTx──> channel (plan_arrivals)
+//!                     ▲                ▲                     │
+//!                     │ Deliver/Snoop/ │ timers, carrier     │ ArrivalStart /
+//!                     │ TxFailed       │ updates             │ ArrivalEnd
+//!                     └──────────────  Dcf <── ReceiverState ┘
+//! ```
+//!
+//! The driver is generic over the routing protocol via [`RoutingAgent`]
+//! (DSR by default; AODV in the `aodv` crate). Everything is deterministic
+//! for a given [`ScenarioConfig`] (seeded RNG streams, FIFO tie-breaking in
+//! the event queue, fixed iteration order).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dsr::DsrNode;
+use mac::{Dcf, MacCommand, MacFrame, MacTimer, Priority};
+use metrics::{Metrics, Report};
+use mobility::{LinkOracle, MobilityModel, Point, RandomWaypoint, StaticPositions};
+use packet::{DropReason, NetPacket, ProtocolEvent};
+use phy::{plan_arrivals, ReceiverState, TxId, TxIdSource};
+use sim_core::{EventId, EventQueue, NodeId, RngFactory, SimRng, SimTime};
+use traffic::{generate_flows, CbrFlow};
+
+use crate::config::{MobilitySpec, ScenarioConfig};
+use crate::proto::{AgentCommand, RoutingAgent};
+use crate::trace::{TraceEvent, TraceKind, TraceSink};
+
+/// Global simulation events.
+enum Ev<P, T> {
+    MacTimer { node: u16, timer: MacTimer },
+    AgentTimer { node: u16, timer: T },
+    /// A jittered agent send whose delay elapsed: hand to the MAC now.
+    AgentSend { node: u16, packet: P, next_hop: NodeId },
+    ArrivalStart { rx: u16, tx_id: TxId, power_w: f64, end: SimTime, frame: MacFrame<P> },
+    ArrivalEnd { rx: u16, tx_id: TxId, frame: MacFrame<P> },
+    Traffic { flow: usize, k: u64 },
+}
+
+/// One fully assembled simulation run over routing protocol `A`
+/// (DSR unless specified otherwise).
+pub struct Simulator<A: RoutingAgent = DsrNode> {
+    cfg: ScenarioConfig,
+    label: String,
+    queue: EventQueue<Ev<A::Packet, A::Timer>>,
+    now: SimTime,
+    end: SimTime,
+    macs: Vec<Dcf<A::Packet>>,
+    agents: Vec<A>,
+    rx_states: Vec<ReceiverState>,
+    mobility: Arc<dyn MobilityModel>,
+    oracle: LinkOracle,
+    metrics: Metrics,
+    mac_timers: Vec<HashMap<MacTimer, EventId>>,
+    agent_timers: Vec<HashMap<A::Timer, EventId>>,
+    tx_ids: TxIdSource,
+    flows: Vec<CbrFlow>,
+    /// Cached node positions (refreshed every `position_refresh`).
+    positions: Vec<Point>,
+    positions_at: SimTime,
+    trace: Option<TraceSink>,
+}
+
+impl<A: RoutingAgent> std::fmt::Debug for Simulator<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("label", &self.label)
+            .field("nodes", &self.macs.len())
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Simulator<DsrNode> {
+    /// Builds a DSR run from its configuration (generating the mobility
+    /// scenario and workload from the seed).
+    pub fn new(cfg: ScenarioConfig) -> Self {
+        let label = cfg.dsr.label();
+        let dsr = cfg.dsr.clone();
+        Simulator::with_agents(cfg, label, move |node, rng| DsrNode::new(node, dsr.clone(), rng))
+    }
+}
+
+impl<A: RoutingAgent> Simulator<A> {
+    /// Builds a run over an arbitrary routing protocol: `make_agent` is
+    /// called once per node with the node id and its per-node RNG stream.
+    /// The DSR settings inside `cfg` are ignored on this path.
+    pub fn with_agents(
+        cfg: ScenarioConfig,
+        label: impl Into<String>,
+        mut make_agent: impl FnMut(NodeId, SimRng) -> A,
+    ) -> Self {
+        let factory = RngFactory::new(cfg.seed);
+        let mobility: Arc<dyn MobilityModel> = match &cfg.mobility {
+            MobilitySpec::Waypoint(w) => Arc::new(RandomWaypoint::generate(w, factory)),
+            MobilitySpec::Static(points) => Arc::new(StaticPositions::new(points.clone())),
+        };
+        let n = mobility.num_nodes();
+        let oracle = LinkOracle::new(Arc::clone(&mobility), cfg.radio.nominal_range_m());
+        let macs = (0..n)
+            .map(|i| {
+                Dcf::new(NodeId::new(i as u16), cfg.mac.clone(), factory.stream("mac", i as u64))
+            })
+            .collect();
+        let agents = (0..n)
+            .map(|i| make_agent(NodeId::new(i as u16), factory.stream("dsr", i as u64)))
+            .collect();
+        let flows = generate_flows(n, &cfg.traffic, factory);
+        let positions = mobility.snapshot(SimTime::ZERO);
+        let end = SimTime::ZERO + cfg.duration;
+        Simulator {
+            label: label.into(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            end,
+            macs,
+            agents,
+            rx_states: (0..n).map(|_| ReceiverState::new()).collect(),
+            mobility,
+            oracle,
+            metrics: Metrics::new(),
+            mac_timers: (0..n).map(|_| HashMap::new()).collect(),
+            agent_timers: (0..n).map(|_| HashMap::new()).collect(),
+            tx_ids: TxIdSource::new(),
+            flows,
+            positions,
+            positions_at: SimTime::ZERO,
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// The ground-truth oracle (for external validation and tests).
+    pub fn oracle(&self) -> &LinkOracle {
+        &self.oracle
+    }
+
+    /// The generated workload.
+    pub fn flows(&self) -> &[CbrFlow] {
+        &self.flows
+    }
+
+    /// Read access to a node's routing agent (tests and examples).
+    pub fn agent(&self, node: NodeId) -> &A {
+        &self.agents[node.index()]
+    }
+
+    /// Registers a packet-trace sink receiving a [`TraceEvent`] per MAC
+    /// transmission, delivery, drop, link break, and discovery round.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    /// Enables the delivery-over-time series on the metrics collector.
+    pub fn enable_series(&mut self, bucket_s: f64) {
+        self.metrics.enable_series(bucket_s);
+    }
+
+    fn emit_trace(&mut self, node: u16, kind: TraceKind) {
+        if let Some(sink) = &mut self.trace {
+            sink(&TraceEvent { at: self.now, node: NodeId::new(node), kind });
+        }
+    }
+
+    /// Runs the simulation to completion and returns the metrics report,
+    /// labelled with the protocol variant.
+    pub fn run(mut self) -> Report {
+        // Boot the agents' periodic timers.
+        for i in 0..self.agents.len() {
+            let cmds = self.agents[i].start(SimTime::ZERO);
+            self.apply_agent(i as u16, cmds);
+        }
+        // Schedule the first packet of every flow.
+        for (idx, flow) in self.flows.iter().enumerate() {
+            if flow.send_time(0) <= self.end {
+                self.queue.schedule(flow.send_time(0), Ev::Traffic { flow: idx, k: 0 });
+            }
+        }
+        while let Some((at, ev)) = self.queue.pop() {
+            if at > self.end {
+                break;
+            }
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.dispatch(ev);
+        }
+        let duration = self.cfg.duration.as_secs();
+        self.metrics.report(self.label.clone(), duration)
+    }
+
+    fn dispatch(&mut self, ev: Ev<A::Packet, A::Timer>) {
+        match ev {
+            Ev::MacTimer { node, timer } => {
+                self.mac_timers[node as usize].remove(&timer);
+                let cmds = self.macs[node as usize].on_timer(timer, self.now);
+                self.apply_mac(node, cmds);
+            }
+            Ev::AgentTimer { node, timer } => {
+                self.agent_timers[node as usize].remove(&timer);
+                let cmds = self.agents[node as usize].on_timer(timer, self.now);
+                self.apply_agent(node, cmds);
+            }
+            Ev::AgentSend { node, packet, next_hop } => {
+                self.hand_to_mac(node, packet, next_hop);
+            }
+            Ev::ArrivalStart { rx, tx_id, power_w, end, frame } => {
+                let state = &mut self.rx_states[rx as usize];
+                state.arrival_start(tx_id, power_w, self.now, end, &self.cfg.radio);
+                if let Some(horizon) = state.busy_until(self.now) {
+                    let cmds = self.macs[rx as usize].on_channel_busy(self.now, horizon);
+                    self.apply_mac(rx, cmds);
+                }
+                self.queue.schedule(end, Ev::ArrivalEnd { rx, tx_id, frame });
+            }
+            Ev::ArrivalEnd { rx, tx_id, frame } => {
+                if self.rx_states[rx as usize].arrival_end(tx_id, self.now) {
+                    let cmds = self.macs[rx as usize].on_receive(frame, self.now);
+                    self.apply_mac(rx, cmds);
+                }
+            }
+            Ev::Traffic { flow, k } => {
+                let f = self.flows[flow];
+                self.metrics.record_origination(self.now);
+                let cmds =
+                    self.agents[f.src.index()].originate(f.dst, f.packet_bytes, k, self.now);
+                self.apply_agent(f.src.index() as u16, cmds);
+                let next = f.send_time(k + 1);
+                if next <= self.end {
+                    self.queue.schedule(next, Ev::Traffic { flow, k: k + 1 });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Command application
+    // ------------------------------------------------------------------
+
+    fn apply_mac(&mut self, node: u16, cmds: Vec<MacCommand<A::Packet>>) {
+        for cmd in cmds {
+            match cmd {
+                MacCommand::StartTx { frame, duration } => {
+                    let routing = frame.payload.as_ref().map(|p| p.is_routing_overhead());
+                    self.metrics.record_mac_tx(frame.kind, routing);
+                    if self.trace.is_some() {
+                        self.emit_trace(
+                            node,
+                            TraceKind::MacSend {
+                                frame: frame_name(frame.kind),
+                                payload: frame.payload.as_ref().map(|p| p.kind_str()),
+                                bytes: frame.bytes,
+                                dst: frame.dst,
+                            },
+                        );
+                    }
+                    let until = self.now + duration;
+                    self.rx_states[node as usize].begin_tx(self.now, until);
+                    self.refresh_positions();
+                    let tx_id = self.tx_ids.next_id();
+                    let arrivals = plan_arrivals(
+                        NodeId::new(node),
+                        &self.positions,
+                        self.now,
+                        duration,
+                        &self.cfg.radio,
+                    );
+                    for a in arrivals {
+                        self.queue.schedule(
+                            a.start,
+                            Ev::ArrivalStart {
+                                rx: a.receiver.index() as u16,
+                                tx_id,
+                                power_w: a.power_w,
+                                end: a.end,
+                                frame: frame.clone(),
+                            },
+                        );
+                    }
+                }
+                MacCommand::SetTimer { timer, at } => {
+                    let id = self.queue.schedule(at, Ev::MacTimer { node, timer });
+                    if let Some(old) = self.mac_timers[node as usize].insert(timer, id) {
+                        self.queue.cancel(old);
+                    }
+                }
+                MacCommand::CancelTimer { timer } => {
+                    if let Some(old) = self.mac_timers[node as usize].remove(&timer) {
+                        self.queue.cancel(old);
+                    }
+                }
+                MacCommand::Deliver { from, payload } => {
+                    let cmds = self.agents[node as usize].on_receive(from, payload, self.now);
+                    self.apply_agent(node, cmds);
+                }
+                MacCommand::Snoop { frame } => {
+                    if let Some(payload) = frame.payload {
+                        let cmds =
+                            self.agents[node as usize].on_snoop(frame.src, &payload, self.now);
+                        self.apply_agent(node, cmds);
+                    }
+                }
+                MacCommand::TxFailed { payload, dst } => {
+                    let cmds = self.agents[node as usize].on_tx_failed(payload, dst, self.now);
+                    self.apply_agent(node, cmds);
+                }
+                MacCommand::TxOk { .. } => {}
+                MacCommand::QueueDrop { .. } => {
+                    self.metrics.record_ifq_drop();
+                }
+            }
+        }
+    }
+
+    fn apply_agent(&mut self, node: u16, cmds: Vec<AgentCommand<A::Packet, A::Timer>>) {
+        for cmd in cmds {
+            match cmd {
+                AgentCommand::Send { packet, next_hop, jitter } => {
+                    if jitter == sim_core::SimDuration::ZERO {
+                        self.hand_to_mac(node, packet, next_hop);
+                    } else {
+                        self.queue.schedule(
+                            self.now + jitter,
+                            Ev::AgentSend { node, packet, next_hop },
+                        );
+                    }
+                }
+                AgentCommand::Deliver { uid, src, sent_at, bytes, hops } => {
+                    self.metrics.record_delivery(uid, sent_at, bytes, hops, self.now);
+                    if self.trace.is_some() {
+                        self.emit_trace(node, TraceKind::Deliver { uid, bytes, src });
+                    }
+                }
+                AgentCommand::SetTimer { timer, at } => {
+                    let id = self.queue.schedule(at, Ev::AgentTimer { node, timer });
+                    if let Some(old) = self.agent_timers[node as usize].insert(timer, id) {
+                        self.queue.cancel(old);
+                    }
+                }
+                AgentCommand::CancelTimer { timer } => {
+                    if let Some(old) = self.agent_timers[node as usize].remove(&timer) {
+                        self.queue.cancel(old);
+                    }
+                }
+                AgentCommand::Drop { uid, reason } => {
+                    self.metrics.record_drop(reason);
+                    if self.trace.is_some() {
+                        self.emit_trace(node, TraceKind::Drop { uid, reason: drop_name(reason) });
+                    }
+                }
+                AgentCommand::Event { event } => self.apply_event(node, event),
+            }
+        }
+    }
+
+    fn apply_event(&mut self, node: u16, event: ProtocolEvent) {
+        match event {
+            ProtocolEvent::DiscoveryStarted { flood, target } => {
+                self.metrics.record_discovery(flood);
+                if self.trace.is_some() {
+                    self.emit_trace(node, TraceKind::Discovery { target, flood });
+                }
+            }
+            ProtocolEvent::ReplyOriginated { from_cache } => {
+                self.metrics.record_reply_originated(from_cache)
+            }
+            ProtocolEvent::ReplyAccepted { discovered } => {
+                // Protocols that expose the full route get oracle-judged
+                // reply quality; others (AODV) are simply counted as good.
+                let good = discovered
+                    .map(|r| self.oracle.route_valid(r.nodes(), self.now))
+                    .unwrap_or(true);
+                self.metrics.record_reply_received(good);
+            }
+            ProtocolEvent::CacheHit { route, kind } => {
+                let valid = self.oracle.route_valid(route.nodes(), self.now);
+                self.metrics.record_cache_hit(kind, valid);
+            }
+            ProtocolEvent::RouteErrorSent { .. } => self.metrics.record_error(false),
+            ProtocolEvent::RouteErrorRebroadcast => self.metrics.record_error(true),
+            ProtocolEvent::LinkBreakDetected { link } => {
+                self.metrics.record_link_break();
+                if self.trace.is_some() {
+                    self.emit_trace(node, TraceKind::LinkBreak { to: link.to });
+                }
+            }
+        }
+    }
+
+    fn hand_to_mac(&mut self, node: u16, packet: A::Packet, next_hop: NodeId) {
+        let prio = if packet.is_routing_overhead() {
+            Priority::Control
+        } else {
+            Priority::Data
+        };
+        let bytes = packet.wire_size();
+        let cmds = self.macs[node as usize].enqueue(packet, next_hop, bytes, prio, self.now);
+        self.apply_mac(node, cmds);
+    }
+
+    fn refresh_positions(&mut self) {
+        if self.now.saturating_since(self.positions_at) >= self.cfg.position_refresh
+            || self.positions_at == SimTime::ZERO && self.now > SimTime::ZERO
+        {
+            self.positions = self.mobility.snapshot(self.now);
+            self.positions_at = self.now;
+        }
+    }
+}
+
+fn frame_name(kind: mac::FrameKind) -> &'static str {
+    match kind {
+        mac::FrameKind::Rts => "RTS",
+        mac::FrameKind::Cts => "CTS",
+        mac::FrameKind::Data => "DATA",
+        mac::FrameKind::Ack => "ACK",
+    }
+}
+
+fn drop_name(reason: DropReason) -> &'static str {
+    match reason {
+        DropReason::SendBufferFull => "SendBufferFull",
+        DropReason::SendBufferTimeout => "SendBufferTimeout",
+        DropReason::NoRouteToSalvage => "NoRouteToSalvage",
+        DropReason::SalvageLimit => "SalvageLimit",
+        DropReason::NegativeCacheHit => "NegativeCacheHit",
+        DropReason::ControlUndeliverable => "ControlUndeliverable",
+        DropReason::NotOnRoute => "NotOnRoute",
+        DropReason::NoForwardingEntry => "NoForwardingEntry",
+        DropReason::TtlExpired => "TtlExpired",
+    }
+}
+
+/// Convenience: build and run one DSR scenario.
+pub fn run_scenario(cfg: ScenarioConfig) -> Report {
+    Simulator::new(cfg).run()
+}
+
+/// Builds and runs one scenario over an arbitrary routing protocol.
+pub fn run_scenario_with<A: RoutingAgent>(
+    cfg: ScenarioConfig,
+    label: impl Into<String>,
+    make_agent: impl FnMut(NodeId, SimRng) -> A,
+) -> Report {
+    Simulator::with_agents(cfg, label, make_agent).run()
+}
+
+/// Runs the same DSR scenario under several seeds and returns the per-seed
+/// reports (callers average with [`Report::mean`]). Runs execute on
+/// `threads` worker threads (use 1 for strict serial execution).
+pub fn run_seeds(base: &ScenarioConfig, seeds: &[u64], threads: usize) -> Vec<Report> {
+    assert!(threads > 0, "need at least one worker thread");
+    if threads == 1 || seeds.len() <= 1 {
+        return seeds
+            .iter()
+            .map(|&seed| run_scenario(ScenarioConfig { seed, ..base.clone() }))
+            .collect();
+    }
+    let jobs: Vec<ScenarioConfig> = seeds
+        .iter()
+        .map(|&seed| ScenarioConfig { seed, ..base.clone() })
+        .collect();
+    let mut results: Vec<Option<Report>> = vec![None; jobs.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= jobs.len() {
+                    break;
+                }
+                let report = run_scenario(jobs[i].clone());
+                results_mutex.lock().expect("poisoned results lock")[i] = Some(report);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results.into_iter().map(|r| r.expect("every job ran")).collect()
+}

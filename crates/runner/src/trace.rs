@@ -1,0 +1,144 @@
+//! Packet-level tracing, in the spirit of ns-2 trace files.
+//!
+//! A [`TraceSink`] registered on the [`Simulator`](crate::Simulator)
+//! receives a structured [`TraceEvent`] for every MAC transmission,
+//! application delivery, drop, link break, and discovery round. The
+//! [`std::fmt::Display`] rendering is one ns-2-flavored line per event:
+//!
+//! ```text
+//! s 12.304211 _5_ MAC RTS 20B -> n7
+//! r 12.306725 _7_ AGT DATA 568B src n5
+//! D 13.100042 _9_ RTR NoRouteToSalvage uid 42
+//! ```
+
+use std::fmt;
+
+use sim_core::{NodeId, SimTime};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceKind {
+    /// A MAC frame left the antenna.
+    MacSend {
+        /// Frame type name ("RTS", "CTS", "DATA", "ACK").
+        frame: &'static str,
+        /// Network packet kind inside a data frame ("DATA", "RREQ", ...).
+        payload: Option<&'static str>,
+        /// Frame size in bytes.
+        bytes: usize,
+        /// Addressee.
+        dst: NodeId,
+    },
+    /// A data packet reached its destination application.
+    Deliver {
+        /// Packet uid.
+        uid: u64,
+        /// Application bytes.
+        bytes: usize,
+        /// Originating node.
+        src: NodeId,
+    },
+    /// A packet died.
+    Drop {
+        /// Packet uid.
+        uid: u64,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Link-layer feedback declared the link to `to` broken.
+    LinkBreak {
+        /// The unreachable neighbor.
+        to: NodeId,
+    },
+    /// A route discovery round started for `target`.
+    Discovery {
+        /// The node being sought.
+        target: NodeId,
+        /// Network-wide flood (vs one-hop probe).
+        flood: bool,
+    },
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated instant.
+    pub at: SimTime,
+    /// Node where the event happened.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.at.as_secs();
+        let n = self.node;
+        match self.kind {
+            TraceKind::MacSend { frame, payload, bytes, dst } => {
+                let what = payload.unwrap_or(frame);
+                if dst.is_broadcast() {
+                    write!(f, "s {t:.6} _{n}_ MAC {what} {bytes}B -> *")
+                } else {
+                    write!(f, "s {t:.6} _{n}_ MAC {what} {bytes}B -> {dst}")
+                }
+            }
+            TraceKind::Deliver { uid, bytes, src } => {
+                write!(f, "r {t:.6} _{n}_ AGT DATA {bytes}B uid {uid} src {src}")
+            }
+            TraceKind::Drop { uid, reason } => {
+                write!(f, "D {t:.6} _{n}_ RTR {reason} uid {uid}")
+            }
+            TraceKind::LinkBreak { to } => {
+                write!(f, "B {t:.6} _{n}_ LL link {n}->{to} broken")
+            }
+            TraceKind::Discovery { target, flood } => {
+                let kind = if flood { "flood" } else { "probe" };
+                write!(f, "q {t:.6} _{n}_ RTR discovery({kind}) for {target}")
+            }
+        }
+    }
+}
+
+/// Receives trace events during a run. Must be `Send` so traced simulations
+/// can still run on worker threads.
+pub type TraceSink = Box<dyn FnMut(&TraceEvent) + Send>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceKind) -> TraceEvent {
+        TraceEvent { at: SimTime::from_secs(12.5), node: NodeId::new(5), kind }
+    }
+
+    #[test]
+    fn mac_send_renders_unicast_and_broadcast() {
+        let uni = ev(TraceKind::MacSend {
+            frame: "RTS",
+            payload: None,
+            bytes: 20,
+            dst: NodeId::new(7),
+        });
+        assert_eq!(format!("{uni}"), "s 12.500000 _n5_ MAC RTS 20B -> n7");
+        let bc = ev(TraceKind::MacSend {
+            frame: "DATA",
+            payload: Some("RREQ"),
+            bytes: 52,
+            dst: NodeId::BROADCAST,
+        });
+        assert_eq!(format!("{bc}"), "s 12.500000 _n5_ MAC RREQ 52B -> *");
+    }
+
+    #[test]
+    fn other_kinds_render() {
+        let d = ev(TraceKind::Deliver { uid: 9, bytes: 512, src: NodeId::new(1) });
+        assert!(format!("{d}").contains("AGT DATA 512B uid 9"));
+        let drop = ev(TraceKind::Drop { uid: 3, reason: "NoRouteToSalvage" });
+        assert!(format!("{drop}").starts_with("D "));
+        let brk = ev(TraceKind::LinkBreak { to: NodeId::new(2) });
+        assert!(format!("{brk}").contains("n5->n2 broken"));
+        let q = ev(TraceKind::Discovery { target: NodeId::new(9), flood: true });
+        assert!(format!("{q}").contains("discovery(flood) for n9"));
+    }
+}

@@ -1,0 +1,88 @@
+//! End-to-end integration tests: full stack (mobility → phy → MAC → DSR →
+//! traffic → metrics) on controlled topologies.
+
+use dsr::DsrConfig;
+use runner::{run_scenario, ScenarioConfig, Simulator};
+
+#[test]
+fn single_hop_delivery_is_near_perfect() {
+    let cfg = ScenarioConfig::static_line(2, 200.0, 4.0, DsrConfig::base(), 1);
+    let report = run_scenario(cfg);
+    assert!(report.originated > 100, "traffic should flow: {report}");
+    assert!(
+        report.delivery_fraction > 0.99,
+        "a static 1-hop link must deliver essentially everything: {report}"
+    );
+    assert!(report.avg_delay_s < 0.05, "single hop should be fast: {report}");
+}
+
+#[test]
+fn four_hop_chain_delivers() {
+    let cfg = ScenarioConfig::static_line(5, 200.0, 2.0, DsrConfig::base(), 2);
+    let report = run_scenario(cfg);
+    assert!(
+        report.delivery_fraction > 0.95,
+        "static 4-hop chain should deliver reliably: {report}"
+    );
+    // Route discovery must have happened at least once.
+    assert!(report.discoveries >= 1);
+    // Overhead exists (RTS/CTS/ACK per hop at minimum) but is bounded.
+    assert!(report.normalized_overhead > 0.0 && report.normalized_overhead < 20.0, "{report}");
+}
+
+#[test]
+fn runs_are_deterministic_for_a_seed() {
+    let mk = || ScenarioConfig::static_line(4, 200.0, 3.0, DsrConfig::base(), 7);
+    let a = run_scenario(mk());
+    let b = run_scenario(mk());
+    assert_eq!(a, b, "same seed must give bit-identical reports");
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    let base = ScenarioConfig::tiny(0.0, 1.0, DsrConfig::base(), 1);
+    let a = run_scenario(base.clone());
+    let b = run_scenario(ScenarioConfig { seed: 2, ..base });
+    assert_ne!(a, b, "different seeds should explore different scenarios");
+}
+
+#[test]
+fn out_of_range_destination_gets_nothing() {
+    // Two nodes 5 km apart: no route can ever form.
+    let mut cfg = ScenarioConfig::static_line(2, 5_000.0, 2.0, DsrConfig::base(), 3);
+    cfg.duration = sim_core::SimDuration::from_secs(10.0);
+    let report = run_scenario(cfg);
+    assert_eq!(report.delivered, 0);
+    assert!(report.originated > 0);
+    assert!(report.discoveries > 0, "the source must keep trying");
+}
+
+#[test]
+fn simulator_exposes_flows_and_oracle() {
+    let cfg = ScenarioConfig::static_line(3, 200.0, 2.0, DsrConfig::base(), 4);
+    let sim = Simulator::new(cfg);
+    assert_eq!(sim.flows().len(), 1);
+    let t0 = sim_core::SimTime::ZERO;
+    assert!(sim.oracle().link_up(sim_core::NodeId::new(0), sim_core::NodeId::new(1), t0));
+    assert!(!sim.oracle().link_up(sim_core::NodeId::new(0), sim_core::NodeId::new(2), t0));
+}
+
+#[test]
+fn all_variants_work_on_a_chain() {
+    for dsr in [
+        DsrConfig::base(),
+        DsrConfig::wider_error(),
+        DsrConfig::adaptive_expiry(),
+        DsrConfig::negative_cache(),
+        DsrConfig::combined(),
+    ] {
+        let label = dsr.label();
+        let mut cfg = ScenarioConfig::static_line(4, 200.0, 2.0, dsr, 5);
+        cfg.duration = sim_core::SimDuration::from_secs(20.0);
+        let report = run_scenario(cfg);
+        assert!(
+            report.delivery_fraction > 0.9,
+            "{label} failed on a static chain: {report}"
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! A cancellable, deterministic event queue.
+//!
+//! Events scheduled at the same instant are delivered in the order they were
+//! scheduled (FIFO tie-breaking by a monotone sequence number), which keeps
+//! simulations deterministic regardless of heap internals.
+//!
+//! Cancellation is *lazy*: [`EventQueue::cancel`] records the id in a
+//! tombstone set and the entry is discarded when it reaches the top of the
+//! heap. This makes `cancel` O(1) and is the standard technique for
+//! simulators where most timers are cancelled before firing (MAC
+//! retransmission timers, route-request timeouts, ...).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// A handle identifying a scheduled event, usable to cancel it later.
+///
+/// Ids are unique within one [`EventQueue`] for the lifetime of the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of timestamped events with O(1) cancellation.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2.0), "b");
+/// q.schedule(SimTime::from_secs(1.0), "a");
+/// assert_eq!(q.pop().unwrap().1, "a");
+/// assert_eq!(q.pop().unwrap().1, "b");
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    pending: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at` and returns a cancellation handle.
+    ///
+    /// Events with equal timestamps fire in scheduling order.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Entry { at, seq, id, payload });
+        self.pending.insert(id);
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled. Cancelling an id twice is harmless.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// entries. Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.pending.remove(&entry.id);
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3.0), 3);
+        q.schedule(SimTime::from_secs(1.0), 1);
+        q.schedule(SimTime::from_secs(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_fire_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn double_cancel_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), ());
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_unknown_id_returns_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn len_tracks_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), ());
+        q.schedule(SimTime::from_secs(2.0), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), ());
+        q.schedule(SimTime::from_secs(2.0), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_cancel() {
+        let mut q = EventQueue::new();
+        let mut fired = Vec::new();
+        let a = q.schedule(SimTime::from_secs(1.0), 1);
+        q.schedule(SimTime::from_secs(2.0), 2);
+        fired.push(q.pop().unwrap().1);
+        assert!(!q.cancel(a)); // already fired
+        let c = q.schedule(SimTime::from_secs(3.0), 3);
+        q.cancel(c);
+        fired.push(q.pop().unwrap().1);
+        assert_eq!(fired, vec![1, 2]);
+        assert!(q.pop().is_none());
+    }
+}

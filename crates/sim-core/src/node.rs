@@ -1,0 +1,85 @@
+//! Node identity.
+
+use std::fmt;
+
+/// Identifier of a simulated node (also its routing address).
+///
+/// In the reproduced study a node's MAC address, IP address, and scenario
+/// index are all the same small integer, exactly as in the ns-2 CMU Monarch
+/// wireless model, so a single id type serves every layer.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(format!("{n}"), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Broadcast address: frames addressed here are received by every node
+    /// in radio range (802.11 `ff:ff:...`).
+    pub const BROADCAST: NodeId = NodeId(u16::MAX);
+
+    /// Creates a node id from its scenario index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` collides with the broadcast address.
+    pub fn new(index: u16) -> Self {
+        assert!(index != u16::MAX, "node index {index} is reserved for broadcast");
+        NodeId(index)
+    }
+
+    /// The scenario index of this node (usable as a `Vec` index).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the broadcast address.
+    pub const fn is_broadcast(self) -> bool {
+        self.0 == u16::MAX
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_broadcast() {
+            write!(f, "n*")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(index: u16) -> Self {
+        NodeId::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(NodeId::new(42).index(), 42);
+    }
+
+    #[test]
+    fn broadcast_is_distinct() {
+        assert!(NodeId::BROADCAST.is_broadcast());
+        assert!(!NodeId::new(0).is_broadcast());
+        assert_eq!(format!("{}", NodeId::BROADCAST), "n*");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for broadcast")]
+    fn reserved_index_rejected() {
+        let _ = NodeId::new(u16::MAX);
+    }
+}

@@ -1,0 +1,32 @@
+//! A simplified TCP over DSR.
+//!
+//! The paper's related work leans on Holland & Vaidya's finding that stale
+//! DSR caches devastate TCP — "for a single TCP connection they even found
+//! the TCP throughput to be much better without replies from caches." This
+//! crate makes that claim testable on our substrate: a Reno-style sender
+//! and cumulative-ACK receiver ([`conn`]) wrapped with an unmodified DSR
+//! node into a [`TcpHost`] that plugs into the simulation driver.
+//!
+//! The `ext_tcp` experiment compares TCP goodput under base DSR, base DSR
+//! *without* replies from caches, and DSR-C.
+//!
+//! # Example
+//!
+//! ```
+//! use tcp::{TcpConfig, TcpHost};
+//! use dsr::{DsrConfig, DsrNode};
+//! use runner::{run_scenario_with, ScenarioConfig};
+//!
+//! let cfg = ScenarioConfig::static_line(3, 200.0, 8.0, DsrConfig::base(), 1);
+//! let report = run_scenario_with(cfg, "TCP/DSR", |node, rng| {
+//!     let dsr = DsrNode::new(node, DsrConfig::base(), rng);
+//!     TcpHost::new(dsr, TcpConfig::default(), 512)
+//! });
+//! assert!(report.delivered > 0, "{report}");
+//! ```
+
+pub mod conn;
+pub mod host;
+
+pub use conn::{SenderAction, TcpConfig, TcpReceiver, TcpSender};
+pub use host::{HostTimer, TcpHost, TCP_ACK_BYTES};

@@ -1,0 +1,35 @@
+//! Run the paper's full-scale scenario (100 nodes, 2200 m x 600 m, 500 s,
+//! 25 CBR flows) for one variant and seed. Used to calibrate runtimes and
+//! spot-check absolute numbers against the paper.
+//!
+//! ```sh
+//! cargo run --release --example paper_scenario [pause_s] [rate_pps] [variant] [seed]
+//! ```
+
+use dsr_caching::prelude::*;
+
+fn variant(name: &str) -> DsrConfig {
+    match name {
+        "base" => DsrConfig::base(),
+        "we" => DsrConfig::wider_error(),
+        "ae" => DsrConfig::adaptive_expiry(),
+        "nc" => DsrConfig::negative_cache(),
+        "combined" => DsrConfig::combined(),
+        other => panic!("unknown variant {other}; use base|we|ae|nc|combined"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pause_s: f64 = args.get(1).map_or(0.0, |s| s.parse().expect("pause seconds"));
+    let rate_pps: f64 = args.get(2).map_or(3.0, |s| s.parse().expect("rate pkt/s"));
+    let dsr = variant(args.get(3).map_or("base", |s| s.as_str()));
+    let seed: u64 = args.get(4).map_or(1, |s| s.parse().expect("seed"));
+
+    let label = dsr.label();
+    println!("paper scenario: pause {pause_s}s, {rate_pps} pkt/s, {label}, seed {seed}");
+    let started = std::time::Instant::now();
+    let report = run_scenario(ScenarioConfig::paper(pause_s, rate_pps, dsr, seed));
+    println!("{report}");
+    println!("(wall clock: {:.1}s)", started.elapsed().as_secs_f64());
+}

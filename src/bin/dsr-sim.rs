@@ -1,0 +1,152 @@
+//! `dsr-sim`: run one MANET simulation from the command line.
+//!
+//! ```text
+//! dsr-sim [options]
+//!   --protocol <dsr|dsr-we|dsr-ae|dsr-nc|dsr-c|aodv|aodv-noir>   (default dsr)
+//!   --pause <secs>        pause time (default 0)
+//!   --rate <pkt/s>        per-flow CBR rate (default 3)
+//!   --nodes <n>           node count (default 100)
+//!   --duration <secs>     simulated seconds (default 120)
+//!   --seed <n>            scenario seed (default 1)
+//!   --static-timeout <s>  DSR static route expiry instead of a variant
+//!   --trace               print the packet-level event trace
+//!   --series              print 10 s delivery time series
+//! ```
+
+use dsr_caching::mobility::WaypointConfig;
+use dsr_caching::prelude::*;
+
+struct Options {
+    protocol: String,
+    pause_s: f64,
+    rate_pps: f64,
+    nodes: usize,
+    duration_s: f64,
+    seed: u64,
+    static_timeout_s: Option<f64>,
+    trace: bool,
+    series: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        protocol: "dsr".to_string(),
+        pause_s: 0.0,
+        rate_pps: 3.0,
+        nodes: 100,
+        duration_s: 120.0,
+        seed: 1,
+        static_timeout_s: None,
+        trace: false,
+        series: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--protocol" => opts.protocol = value("--protocol"),
+            "--pause" => opts.pause_s = value("--pause").parse().expect("pause seconds"),
+            "--rate" => opts.rate_pps = value("--rate").parse().expect("rate pkt/s"),
+            "--nodes" => opts.nodes = value("--nodes").parse().expect("node count"),
+            "--duration" => opts.duration_s = value("--duration").parse().expect("duration seconds"),
+            "--seed" => opts.seed = value("--seed").parse().expect("seed"),
+            "--static-timeout" => {
+                opts.static_timeout_s = Some(value("--static-timeout").parse().expect("timeout seconds"))
+            }
+            "--trace" => opts.trace = true,
+            "--series" => opts.series = true,
+            "--help" | "-h" => {
+                println!("see the module docs at the top of src/bin/dsr-sim.rs for options");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn dsr_variant(opts: &Options) -> Option<DsrConfig> {
+    if let Some(t) = opts.static_timeout_s {
+        return Some(DsrConfig::static_expiry(SimDuration::from_secs(t)));
+    }
+    match opts.protocol.as_str() {
+        "dsr" => Some(DsrConfig::base()),
+        "dsr-we" => Some(DsrConfig::wider_error()),
+        "dsr-ae" => Some(DsrConfig::adaptive_expiry()),
+        "dsr-nc" => Some(DsrConfig::negative_cache()),
+        "dsr-c" => Some(DsrConfig::combined()),
+        _ => None,
+    }
+}
+
+fn scenario(opts: &Options, dsr: DsrConfig) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper(opts.pause_s, opts.rate_pps, dsr, opts.seed);
+    cfg.mobility = MobilitySpec::Waypoint(WaypointConfig {
+        num_nodes: opts.nodes,
+        duration: SimDuration::from_secs(opts.duration_s),
+        ..WaypointConfig::paper(SimDuration::from_secs(opts.pause_s))
+    });
+    cfg.duration = SimDuration::from_secs(opts.duration_s);
+    cfg
+}
+
+fn main() {
+    let opts = parse_args();
+    let started = std::time::Instant::now();
+
+    let report = match dsr_variant(&opts) {
+        Some(dsr) => {
+            let mut sim = Simulator::new(scenario(&opts, dsr));
+            if opts.trace {
+                sim.set_trace(Box::new(|ev| println!("{ev}")));
+            }
+            if opts.series {
+                sim.enable_series(10.0);
+            }
+            sim.run()
+        }
+        None => {
+            let aodv = match opts.protocol.as_str() {
+                "aodv" => AodvConfig::default(),
+                "aodv-noir" => AodvConfig { intermediate_replies: false, ..AodvConfig::default() },
+                other => {
+                    eprintln!("unknown protocol {other} (dsr|dsr-we|dsr-ae|dsr-nc|dsr-c|aodv|aodv-noir)");
+                    std::process::exit(2);
+                }
+            };
+            let label = aodv.label();
+            let mut sim = Simulator::with_agents(
+                scenario(&opts, DsrConfig::base()),
+                label,
+                move |node, rng| AodvNode::new(node, aodv.clone(), rng),
+            );
+            if opts.trace {
+                sim.set_trace(Box::new(|ev| println!("{ev}")));
+            }
+            sim.run()
+        }
+    };
+
+    println!("{report}");
+    if let Some(series) = &report.series {
+        println!("\ndelivery over time (10 s buckets):");
+        for p in series {
+            println!(
+                "  {:>5.0}s  originated {:>5}  delivered {:>5}  ({:.1}%)",
+                p.start_s,
+                p.originated,
+                p.delivered,
+                100.0 * p.delivery_fraction()
+            );
+        }
+    }
+    println!("(wall clock: {:.1}s)", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,53 @@
+//! AODV over the full stack: the extension protocol must deliver on the
+//! same substrate and scenarios DSR runs on.
+
+use dsr_caching::prelude::*;
+
+fn run_aodv(cfg: ScenarioConfig, aodv: AodvConfig) -> Report {
+    let label = aodv.label();
+    run_scenario_with(cfg, label, move |node, rng| AodvNode::new(node, aodv.clone(), rng))
+}
+
+#[test]
+fn aodv_delivers_on_a_static_chain() {
+    let cfg = ScenarioConfig::static_line(5, 200.0, 2.0, DsrConfig::base(), 1);
+    let r = run_aodv(cfg, AodvConfig::default());
+    assert!(r.delivery_fraction > 0.95, "4-hop AODV chain should deliver: {r}");
+    assert!(r.discoveries >= 1);
+    assert!(r.avg_hops > 3.5, "packets must actually traverse the chain: {r}");
+}
+
+#[test]
+fn aodv_survives_a_mobile_network() {
+    let cfg = ScenarioConfig::tiny(0.0, 2.0, DsrConfig::base(), 4);
+    let r = run_aodv(cfg, AodvConfig::default());
+    assert!(r.originated > 100);
+    assert!(r.delivery_fraction > 0.6, "mobile AODV collapsed: {r}");
+}
+
+#[test]
+fn aodv_runs_are_deterministic() {
+    let mk = || ScenarioConfig::tiny(0.0, 2.0, DsrConfig::base(), 9);
+    let a = run_aodv(mk(), AodvConfig::default());
+    let b = run_aodv(mk(), AodvConfig::default());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn disabling_intermediate_replies_still_works() {
+    let cfg = ScenarioConfig::tiny(0.0, 2.0, DsrConfig::base(), 4);
+    let aodv = AodvConfig { intermediate_replies: false, ..AodvConfig::default() };
+    let r = run_aodv(cfg, aodv);
+    assert!(r.delivery_fraction > 0.6, "AODV-noIR collapsed: {r}");
+    assert_eq!(r.label, "AODV-noIR");
+}
+
+#[test]
+fn aodv_and_dsr_share_identical_scenarios() {
+    // Same seed => same mobility and workload: originated counts match
+    // exactly across protocols (the paper's controlled-comparison rule).
+    let mk = || ScenarioConfig::tiny(0.0, 2.0, DsrConfig::base(), 12);
+    let dsr = run_scenario(mk());
+    let aodv = run_aodv(mk(), AodvConfig::default());
+    assert_eq!(dsr.originated, aodv.originated);
+}

@@ -1,0 +1,194 @@
+//! Adversarial fuzzing of the DSR agent: arbitrary (even nonsensical)
+//! packet sequences must never panic it, never make it emit malformed
+//! routes, and never violate the negative-cache exclusion invariant.
+
+use proptest::prelude::*;
+
+use dsr_caching::dsr::{DsrCommand, DsrConfig, DsrNode, DsrTimer};
+use dsr_caching::packet::{
+    DataPacket, ErrorDelivery, Link, Packet, Route, RouteErrorPkt, RouteReply, RouteRequest,
+};
+use dsr_caching::sim_core::{NodeId, RngFactory, SimTime};
+
+const ME: u16 = 0;
+
+fn arb_nodes(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<NodeId>> {
+    proptest::collection::vec(0u16..10, len).prop_filter_map("loop-free", |ids| {
+        let nodes: Vec<NodeId> = ids.into_iter().map(NodeId::new).collect();
+        let mut seen = Vec::new();
+        for n in &nodes {
+            if seen.contains(n) {
+                return None;
+            }
+            seen.push(*n);
+        }
+        Some(nodes)
+    })
+}
+
+fn arb_route() -> impl Strategy<Value = Route> {
+    arb_nodes(2..6).prop_map(|nodes| Route::new(nodes).expect("pre-filtered loop-free"))
+}
+
+#[derive(Debug, Clone)]
+enum Input {
+    Originate { dst: u16 },
+    Data { route: Route, hop_guess: usize },
+    Request { origin: u16, target: u16, path: Vec<NodeId>, ttl: u8, id: u64 },
+    Reply { discovered: Route, back: Route },
+    ErrorUnicast { broken: (u16, u16), back: Route },
+    ErrorBroadcast { broken: (u16, u16), uid: u64 },
+    TxFailed { route: Route, next_hop: u16 },
+    Snoop { route: Route, transmitter: u16 },
+    Tick,
+    RequestTimeout { target: u16 },
+}
+
+fn arb_input() -> impl Strategy<Value = Input> {
+    prop_oneof![
+        (1u16..10).prop_map(|dst| Input::Originate { dst }),
+        (arb_route(), 0usize..6).prop_map(|(route, hop_guess)| Input::Data { route, hop_guess }),
+        (1u16..10, 0u16..10, arb_nodes(1..4), 1u8..40, 0u64..6).prop_map(
+            |(origin, target, path, ttl, id)| Input::Request { origin, target, path, ttl, id }
+        ),
+        (arb_route(), arb_route()).prop_map(|(discovered, back)| Input::Reply { discovered, back }),
+        ((0u16..10, 0u16..10), arb_route())
+            .prop_map(|(broken, back)| Input::ErrorUnicast { broken, back }),
+        ((0u16..10, 0u16..10), 0u64..50)
+            .prop_map(|(broken, uid)| Input::ErrorBroadcast { broken, uid }),
+        (arb_route(), 1u16..10).prop_map(|(route, next_hop)| Input::TxFailed { route, next_hop }),
+        (arb_route(), 0u16..10).prop_map(|(route, transmitter)| Input::Snoop { route, transmitter }),
+        Just(Input::Tick),
+        (1u16..10).prop_map(|target| Input::RequestTimeout { target }),
+    ]
+}
+
+fn mk_data(route: Route, hop_guess: usize) -> DataPacket {
+    let hop = hop_guess.min(route.len() - 1);
+    DataPacket {
+        uid: 999,
+        src: route.source(),
+        dst: route.destination(),
+        seq: 0,
+        payload_bytes: 512,
+        sent_at: SimTime::ZERO,
+        route,
+        hop,
+        salvage_count: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dsr_agent_never_panics_and_keeps_invariants(
+        inputs in proptest::collection::vec(arb_input(), 1..80),
+        variant in 0usize..3,
+    ) {
+        let cfg = match variant {
+            0 => DsrConfig::base(),
+            1 => DsrConfig::combined(),
+            _ => DsrConfig::combined().with_link_cache(),
+        };
+        let me = NodeId::new(ME);
+        let mut agent = DsrNode::new(me, cfg, RngFactory::new(7).stream("fuzz", 0));
+        let mut now = SimTime::from_secs(1.0);
+        for (i, input) in inputs.into_iter().enumerate() {
+            now = now + dsr_caching::sim_core::SimDuration::from_millis(37.0);
+            let cmds = match input {
+                Input::Originate { dst } => {
+                    if NodeId::new(dst) == me { continue; }
+                    agent.originate(NodeId::new(dst), 512, i as u64, now)
+                }
+                Input::Data { route, hop_guess } => {
+                    agent.on_receive(NodeId::new(1), Packet::Data(mk_data(route, hop_guess)), now)
+                }
+                Input::Request { origin, target, path, ttl, id } => {
+                    let req = RouteRequest {
+                        uid: i as u64,
+                        origin: NodeId::new(origin),
+                        target: NodeId::new(target),
+                        request_id: id,
+                        path,
+                        ttl,
+                        piggyback_error: None,
+                    };
+                    agent.on_receive(NodeId::new(origin), Packet::Request(req), now)
+                }
+                Input::Reply { discovered, back } => {
+                    let rep = RouteReply {
+                        uid: i as u64,
+                        discovered,
+                        from_cache: false,
+                        hop: 0,
+                        route: back,
+                        gratuitous: false,
+                    };
+                    agent.on_receive(NodeId::new(1), Packet::Reply(rep), now)
+                }
+                Input::ErrorUnicast { broken: (a, b), back } => {
+                    if a == b { continue; }
+                    let err = RouteErrorPkt {
+                        uid: i as u64,
+                        broken: Link::new(NodeId::new(a), NodeId::new(b)),
+                        detector: NodeId::new(a),
+                        delivery: ErrorDelivery::Unicast {
+                            to: back.destination(),
+                            route: back,
+                            hop: 0,
+                        },
+                    };
+                    agent.on_receive(NodeId::new(1), Packet::Error(err), now)
+                }
+                Input::ErrorBroadcast { broken: (a, b), uid } => {
+                    if a == b { continue; }
+                    let err = RouteErrorPkt {
+                        uid,
+                        broken: Link::new(NodeId::new(a), NodeId::new(b)),
+                        detector: NodeId::new(a),
+                        delivery: ErrorDelivery::Broadcast,
+                    };
+                    agent.on_receive(NodeId::new(1), Packet::Error(err), now)
+                }
+                Input::TxFailed { route, next_hop } => {
+                    if NodeId::new(next_hop) == me { continue; }
+                    agent.on_tx_failed(Packet::Data(mk_data(route, 0)), NodeId::new(next_hop), now)
+                }
+                Input::Snoop { route, transmitter } => {
+                    let pkt = Packet::Data(mk_data(route, 0));
+                    agent.on_snoop(NodeId::new(transmitter), &pkt, now)
+                }
+                Input::Tick => agent.on_timer(DsrTimer::Tick, now),
+                Input::RequestTimeout { target } => {
+                    agent.on_timer(DsrTimer::RequestTimeout(NodeId::new(target)), now)
+                }
+            };
+            // Invariants on everything the agent emits.
+            for cmd in &cmds {
+                if let DsrCommand::Send { packet, next_hop, .. } = cmd {
+                    prop_assert!(*next_hop != me, "agent sent to itself: {packet:?}");
+                    if let Packet::Data(d) = packet {
+                        prop_assert!(d.route.len() >= 2);
+                        prop_assert!(d.route.position(me).is_some(), "we forward only on-route");
+                    }
+                }
+            }
+            // Negative-cache mutual exclusion, continuously.
+            if let Some(neg) = agent.negative_cache() {
+                for a in 0..10u16 {
+                    for b in 0..10u16 {
+                        if a == b { continue; }
+                        let link = Link::new(NodeId::new(a), NodeId::new(b));
+                        if neg.contains(link, now) {
+                            prop_assert!(
+                                !agent.cache().contains_link(link),
+                                "blacklisted {link} present in route cache"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Cross-crate integration tests on mobile scenarios: every protocol
+//! variant survives a mobile network, the cache-correctness techniques
+//! measurably improve cache quality, and runs stay deterministic through
+//! the entire stack.
+
+use dsr_caching::prelude::*;
+
+/// A moderately stressed mobile scenario that still runs fast in debug
+/// builds: 30 nodes, constant motion, 8 flows.
+fn stressed(dsr: DsrConfig, seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::tiny(0.0, 2.0, dsr, seed);
+    if let MobilitySpec::Waypoint(w) = &mut cfg.mobility {
+        w.num_nodes = 30;
+        w.field = Field::new(1400.0, 350.0);
+        w.duration = SimDuration::from_secs(60.0);
+    }
+    cfg.traffic = TrafficConfig {
+        num_flows: 8,
+        rate_pps: 2.0,
+        packet_bytes: 512,
+        start_window: SimDuration::from_secs(3.0),
+    };
+    cfg.duration = SimDuration::from_secs(60.0);
+    cfg
+}
+
+#[test]
+fn every_variant_survives_a_mobile_network() {
+    for dsr in [
+        DsrConfig::base(),
+        DsrConfig::wider_error(),
+        DsrConfig::adaptive_expiry(),
+        DsrConfig::negative_cache(),
+        DsrConfig::combined(),
+    ] {
+        let label = dsr.label();
+        let r = run_scenario(stressed(dsr, 3));
+        assert!(r.originated > 500, "{label}: traffic should flow, got {r}");
+        assert!(
+            r.delivery_fraction > 0.5,
+            "{label}: mobile delivery collapsed: {r}"
+        );
+        assert!(r.link_breaks > 0, "{label}: constant motion must break links");
+        assert!(r.discoveries > 0, "{label}: discovery must happen");
+    }
+}
+
+#[test]
+fn mobile_runs_are_deterministic() {
+    let a = run_scenario(stressed(DsrConfig::combined(), 11));
+    let b = run_scenario(stressed(DsrConfig::combined(), 11));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn combined_variant_improves_cache_quality() {
+    // The paper's core claim, checked end-to-end at small scale: DSR-C
+    // produces better replies and fewer invalid cache hits than base DSR
+    // under constant motion. Averaged over two seeds to damp variance.
+    let mean = |dsr: DsrConfig| {
+        let reports: Vec<Report> =
+            [21, 22].iter().map(|&s| run_scenario(stressed(dsr.clone(), s))).collect();
+        Report::mean(&reports)
+    };
+    let base = mean(DsrConfig::base());
+    let combined = mean(DsrConfig::combined());
+    assert!(
+        combined.good_reply_pct > base.good_reply_pct,
+        "DSR-C reply quality must beat base DSR: {} vs {}",
+        combined.good_reply_pct,
+        base.good_reply_pct
+    );
+    assert!(
+        combined.invalid_cache_pct < base.invalid_cache_pct,
+        "DSR-C must hand out fewer stale routes: {} vs {}",
+        combined.invalid_cache_pct,
+        base.invalid_cache_pct
+    );
+}
+
+#[test]
+fn static_network_needs_no_error_machinery() {
+    // Pause = duration freezes the network; with no link breaks the
+    // variants are all near-perfect and never send route errors.
+    let mut cfg = ScenarioConfig::tiny(30.0, 2.0, DsrConfig::combined(), 5);
+    cfg.duration = SimDuration::from_secs(30.0);
+    let r = run_scenario(cfg);
+    assert!(r.delivery_fraction > 0.95, "static network should deliver: {r}");
+    assert_eq!(r.link_breaks, 0, "no mobility, no breaks: {r}");
+}
+
+#[test]
+fn send_buffer_drops_surface_in_report() {
+    // An unreachable destination: packets age out of the send buffer after
+    // 30 s and must be accounted as drops, not silently vanish.
+    let mut cfg = ScenarioConfig::static_line(2, 5_000.0, 1.0, DsrConfig::base(), 5);
+    cfg.duration = SimDuration::from_secs(40.0);
+    let r = run_scenario(cfg);
+    assert_eq!(r.delivered, 0);
+    assert!(r.dsr_drops > 0, "buffer timeouts must be recorded: {r}");
+}
+
+#[test]
+fn oracle_judges_replies_against_ground_truth() {
+    // In a static network every accepted reply is good (nothing ever
+    // breaks), so the good-reply percentage must be 100.
+    let cfg = ScenarioConfig::static_line(4, 200.0, 2.0, DsrConfig::base(), 6);
+    let r = run_scenario(cfg);
+    assert!(r.replies_received > 0);
+    assert_eq!(r.good_reply_pct, 100.0, "static replies cannot be stale: {r}");
+    assert_eq!(r.invalid_cache_pct, 0.0, "static cache hits cannot be stale: {r}");
+}

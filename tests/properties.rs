@@ -1,0 +1,281 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning the workspace crates.
+
+use proptest::prelude::*;
+
+use dsr_caching::dsr::{NegativeCache, NegativeCacheConfig, PathCache};
+use dsr_caching::mobility::{Field, MobilityModel, RandomWaypoint, WaypointConfig};
+use dsr_caching::packet::{Link, Route};
+use dsr_caching::sim_core::{EventQueue, NodeId, RngFactory, SimDuration, SimTime};
+
+/// Strategy: a loop-free node sequence of 2..=8 nodes drawn from 0..16.
+fn arb_route() -> impl Strategy<Value = Route> {
+    proptest::collection::vec(0u16..16, 2..=8)
+        .prop_filter_map("must be loop-free", |ids| {
+            let nodes: Vec<NodeId> = ids.into_iter().map(NodeId::new).collect();
+            Route::new(nodes).ok()
+        })
+}
+
+fn arb_link() -> impl Strategy<Value = Link> {
+    (0u16..16, 0u16..16)
+        .prop_filter("distinct endpoints", |(a, b)| a != b)
+        .prop_map(|(a, b)| Link::new(NodeId::new(a), NodeId::new(b)))
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Route invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn route_never_contains_duplicates(route in arb_route()) {
+        let nodes = route.nodes();
+        for (i, n) in nodes.iter().enumerate() {
+            prop_assert!(!nodes[..i].contains(n), "route {route} repeats {n}");
+        }
+    }
+
+    #[test]
+    fn route_reversal_is_involutive(route in arb_route()) {
+        prop_assert_eq!(route.reversed().reversed(), route);
+    }
+
+    #[test]
+    fn route_prefix_suffix_partition(route in arb_route(), idx in 0usize..8) {
+        let nodes = route.nodes();
+        let node = nodes[idx % nodes.len()];
+        let prefix = route.prefix_through(node).expect("node is on route");
+        let suffix = route.suffix_from(node).expect("node is on route");
+        prop_assert_eq!(prefix.destination(), node);
+        prop_assert_eq!(suffix.source(), node);
+        prop_assert_eq!(prefix.len() + suffix.len(), route.len() + 1);
+        // Rejoining reproduces the original route.
+        prop_assert_eq!(prefix.join(&suffix).expect("partition is loop-free"), route.clone());
+    }
+
+    #[test]
+    fn route_truncation_removes_the_link(route in arb_route()) {
+        for link in route.links().collect::<Vec<_>>() {
+            let truncated = route.truncate_before_link(link).expect("link is on route");
+            prop_assert!(!truncated.contains_link(link));
+            prop_assert_eq!(truncated.destination(), link.from);
+            prop_assert_eq!(truncated.source(), route.source());
+        }
+    }
+
+    #[test]
+    fn forwarding_follows_route_order(route in arb_route()) {
+        // Walking next_hop_after from the source visits nodes in order and
+        // terminates — the "source routing never loops" guarantee.
+        let mut current = route.source();
+        let mut visited = vec![current];
+        while let Some(next) = route.next_hop_after(current) {
+            prop_assert!(!visited.contains(&next), "forwarding revisited {next}");
+            visited.push(next);
+            current = next;
+        }
+        prop_assert_eq!(current, route.destination());
+        prop_assert_eq!(visited.len(), route.len());
+    }
+
+    // ------------------------------------------------------------------
+    // Path cache invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn cache_find_returns_valid_routes(routes in proptest::collection::vec(arb_route(), 1..12)) {
+        let owner = NodeId::new(0);
+        let mut cache = PathCache::new(owner, 8);
+        let now = SimTime::ZERO;
+        for r in routes {
+            // Only routes rooted at the owner are insertable; reroot by
+            // prefixing the owner when absent.
+            if r.source() == owner {
+                cache.insert(r, now);
+            } else if !r.contains(owner) {
+                let mut nodes = vec![owner];
+                nodes.extend_from_slice(r.nodes());
+                if let Ok(rr) = Route::new(nodes) {
+                    cache.insert(rr, now);
+                }
+            }
+        }
+        for dst in (1..16).map(NodeId::new) {
+            if let Some(found) = cache.find(dst, now) {
+                prop_assert_eq!(found.source(), owner);
+                prop_assert_eq!(found.destination(), dst);
+                prop_assert!(found.hops() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_remove_link_leaves_no_trace(
+        routes in proptest::collection::vec(arb_route(), 1..10),
+        link in arb_link(),
+    ) {
+        let owner = NodeId::new(0);
+        let mut cache = PathCache::new(owner, 16);
+        let now = SimTime::ZERO;
+        for r in routes {
+            if r.source() == owner {
+                cache.insert(r, now);
+            }
+        }
+        cache.remove_link(link, now);
+        prop_assert!(!cache.contains_link(link));
+        for entry in cache.iter() {
+            prop_assert!(entry.path().hops() >= 1);
+        }
+    }
+
+    #[test]
+    fn cache_expiry_is_monotone(
+        routes in proptest::collection::vec(arb_route(), 1..8),
+        timeout_s in 1.0f64..20.0,
+    ) {
+        let owner = NodeId::new(0);
+        let mut cache = PathCache::new(owner, 16);
+        for r in routes {
+            if r.source() == owner {
+                cache.insert(r, SimTime::ZERO);
+            }
+        }
+        let before = cache.len();
+        // Expiring well past the timeout clears everything; expiring at
+        // time zero clears nothing.
+        let mut young = cache.clone();
+        young.expire(SimTime::ZERO, SimDuration::from_secs(timeout_s));
+        prop_assert_eq!(young.len(), before, "nothing is stale at t=0");
+        cache.expire(SimTime::from_secs(timeout_s + 100.0), SimDuration::from_secs(timeout_s));
+        prop_assert_eq!(cache.len(), 0, "everything is stale far in the future");
+    }
+
+    // ------------------------------------------------------------------
+    // Negative cache / route cache mutual exclusion
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn negative_cache_mutual_exclusion(
+        links in proptest::collection::vec(arb_link(), 1..20),
+    ) {
+        let mut neg = NegativeCache::new(NegativeCacheConfig::default());
+        let owner = NodeId::new(0);
+        let mut cache = PathCache::new(owner, 16);
+        let now = SimTime::from_secs(1.0);
+        // Blacklist every other link, removing it from the path cache as
+        // the agent does.
+        for (i, link) in links.iter().enumerate() {
+            if i % 2 == 0 {
+                neg.insert(*link, now);
+                cache.remove_link(*link, now);
+            }
+        }
+        // Insert some routes, truncating at blacklisted links (the agent's
+        // insert_route rule).
+        for window in links.windows(3) {
+            let mut nodes = vec![owner];
+            for l in window {
+                if !nodes.contains(&l.from) {
+                    nodes.push(l.from);
+                }
+            }
+            if let Ok(route) = Route::new(nodes) {
+                let mut cut = route.len();
+                for (i, l) in route.links().enumerate() {
+                    if neg.contains(l, now) {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                if cut >= 2 {
+                    let truncated = Route::new(route.nodes()[..cut].to_vec()).expect("prefix");
+                    if truncated.hops() >= 1 {
+                        cache.insert(truncated, now);
+                    }
+                }
+            }
+        }
+        // Invariant: no blacklisted link is present in the route cache.
+        for link in &links {
+            if neg.contains(*link, now) {
+                prop_assert!(!cache.contains_link(*link),
+                    "link {link} is in both caches");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event queue is a total order
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last, "events out of order");
+            last = at;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn event_queue_cancellation_is_exact(
+        times in proptest::collection::vec(0u64..1_000, 1..60),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_nanos(t), i))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i % cancel_mask.len()] {
+                q.cancel(*id);
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    // ------------------------------------------------------------------
+    // Mobility invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn waypoint_positions_always_in_field(
+        seed in 0u64..1_000,
+        pause_s in 0.0f64..30.0,
+        query_s in 0.0f64..100.0,
+    ) {
+        let cfg = WaypointConfig {
+            num_nodes: 8,
+            field: Field::new(800.0, 300.0),
+            min_speed: 0.1,
+            max_speed: 20.0,
+            pause_time: SimDuration::from_secs(pause_s),
+            duration: SimDuration::from_secs(60.0),
+        };
+        let m = RandomWaypoint::generate(&cfg, RngFactory::new(seed));
+        for node in 0..8u16 {
+            let p = m.position(NodeId::new(node), SimTime::from_secs(query_s));
+            prop_assert!(cfg.field.contains(p), "node {node} at {p} left {}", cfg.field);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The observation surfaces (packet trace, delivery series) must reflect
+//! what actually happened in a run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dsr_caching::prelude::*;
+use dsr_caching::runner::TraceKind;
+
+#[test]
+fn trace_sees_every_delivery_the_metrics_count() {
+    let cfg = ScenarioConfig::static_line(3, 200.0, 4.0, DsrConfig::base(), 2);
+    let mut sim = Simulator::new(cfg);
+    let deliveries = Arc::new(AtomicUsize::new(0));
+    let sends = Arc::new(AtomicUsize::new(0));
+    let (d, s) = (Arc::clone(&deliveries), Arc::clone(&sends));
+    sim.set_trace(Box::new(move |ev| match ev.kind {
+        TraceKind::Deliver { .. } => {
+            d.fetch_add(1, Ordering::Relaxed);
+        }
+        TraceKind::MacSend { .. } => {
+            s.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }));
+    let report = sim.run();
+    assert_eq!(
+        deliveries.load(Ordering::Relaxed) as u64,
+        report.delivered,
+        "trace and metrics disagree on deliveries"
+    );
+    let mac_tx = report.mac_control_tx + report.routing_tx + report.data_tx;
+    assert_eq!(sends.load(Ordering::Relaxed) as u64, mac_tx, "trace and metrics disagree on sends");
+}
+
+#[test]
+fn series_totals_match_the_report() {
+    let cfg = ScenarioConfig::static_line(3, 200.0, 4.0, DsrConfig::base(), 2);
+    let mut sim = Simulator::new(cfg);
+    sim.enable_series(5.0);
+    let report = sim.run();
+    let series = report.series.as_ref().expect("series enabled");
+    let originated: u64 = series.iter().map(|p| p.originated).sum();
+    let delivered: u64 = series.iter().map(|p| p.delivered).sum();
+    assert_eq!(originated, report.originated);
+    assert_eq!(delivered, report.delivered);
+}
+
+#[test]
+fn trace_events_render_nonempty() {
+    let cfg = ScenarioConfig::static_line(2, 200.0, 2.0, DsrConfig::base(), 3);
+    let mut sim = Simulator::new(cfg);
+    let all_nonempty = Arc::new(AtomicUsize::new(1));
+    let flag = Arc::clone(&all_nonempty);
+    sim.set_trace(Box::new(move |ev| {
+        if format!("{ev}").is_empty() {
+            flag.store(0, Ordering::Relaxed);
+        }
+    }));
+    sim.run();
+    assert_eq!(all_nonempty.load(Ordering::Relaxed), 1);
+}
