@@ -20,7 +20,7 @@ use sim_core::{NodeId, SimDuration, SimRng, SimTime};
 
 use dsr::{PendingData, RequestTable, SendBuffer};
 
-use crate::packets::{AodvData, AodvPacket, Rerr, Rreq, Rrep};
+use crate::packets::{AodvData, AodvPacket, Rerr, Rrep, Rreq};
 use crate::table::RoutingTable;
 
 /// TTL for network-wide request floods.
@@ -192,9 +192,7 @@ impl AodvNode {
             hop_count: 0,
             ttl,
         };
-        cmds.push(Cmd::Event {
-            event: ProtocolEvent::DiscoveryStarted { target, flood: ttl > 1 },
-        });
+        cmds.push(Cmd::Event { event: ProtocolEvent::DiscoveryStarted { target, flood: ttl > 1 } });
         cmds.push(Cmd::Send {
             packet: AodvPacket::Rreq(rreq),
             next_hop: NodeId::BROADCAST,
@@ -269,14 +267,8 @@ impl AodvNode {
         cmds: &mut Vec<Cmd>,
     ) {
         cmds.push(Cmd::Event { event: ProtocolEvent::ReplyOriginated { from_cache } });
-        let rrep = Rrep {
-            uid: self.fresh_uid(),
-            origin,
-            target,
-            target_seq,
-            hop_count,
-            from_cache,
-        };
+        let rrep =
+            Rrep { uid: self.fresh_uid(), origin, target, target_seq, hop_count, from_cache };
         cmds.push(Cmd::Send {
             packet: AodvPacket::Rrep(rrep),
             next_hop: reverse_hop,
@@ -481,9 +473,7 @@ impl RoutingAgent for AodvNode {
     fn on_tx_failed(&mut self, packet: AodvPacket, next_hop: NodeId, now: SimTime) -> Vec<Cmd> {
         let mut cmds = Vec::new();
         cmds.push(Cmd::Event {
-            event: ProtocolEvent::LinkBreakDetected {
-                link: packet::Link::new(self.id, next_hop),
-            },
+            event: ProtocolEvent::LinkBreakDetected { link: packet::Link::new(self.id, next_hop) },
         });
         let unreachable = self.table.invalidate_via(next_hop);
         self.send_rerr(unreachable, &mut cmds);
@@ -627,7 +617,9 @@ mod tests {
         // C (the target) replies via B.
         let cmds = c.on_receive(n(1), out_b[0].0.clone(), t(1.05));
         let out_c = sends(&cmds);
-        let (AodvPacket::Rrep(rrep), hop) = (&out_c[0].0, out_c[0].1) else { panic!("expected RREP") };
+        let (AodvPacket::Rrep(rrep), hop) = (&out_c[0].0, out_c[0].1) else {
+            panic!("expected RREP")
+        };
         assert!(!rrep.from_cache);
         assert_eq!(hop, n(1));
 
@@ -639,10 +631,9 @@ mod tests {
 
         // A accepts the reply and flushes its buffered packet via B.
         let cmds = a.on_receive(n(1), out_b[0].0.clone(), t(1.07));
-        assert!(cmds.iter().any(|c| matches!(
-            c,
-            Cmd::Event { event: ProtocolEvent::ReplyAccepted { .. } }
-        )));
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, Cmd::Event { event: ProtocolEvent::ReplyAccepted { .. } })));
         let out_a = sends(&cmds);
         let (AodvPacket::Data(_), hop) = (&out_a[0].0, out_a[0].1) else { panic!("expected DATA") };
         assert_eq!(hop, n(1));
@@ -660,7 +651,14 @@ mod tests {
     fn intermediate_reply_quenches_flood() {
         let mut b = agent(1);
         // Teach B a fresh route to 5 via a reply.
-        let rrep = Rrep { uid: 1, origin: n(9), target: n(5), target_seq: 4, hop_count: 0, from_cache: false };
+        let rrep = Rrep {
+            uid: 1,
+            origin: n(9),
+            target: n(5),
+            target_seq: 4,
+            hop_count: 0,
+            from_cache: false,
+        };
         b.on_receive(n(5), AodvPacket::Rrep(rrep), t(0.5));
         let rreq = Rreq {
             uid: 2,
@@ -683,7 +681,14 @@ mod tests {
     #[test]
     fn stale_route_does_not_answer_fresher_request() {
         let mut b = agent(1);
-        let rrep = Rrep { uid: 1, origin: n(9), target: n(5), target_seq: 4, hop_count: 0, from_cache: false };
+        let rrep = Rrep {
+            uid: 1,
+            origin: n(9),
+            target: n(5),
+            target_seq: 4,
+            hop_count: 0,
+            from_cache: false,
+        };
         b.on_receive(n(5), AodvPacket::Rrep(rrep), t(0.5));
         // Requester already knows seq 7 — B's seq-4 route is too stale.
         let rreq = Rreq {
@@ -705,7 +710,14 @@ mod tests {
     #[test]
     fn link_failure_invalidates_and_reports() {
         let mut b = agent(1);
-        let rrep = Rrep { uid: 1, origin: n(9), target: n(5), target_seq: 4, hop_count: 1, from_cache: false };
+        let rrep = Rrep {
+            uid: 1,
+            origin: n(9),
+            target: n(5),
+            target_seq: 4,
+            hop_count: 1,
+            from_cache: false,
+        };
         b.on_receive(n(3), AodvPacket::Rrep(rrep), t(0.5));
         assert!(b.table().valid_entry(n(5), t(0.6)).is_some());
         let data = AodvData {
@@ -729,7 +741,14 @@ mod tests {
     #[test]
     fn rerr_propagates_only_when_it_invalidates() {
         let mut b = agent(1);
-        let rrep = Rrep { uid: 1, origin: n(9), target: n(5), target_seq: 4, hop_count: 1, from_cache: false };
+        let rrep = Rrep {
+            uid: 1,
+            origin: n(9),
+            target: n(5),
+            target_seq: 4,
+            hop_count: 1,
+            from_cache: false,
+        };
         b.on_receive(n(3), AodvPacket::Rrep(rrep), t(0.5));
         // An error from an unrelated neighbor changes nothing.
         let unrelated = Rerr { uid: 2, unreachable: vec![(n(5), 9)] };
@@ -746,7 +765,14 @@ mod tests {
     #[test]
     fn routes_expire_on_tick() {
         let mut b = agent(1);
-        let rrep = Rrep { uid: 1, origin: n(9), target: n(5), target_seq: 4, hop_count: 1, from_cache: false };
+        let rrep = Rrep {
+            uid: 1,
+            origin: n(9),
+            target: n(5),
+            target_seq: 4,
+            hop_count: 1,
+            from_cache: false,
+        };
         b.on_receive(n(3), AodvPacket::Rrep(rrep), t(0.0));
         b.on_timer(AodvTimer::Tick, t(25.0)); // past my_route_timeout (20 s)
         assert!(b.table().valid_entry(n(5), t(25.0)).is_none());

@@ -32,5 +32,5 @@ pub mod packets;
 pub mod table;
 
 pub use agent::{AodvConfig, AodvNode, AodvTimer};
-pub use packets::{AodvData, AodvPacket, Rerr, Rreq, Rrep};
+pub use packets::{AodvData, AodvPacket, Rerr, Rrep, Rreq};
 pub use table::{RouteEntry, RoutingTable};

@@ -139,10 +139,18 @@ impl fmt::Display for AodvPacket {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AodvPacket::Rreq(p) => {
-                write!(f, "RREQ#{} {}=>{} id={} ttl={}", p.uid, p.origin, p.target, p.request_id, p.ttl)
+                write!(
+                    f,
+                    "RREQ#{} {}=>{} id={} ttl={}",
+                    p.uid, p.origin, p.target, p.request_id, p.ttl
+                )
             }
             AodvPacket::Rrep(p) => {
-                write!(f, "RREP#{} {}<={} seq={} hops={}", p.uid, p.origin, p.target, p.target_seq, p.hop_count)
+                write!(
+                    f,
+                    "RREP#{} {}<={} seq={} hops={}",
+                    p.uid, p.origin, p.target, p.target_seq, p.hop_count
+                )
             }
             AodvPacket::Rerr(p) => write!(f, "RERR#{} {} unreachable", p.uid, p.unreachable.len()),
             AodvPacket::Data(p) => write!(f, "DATA#{} {}->{}", p.uid, p.src, p.dst),

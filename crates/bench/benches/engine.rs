@@ -28,9 +28,8 @@ fn bench_event_queue(c: &mut Criterion) {
     group.bench_function("schedule_cancel_half_10k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
-            let ids: Vec<_> = (0..10_000u64)
-                .map(|i| q.schedule(SimTime::from_nanos(i % 1_000), i))
-                .collect();
+            let ids: Vec<_> =
+                (0..10_000u64).map(|i| q.schedule(SimTime::from_nanos(i % 1_000), i)).collect();
             for id in ids.iter().step_by(2) {
                 q.cancel(*id);
             }

@@ -84,15 +84,10 @@ impl AdaptiveTimeout {
     /// `T` with the *time since last break* correction term optionally
     /// disabled (the `ablation_adaptive` experiment).
     pub fn timeout_with(&self, now: SimTime, quiet_term: bool) -> SimDuration {
-        let since_break = if quiet_term {
-            now.saturating_since(self.last_break)
-        } else {
-            SimDuration::ZERO
-        };
-        let scaled_avg = self
-            .average_lifetime()
-            .map(|avg| avg.mul_f64(self.alpha))
-            .unwrap_or(SimDuration::ZERO);
+        let since_break =
+            if quiet_term { now.saturating_since(self.last_break) } else { SimDuration::ZERO };
+        let scaled_avg =
+            self.average_lifetime().map(|avg| avg.mul_f64(self.alpha)).unwrap_or(SimDuration::ZERO);
         scaled_avg.max(since_break).max(self.min_timeout)
     }
 }

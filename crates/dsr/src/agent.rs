@@ -22,8 +22,8 @@
 use std::collections::{HashSet, VecDeque};
 
 use packet::{
-    CacheHitKind, DataPacket, DropReason, ErrorDelivery, Link, Packet, ProtocolEvent,
-    RouteErrorPkt, RouteReply, RouteRequest, Route,
+    CacheHitKind, DataPacket, DropReason, ErrorDelivery, Link, Packet, ProtocolEvent, Route,
+    RouteErrorPkt, RouteReply, RouteRequest,
 };
 
 use sim_core::rng::uniform;
@@ -239,13 +239,7 @@ impl DsrNode {
     ) -> Vec<DsrCommand> {
         assert!(dst != self.id && !dst.is_broadcast(), "invalid destination {dst}");
         let mut cmds = Vec::new();
-        let pending = PendingData {
-            uid: self.fresh_uid(),
-            dst,
-            seq,
-            payload_bytes,
-            sent_at: now,
-        };
+        let pending = PendingData { uid: self.fresh_uid(), dst, seq, payload_bytes, sent_at: now };
         if let Some(route) = self.cache.find(dst, now) {
             cmds.push(DsrCommand::Event {
                 event: DsrEvent::CacheHit { route: route.clone(), kind: CacheHitKind::Origination },
@@ -253,7 +247,10 @@ impl DsrNode {
             self.send_data_on_route(pending, route, 0, now, &mut cmds);
         } else {
             if let Some(evicted) = self.send_buffer.push(pending, now) {
-                cmds.push(DsrCommand::Drop { uid: evicted.uid, reason: DropReason::SendBufferFull });
+                cmds.push(DsrCommand::Drop {
+                    uid: evicted.uid,
+                    reason: DropReason::SendBufferFull,
+                });
             }
             self.ensure_discovery(dst, now, &mut cmds);
         }
@@ -274,7 +271,12 @@ impl DsrNode {
 
     /// The MAC promiscuously overheard a data-bearing frame addressed to
     /// someone else (`transmitter` is the MAC-level sender).
-    pub fn on_snoop(&mut self, transmitter: NodeId, packet: &Packet, now: SimTime) -> Vec<DsrCommand> {
+    pub fn on_snoop(
+        &mut self,
+        transmitter: NodeId,
+        packet: &Packet,
+        now: SimTime,
+    ) -> Vec<DsrCommand> {
         let mut cmds = Vec::new();
         if !self.cfg.promiscuous {
             return cmds;
@@ -300,7 +302,12 @@ impl DsrNode {
 
     /// Link-layer feedback: the MAC exhausted its retries sending `packet`
     /// to `next_hop`.
-    pub fn on_tx_failed(&mut self, packet: Packet, next_hop: NodeId, now: SimTime) -> Vec<DsrCommand> {
+    pub fn on_tx_failed(
+        &mut self,
+        packet: Packet,
+        next_hop: NodeId,
+        now: SimTime,
+    ) -> Vec<DsrCommand> {
         let mut cmds = Vec::new();
         let link = Link::new(self.id, next_hop);
         cmds.push(DsrCommand::Event { event: DsrEvent::LinkBreakDetected { link } });
@@ -314,15 +321,24 @@ impl DsrNode {
                 // Report the break toward the reply's own source route
                 // origin, then give the reply up.
                 self.originate_route_error_for_route(link, &rep.route, now, &mut cmds);
-                cmds.push(DsrCommand::Drop { uid: rep.uid, reason: DropReason::ControlUndeliverable });
+                cmds.push(DsrCommand::Drop {
+                    uid: rep.uid,
+                    reason: DropReason::ControlUndeliverable,
+                });
             }
             Packet::Error(err) => {
-                cmds.push(DsrCommand::Drop { uid: err.uid, reason: DropReason::ControlUndeliverable });
+                cmds.push(DsrCommand::Drop {
+                    uid: err.uid,
+                    reason: DropReason::ControlUndeliverable,
+                });
             }
             Packet::Request(req) => {
                 // Requests are broadcast; a unicast failure here is
                 // impossible, but drop defensively.
-                cmds.push(DsrCommand::Drop { uid: req.uid, reason: DropReason::ControlUndeliverable });
+                cmds.push(DsrCommand::Drop {
+                    uid: req.uid,
+                    reason: DropReason::ControlUndeliverable,
+                });
             }
         }
         cmds
@@ -350,11 +366,7 @@ impl DsrNode {
         let request_id = self.requests.start(target, nonprop);
         let ttl = if nonprop { 1 } else { FLOOD_TTL };
         self.send_request(target, request_id, ttl, now, cmds);
-        let timeout = if nonprop {
-            self.cfg.nonprop_timeout
-        } else {
-            self.cfg.request_period
-        };
+        let timeout = if nonprop { self.cfg.nonprop_timeout } else { self.cfg.request_period };
         cmds.push(DsrCommand::SetTimer {
             timer: DsrTimer::RequestTimeout(target),
             at: now + timeout,
@@ -369,11 +381,7 @@ impl DsrNode {
         _now: SimTime,
         cmds: &mut Vec<DsrCommand>,
     ) {
-        let piggyback = if self.cfg.gratuitous_repair {
-            self.pending_error.take()
-        } else {
-            None
-        };
+        let piggyback = if self.cfg.gratuitous_repair { self.pending_error.take() } else { None };
         let req = RouteRequest {
             uid: self.fresh_uid(),
             origin: self.id,
@@ -403,8 +411,7 @@ impl DsrNode {
             return;
         }
         let (request_id, backoff) =
-            self.requests
-                .escalate(target, self.cfg.request_period, self.cfg.max_request_period);
+            self.requests.escalate(target, self.cfg.request_period, self.cfg.max_request_period);
         self.send_request(target, request_id, FLOOD_TTL, now, cmds);
         cmds.push(DsrCommand::SetTimer {
             timer: DsrTimer::RequestTimeout(target),
@@ -468,7 +475,13 @@ impl DsrNode {
         // TTL exhausted (non-propagating probe): quietly die here.
     }
 
-    fn send_reply(&mut self, discovered: Route, from_cache: bool, _now: SimTime, cmds: &mut Vec<DsrCommand>) {
+    fn send_reply(
+        &mut self,
+        discovered: Route,
+        from_cache: bool,
+        _now: SimTime,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
         let reply_route = discovered
             .prefix_through(self.id)
             .expect("replier is on the discovered route")
@@ -531,10 +544,7 @@ impl DsrNode {
                     });
                 }
                 _ => {
-                    cmds.push(DsrCommand::Drop {
-                        uid: rep.uid,
-                        reason: DropReason::NotOnRoute,
-                    });
+                    cmds.push(DsrCommand::Drop { uid: rep.uid, reason: DropReason::NotOnRoute });
                 }
             }
         }
@@ -641,7 +651,10 @@ impl DsrNode {
                 sent_at: data.sent_at,
             };
             if let Some(evicted) = self.send_buffer.push(pending, now) {
-                cmds.push(DsrCommand::Drop { uid: evicted.uid, reason: DropReason::SendBufferFull });
+                cmds.push(DsrCommand::Drop {
+                    uid: evicted.uid,
+                    reason: DropReason::SendBufferFull,
+                });
             }
             self.ensure_discovery(data.dst, now, cmds);
         } else {

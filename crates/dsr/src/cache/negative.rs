@@ -152,10 +152,7 @@ mod tests {
         neg.insert(link(2, 3), SimTime::ZERO);
         let links = vec![link(0, 1), link(1, 2), link(2, 3), link(3, 4)];
         assert_eq!(neg.first_blacklisted(links, SimTime::from_secs(1.0)), Some(link(2, 3)));
-        assert_eq!(
-            neg.first_blacklisted(vec![link(7, 8)], SimTime::from_secs(1.0)),
-            None
-        );
+        assert_eq!(neg.first_blacklisted(vec![link(7, 8)], SimTime::from_secs(1.0)), None);
     }
 
     #[test]

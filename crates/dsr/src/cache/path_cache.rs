@@ -148,9 +148,7 @@ impl PathCache {
         }
         // Refresh if `path` is a prefix of (or equal to) an existing entry.
         for entry in &mut self.entries {
-            if entry.path.len() >= path.len()
-                && entry.path.nodes()[..path.len()] == *path.nodes()
-            {
+            if entry.path.len() >= path.len() && entry.path.nodes()[..path.len()] == *path.nodes() {
                 for ts in entry.last_used[..path.len()].iter_mut() {
                     *ts = now;
                 }
@@ -159,8 +157,7 @@ impl PathCache {
             }
         }
         // Replace any existing entries that are prefixes of the new path.
-        self.entries
-            .retain(|e| e.path.nodes() != &path.nodes()[..e.path.len().min(path.len())]);
+        self.entries.retain(|e| e.path.nodes() != &path.nodes()[..e.path.len().min(path.len())]);
         if self.entries.len() >= self.capacity {
             self.evict_lru();
         }
@@ -169,11 +166,8 @@ impl PathCache {
     }
 
     fn evict_lru(&mut self) {
-        if let Some((idx, _)) = self
-            .entries
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| e.most_recent_use())
+        if let Some((idx, _)) =
+            self.entries.iter().enumerate().min_by_key(|(_, e)| e.most_recent_use())
         {
             self.entries.swap_remove(idx);
         }

@@ -207,10 +207,7 @@ impl DsrConfig {
 
     /// Base DSR + static timer-based route expiry with the given timeout.
     pub fn static_expiry(timeout: SimDuration) -> Self {
-        DsrConfig {
-            expiry: ExpiryPolicy::Static { timeout },
-            ..DsrConfig::base()
-        }
+        DsrConfig { expiry: ExpiryPolicy::Static { timeout }, ..DsrConfig::base() }
     }
 
     /// Base DSR + negative caches.
@@ -278,10 +275,7 @@ mod tests {
         assert_eq!(DsrConfig::adaptive_expiry().label(), "DSR-AE");
         assert_eq!(DsrConfig::negative_cache().label(), "DSR-NC");
         assert_eq!(DsrConfig::combined().label(), "DSR-C");
-        assert_eq!(
-            DsrConfig::static_expiry(SimDuration::from_secs(10.0)).label(),
-            "DSR-SE(10s)"
-        );
+        assert_eq!(DsrConfig::static_expiry(SimDuration::from_secs(10.0)).label(), "DSR-SE(10s)");
     }
 
     #[test]

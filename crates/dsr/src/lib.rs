@@ -28,7 +28,6 @@ pub mod send_buffer;
 
 pub use adaptive::AdaptiveTimeout;
 pub use agent::{DsrCommand, DsrEvent, DsrNode, DsrTimer};
-pub use packet::{CacheHitKind, DropReason};
 pub use cache::link_cache::LinkCache;
 pub use cache::negative::NegativeCache;
 pub use cache::path_cache::{PathCache, PathEntry, RemovedLink};
@@ -36,5 +35,6 @@ pub use cache::RouteCache;
 pub use config::{
     CacheOrganization, DsrConfig, ExpiryPolicy, NegativeCacheConfig, WiderErrorRebroadcast,
 };
+pub use packet::{CacheHitKind, DropReason};
 pub use request_table::{DiscoveryPhase, RequestTable};
 pub use send_buffer::{PendingData, SendBuffer};

@@ -71,18 +71,10 @@ impl RequestTable {
         assert!(!self.discovering(target), "discovery for {target} already in flight");
         let id = self.next_request_id;
         self.next_request_id += 1;
-        let phase = if nonprop {
-            DiscoveryPhase::NonPropagating
-        } else {
-            DiscoveryPhase::Flooding
-        };
+        let phase = if nonprop { DiscoveryPhase::NonPropagating } else { DiscoveryPhase::Flooding };
         self.in_flight.insert(
             target,
-            Discovery {
-                request_id: id,
-                phase,
-                flood_attempts: u32::from(!nonprop),
-            },
+            Discovery { request_id: id, phase, flood_attempts: u32::from(!nonprop) },
         );
         id
     }
@@ -102,10 +94,8 @@ impl RequestTable {
     ) -> (u64, SimDuration) {
         let id = self.next_request_id;
         self.next_request_id += 1;
-        let disc = self
-            .in_flight
-            .get_mut(&target)
-            .expect("escalating a discovery that is not in flight");
+        let disc =
+            self.in_flight.get_mut(&target).expect("escalating a discovery that is not in flight");
         disc.request_id = id;
         disc.phase = DiscoveryPhase::Flooding;
         let exponent = disc.flood_attempts.min(16);

@@ -3,9 +3,7 @@
 //! forwarding, salvaging, error propagation, and each of the paper's three
 //! cache-correctness techniques.
 
-use dsr::{
-    CacheHitKind, DropReason, DsrCommand, DsrConfig, DsrEvent, DsrNode, DsrTimer,
-};
+use dsr::{CacheHitKind, DropReason, DsrCommand, DsrConfig, DsrEvent, DsrNode, DsrTimer};
 use packet::{DataPacket, ErrorDelivery, Link, Packet, Route};
 use sim_core::{NodeId, RngFactory, SimDuration, SimTime};
 
@@ -46,7 +44,9 @@ fn events(cmds: &[DsrCommand]) -> Vec<DsrEvent> {
 
 fn request_timeout_at(cmds: &[DsrCommand], target: NodeId) -> Option<SimTime> {
     cmds.iter().find_map(|c| match c {
-        DsrCommand::SetTimer { timer: DsrTimer::RequestTimeout(d), at } if *d == target => Some(*at),
+        DsrCommand::SetTimer { timer: DsrTimer::RequestTimeout(d), at } if *d == target => {
+            Some(*at)
+        }
         _ => None,
     })
 }
@@ -177,7 +177,11 @@ fn intermediate_answers_from_cache_and_quenches() {
         hop: 0,
         salvage_count: 0,
     };
-    b.on_receive(n(4), Packet::Data(DataPacket { dst: n(1), route: route(&[5, 4, 1]), ..snooped }), t(0.6));
+    b.on_receive(
+        n(4),
+        Packet::Data(DataPacket { dst: n(1), route: route(&[5, 4, 1]), ..snooped }),
+        t(0.6),
+    );
     assert!(b.cache().find(n(5), t(0.6)).is_none() || b.cache().find(n(5), t(0.6)).is_some());
     // Ensure a cached route exists: feed a reply that B forwards (it learns
     // the discovered route segments it belongs to).
@@ -241,7 +245,9 @@ fn tx_failure_unicasts_error_and_salvages() {
     };
     let cmds = b.on_tx_failed(Packet::Data(data), n(2), t(1.1));
     let evs = events(&cmds);
-    assert!(evs.iter().any(|e| matches!(e, DsrEvent::LinkBreakDetected { link } if *link == Link::new(n(1), n(2)))));
+    assert!(evs.iter().any(
+        |e| matches!(e, DsrEvent::LinkBreakDetected { link } if *link == Link::new(n(1), n(2)))
+    ));
     let out = sends(&cmds);
     // One unicast RERR back to source 0, one salvaged DATA via node 4.
     let errs: Vec<_> = out.iter().filter(|(p, _)| matches!(p, Packet::Error(_))).collect();
@@ -254,7 +260,9 @@ fn tx_failure_unicasts_error_and_salvages() {
     assert_eq!(salvaged.salvage_count, 1);
     assert_eq!(salvaged.route, route(&[1, 4, 3]));
     assert_eq!(salvaged.src, n(0), "original source is preserved");
-    assert!(evs.iter().any(|e| matches!(e, DsrEvent::CacheHit { kind: CacheHitKind::Salvage, .. })));
+    assert!(evs
+        .iter()
+        .any(|e| matches!(e, DsrEvent::CacheHit { kind: CacheHitKind::Salvage, .. })));
     // The broken link is gone from the cache.
     assert!(!b.cache().contains_link(Link::new(n(1), n(2))));
 }

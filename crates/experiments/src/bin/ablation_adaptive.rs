@@ -20,14 +20,20 @@ fn main() {
 
     let mut table = Table::new(
         format!("ablation_adaptive_{}", mode.tag()),
-        &["config", "delivery_fraction", "avg_delay_s", "normalized_overhead", "good_replies_pct"],
+        &[
+            "config",
+            "delivery_fraction",
+            "avg_delay_s",
+            "normalized_overhead",
+            "good_replies_pct",
+            "runs_failed",
+            "faults_injected",
+        ],
     );
 
     for alpha in [0.5, 0.75, 1.0, 1.25, 1.5, 2.0] {
-        let dsr = DsrConfig {
-            expiry: ExpiryPolicy::adaptive_with_alpha(alpha),
-            ..DsrConfig::base()
-        };
+        let dsr =
+            DsrConfig { expiry: ExpiryPolicy::adaptive_with_alpha(alpha), ..DsrConfig::base() };
         let r = run_point(&mode.scenario(0.0, 3.0, dsr), mode);
         table.row(vec![
             format!("alpha={alpha}"),
@@ -35,6 +41,8 @@ fn main() {
             f3(r.avg_delay_s),
             f3(r.normalized_overhead),
             pct(r.good_reply_pct),
+            r.runs_failed.to_string(),
+            r.faults_injected.to_string(),
         ]);
     }
 
@@ -55,6 +63,8 @@ fn main() {
         f3(r.avg_delay_s),
         f3(r.normalized_overhead),
         pct(r.good_reply_pct),
+        r.runs_failed.to_string(),
+        r.faults_injected.to_string(),
     ]);
 
     println!("\nAblation: adaptive timeout (alpha sweep, quiet-term on/off)\n");

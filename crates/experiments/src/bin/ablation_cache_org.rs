@@ -28,6 +28,8 @@ fn main() {
             "normalized_overhead",
             "good_replies_pct",
             "invalid_cache_pct",
+            "runs_failed",
+            "faults_injected",
         ],
     );
 
@@ -45,6 +47,8 @@ fn main() {
             f3(r.normalized_overhead),
             pct(r.good_reply_pct),
             pct(r.invalid_cache_pct),
+            r.runs_failed.to_string(),
+            r.faults_injected.to_string(),
         ]);
     }
 

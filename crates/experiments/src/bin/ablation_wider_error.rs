@@ -30,6 +30,8 @@ fn main() {
             "normalized_overhead",
             "good_replies_pct",
             "error_rebroadcasts",
+            "runs_failed",
+            "faults_injected",
         ],
     );
 
@@ -47,6 +49,8 @@ fn main() {
             f3(r.normalized_overhead),
             pct(r.good_reply_pct),
             r.error_rebroadcasts.to_string(),
+            r.runs_failed.to_string(),
+            r.faults_injected.to_string(),
         ]);
     }
 

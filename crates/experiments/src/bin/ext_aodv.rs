@@ -18,22 +18,14 @@
 
 use aodv::{AodvConfig, AodvNode};
 use dsr::DsrConfig;
-use experiments::{f3, ExpMode, Table};
-use metrics::Report;
-use runner::{run_scenario_with, ScenarioConfig};
+use experiments::{f3, run_point_with, ExpMode, Point, Table};
+use runner::ScenarioConfig;
 
-fn run_aodv_point(base: &ScenarioConfig, aodv: &AodvConfig, seeds: &[u64]) -> Report {
-    let reports: Vec<Report> = seeds
-        .iter()
-        .map(|&seed| {
-            let cfg = ScenarioConfig { seed, ..base.clone() };
-            let aodv = aodv.clone();
-            run_scenario_with(cfg, aodv.label(), move |node, rng| {
-                AodvNode::new(node, aodv.clone(), rng)
-            })
-        })
-        .collect();
-    Report::mean(&reports)
+fn run_aodv_point(base: &ScenarioConfig, aodv: &AodvConfig, mode: ExpMode) -> Point {
+    let aodv = aodv.clone();
+    run_point_with(base, mode, aodv.label(), move |node, rng| {
+        AodvNode::new(node, aodv.clone(), rng)
+    })
 }
 
 fn main() {
@@ -43,7 +35,15 @@ fn main() {
 
     let mut table = Table::new(
         format!("ext_aodv_{}", mode.tag()),
-        &["pause_s", "variant", "delivery_fraction", "avg_delay_s", "normalized_overhead"],
+        &[
+            "pause_s",
+            "variant",
+            "delivery_fraction",
+            "avg_delay_s",
+            "normalized_overhead",
+            "runs_failed",
+            "faults_injected",
+        ],
     );
 
     for pause_s in mode.pause_sweep() {
@@ -57,6 +57,8 @@ fn main() {
                 f3(r.delivery_fraction),
                 f3(r.avg_delay_s),
                 f3(r.normalized_overhead),
+                r.runs_failed.to_string(),
+                r.faults_injected.to_string(),
             ]);
         }
         // AODV with and without intermediate replies.
@@ -65,23 +67,15 @@ fn main() {
             AodvConfig { intermediate_replies: false, ..AodvConfig::default() },
         ] {
             let base = mode.scenario(pause_s, rate_pps, DsrConfig::base());
-            let started = std::time::Instant::now();
-            let r = run_aodv_point(&base, &aodv, &mode.seeds());
-            eprintln!(
-                "  [{}] {} seeds -> delivery {:.1}%, delay {:.3}s, overhead {:.2} ({:.0}s wall)",
-                r.label,
-                mode.seeds().len(),
-                100.0 * r.delivery_fraction,
-                r.avg_delay_s,
-                r.normalized_overhead,
-                started.elapsed().as_secs_f64()
-            );
+            let r = run_aodv_point(&base, &aodv, mode);
             table.row(vec![
                 format!("{pause_s:.0}"),
                 r.label.clone(),
                 f3(r.delivery_fraction),
                 f3(r.avg_delay_s),
                 f3(r.normalized_overhead),
+                r.runs_failed.to_string(),
+                r.faults_injected.to_string(),
             ]);
         }
     }

@@ -17,25 +17,17 @@
 //! ```
 
 use dsr::{DsrConfig, DsrNode};
-use experiments::{f3, ExpMode, Table};
-use metrics::Report;
-use runner::{run_scenario_with, ScenarioConfig};
+use experiments::{f3, run_point_with, ExpMode, Point, Table};
+use runner::ScenarioConfig;
 use tcp::{TcpConfig, TcpHost};
 use traffic::TrafficConfig;
 
-fn run_tcp_point(base: &ScenarioConfig, dsr: &DsrConfig, label: &str, seeds: &[u64]) -> Report {
-    let reports: Vec<Report> = seeds
-        .iter()
-        .map(|&seed| {
-            let cfg = ScenarioConfig { seed, ..base.clone() };
-            let dsr = dsr.clone();
-            run_scenario_with(cfg, label.to_string(), move |node, rng| {
-                let agent = DsrNode::new(node, dsr.clone(), rng);
-                TcpHost::new(agent, TcpConfig::default(), 512)
-            })
-        })
-        .collect();
-    Report::mean(&reports)
+fn run_tcp_point(base: &ScenarioConfig, dsr: &DsrConfig, label: &str, mode: ExpMode) -> Point {
+    let dsr = dsr.clone();
+    run_point_with(base, mode, label, move |node, rng| {
+        let agent = DsrNode::new(node, dsr.clone(), rng);
+        TcpHost::new(agent, TcpConfig::default(), 512)
+    })
 }
 
 fn main() {
@@ -44,7 +36,15 @@ fn main() {
 
     let mut table = Table::new(
         format!("ext_tcp_{}", mode.tag()),
-        &["variant", "goodput_kbps", "segment_delivery", "avg_delay_s", "normalized_overhead"],
+        &[
+            "variant",
+            "goodput_kbps",
+            "segment_delivery",
+            "avg_delay_s",
+            "normalized_overhead",
+            "runs_failed",
+            "faults_injected",
+        ],
     );
 
     let variants: Vec<(&str, DsrConfig)> = vec![
@@ -63,20 +63,16 @@ fn main() {
             packet_bytes: 512,
             start_window: sim_core::SimDuration::from_secs(1.0),
         };
-        let started = std::time::Instant::now();
-        let r = run_tcp_point(&base, &dsr, label, &mode.seeds());
-        eprintln!(
-            "  [{label}] goodput {:.1} kb/s, delivery {:.1}% ({:.0}s wall)",
-            r.throughput_kbps,
-            100.0 * r.delivery_fraction,
-            started.elapsed().as_secs_f64()
-        );
+        let r = run_tcp_point(&base, &dsr, label, mode);
+        eprintln!("  [{label}] goodput {:.1} kb/s", r.throughput_kbps);
         table.row(vec![
             label.to_string(),
             f3(r.throughput_kbps),
             f3(r.delivery_fraction),
             f3(r.avg_delay_s),
             f3(r.normalized_overhead),
+            r.runs_failed.to_string(),
+            r.faults_injected.to_string(),
         ]);
     }
 

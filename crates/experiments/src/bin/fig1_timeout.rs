@@ -24,7 +24,15 @@ fn main() {
 
     let mut table = Table::new(
         format!("fig1_timeout_{}", mode.tag()),
-        &["timeout_s", "variant", "delivery_fraction", "avg_delay_s", "normalized_overhead"],
+        &[
+            "timeout_s",
+            "variant",
+            "delivery_fraction",
+            "avg_delay_s",
+            "normalized_overhead",
+            "runs_failed",
+            "faults_injected",
+        ],
     );
 
     // Reference lines: no timeout (base DSR) and adaptive selection.
@@ -35,6 +43,8 @@ fn main() {
         f3(base.delivery_fraction),
         f3(base.avg_delay_s),
         f3(base.normalized_overhead),
+        base.runs_failed.to_string(),
+        base.faults_injected.to_string(),
     ]);
     let adaptive = run_point(&mode.scenario(pause_s, rate_pps, DsrConfig::adaptive_expiry()), mode);
     table.row(vec![
@@ -43,6 +53,8 @@ fn main() {
         f3(adaptive.delivery_fraction),
         f3(adaptive.avg_delay_s),
         f3(adaptive.normalized_overhead),
+        adaptive.runs_failed.to_string(),
+        adaptive.faults_injected.to_string(),
     ]);
 
     for timeout_s in mode.timeout_sweep() {
@@ -54,12 +66,12 @@ fn main() {
             f3(r.delivery_fraction),
             f3(r.avg_delay_s),
             f3(r.normalized_overhead),
+            r.runs_failed.to_string(),
+            r.faults_injected.to_string(),
         ]);
     }
 
     println!("\nFig 1: performance vs static timeout (pause 0 s, 3 pkt/s)\n");
     table.finish();
-    println!(
-        "expected shape: 1 s timeout < no-timeout; peak near 10 s; adaptive ~= best static."
-    );
+    println!("expected shape: 1 s timeout < no-timeout; peak near 10 s; adaptive ~= best static.");
 }

@@ -23,7 +23,15 @@ fn main() {
 
     let mut table = Table::new(
         format!("fig2_mobility_{}", mode.tag()),
-        &["pause_s", "variant", "delivery_fraction", "avg_delay_s", "normalized_overhead"],
+        &[
+            "pause_s",
+            "variant",
+            "delivery_fraction",
+            "avg_delay_s",
+            "normalized_overhead",
+            "runs_failed",
+            "faults_injected",
+        ],
     );
 
     for pause_s in mode.pause_sweep() {
@@ -36,6 +44,8 @@ fn main() {
                 f3(r.delivery_fraction),
                 f3(r.avg_delay_s),
                 f3(r.normalized_overhead),
+                r.runs_failed.to_string(),
+                r.faults_injected.to_string(),
             ]);
         }
     }

@@ -30,6 +30,8 @@ fn main() {
             "throughput_kbps",
             "avg_delay_s",
             "normalized_overhead",
+            "runs_failed",
+            "faults_injected",
         ],
     );
 
@@ -45,6 +47,8 @@ fn main() {
                 f3(r.throughput_kbps),
                 f3(r.avg_delay_s),
                 f3(r.normalized_overhead),
+                r.runs_failed.to_string(),
+                r.faults_injected.to_string(),
             ]);
         }
     }

@@ -24,7 +24,15 @@ fn main() {
 
     let mut table = Table::new(
         format!("table3_cache_{}", mode.tag()),
-        &["variant", "good_replies_pct", "invalid_cached_routes_pct", "replies_received", "cache_hits"],
+        &[
+            "variant",
+            "good_replies_pct",
+            "invalid_cached_routes_pct",
+            "replies_received",
+            "cache_hits",
+            "runs_failed",
+            "faults_injected",
+        ],
     );
 
     for dsr in variants() {
@@ -35,6 +43,8 @@ fn main() {
             pct(r.invalid_cache_pct),
             r.replies_received.to_string(),
             r.cache_hits.to_string(),
+            r.runs_failed.to_string(),
+            r.faults_injected.to_string(),
         ]);
     }
 

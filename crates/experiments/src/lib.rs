@@ -5,8 +5,11 @@
 //!
 //! - [`ExpMode`] — `--quick` (time-compressed scenario, 2 seeds; the
 //!   default) vs `--full` (the paper's exact 500 s / 5 seed setup);
-//! - [`run_point`] — run one `(scenario, variant)` point across seeds and
-//!   average, echoing progress to stderr;
+//! - [`run_point`] — run one `(scenario, variant)` point across seeds as a
+//!   crash-isolated campaign and average the survivors, echoing progress
+//!   (and any per-seed failures) to stderr;
+//! - [`Point`] — the mean report plus how many runs failed, so binaries
+//!   emit partial CSVs instead of dying with the first bad seed;
 //! - [`Table`] — aligned stdout tables plus CSV files under `results/`.
 
 use std::fmt::Write as _;
@@ -14,8 +17,9 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 use dsr::DsrConfig;
-use metrics::Report;
-use runner::{run_seeds, ScenarioConfig};
+use metrics::{Metrics, Report};
+use runner::{run_campaign, run_campaign_with, CampaignConfig, RoutingAgent, ScenarioConfig};
+use sim_core::{NodeId, SimRng};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,23 +109,98 @@ pub fn variants() -> Vec<DsrConfig> {
     ]
 }
 
-/// Runs one configuration across the mode's seeds and returns the mean
-/// report, logging progress to stderr.
-pub fn run_point(base: &ScenarioConfig, mode: ExpMode) -> Report {
+/// One averaged data point: the mean report across the seeds that
+/// completed, plus how many runs produced no report. Derefs to [`Report`]
+/// so table code reads the metrics directly.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Mean report across the surviving seeds; an all-zero report with the
+    /// right label when every seed failed.
+    pub report: Report,
+    /// Seeds that produced no report despite the campaign's retry policy.
+    pub runs_failed: usize,
+}
+
+impl std::ops::Deref for Point {
+    type Target = Report;
+    fn deref(&self) -> &Report {
+        &self.report
+    }
+}
+
+impl Point {
+    fn from_campaign(result: runner::CampaignResult, label: &str, duration_s: f64) -> Point {
+        Point {
+            report: result
+                .mean()
+                .unwrap_or_else(|| Metrics::new().report(label, duration_s.max(1e-9))),
+            runs_failed: result.failures.len(),
+        }
+    }
+}
+
+/// Runs one DSR configuration across the mode's seeds as a crash-isolated
+/// campaign and returns the mean over the seeds that survived, logging
+/// progress — and any failures — to stderr.
+pub fn run_point(base: &ScenarioConfig, mode: ExpMode) -> Point {
     let seeds = mode.seeds();
     let started = std::time::Instant::now();
-    let reports = run_seeds(base, &seeds, 1);
-    let mean = Report::mean(&reports);
+    let result = run_campaign(base, &seeds, &CampaignConfig::default());
+    if !result.all_ok() {
+        eprintln!(
+            "  [{}] WARNING: {}/{} runs failed: {}",
+            base.dsr.label(),
+            result.failures.len(),
+            seeds.len(),
+            result.failure_summary()
+        );
+    }
+    let point = Point::from_campaign(result, &base.dsr.label(), base.duration.as_secs());
+    log_point(&point, seeds.len(), started);
+    point
+}
+
+/// [`run_point`] over an arbitrary routing protocol (AODV, TCP-over-DSR,
+/// ...): same crash isolation and failure accounting, custom agent
+/// factory.
+pub fn run_point_with<A, F>(
+    base: &ScenarioConfig,
+    mode: ExpMode,
+    label: impl Into<String>,
+    make_agent: F,
+) -> Point
+where
+    A: RoutingAgent,
+    F: Fn(NodeId, SimRng) -> A + Send + Sync,
+{
+    let label = label.into();
+    let seeds = mode.seeds();
+    let started = std::time::Instant::now();
+    let result = run_campaign_with(base, &seeds, &CampaignConfig::default(), &label, make_agent);
+    if !result.all_ok() {
+        eprintln!(
+            "  [{label}] WARNING: {}/{} runs failed: {}",
+            result.failures.len(),
+            seeds.len(),
+            result.failure_summary()
+        );
+    }
+    let point = Point::from_campaign(result, &label, base.duration.as_secs());
+    log_point(&point, seeds.len(), started);
+    point
+}
+
+fn log_point(point: &Point, seeds: usize, started: std::time::Instant) {
     eprintln!(
-        "  [{}] {} seeds -> delivery {:.1}%, delay {:.3}s, overhead {:.2} ({:.0}s wall)",
-        mean.label,
-        seeds.len(),
-        100.0 * mean.delivery_fraction,
-        mean.avg_delay_s,
-        mean.normalized_overhead,
+        "  [{}] {}/{} seeds -> delivery {:.1}%, delay {:.3}s, overhead {:.2} ({:.0}s wall)",
+        point.label,
+        seeds - point.runs_failed,
+        seeds,
+        100.0 * point.delivery_fraction,
+        point.avg_delay_s,
+        point.normalized_overhead,
         started.elapsed().as_secs_f64()
     );
-    mean
 }
 
 /// An aligned results table that also lands in `results/<name>.csv`.
@@ -232,6 +311,22 @@ mod tests {
     fn table_rejects_ragged_rows() {
         let mut t = Table::new("test", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn point_degrades_to_a_zero_report_when_every_seed_fails() {
+        let result = runner::CampaignResult {
+            reports: vec![],
+            failures: vec![runner::RunFailure {
+                seed: 7,
+                error: runner::RunError::Panicked { seed: 7, payload: "boom".into() },
+                retried: false,
+            }],
+        };
+        let p = Point::from_campaign(result, "DSR", 120.0);
+        assert_eq!(p.runs_failed, 1);
+        assert_eq!(p.report.label, "DSR");
+        assert_eq!(p.originated, 0, "Deref reaches the zeroed report");
     }
 
     #[test]

@@ -321,11 +321,8 @@ impl<P: Clone> Dcf<P> {
                     // Immediate access: a fresh packet facing an idle medium
                     // waits only DIFS. If the medium is busy it will draw a
                     // full backoff when contention resumes.
-                    self.remaining_slots = if self.busy_until(now).is_none() {
-                        0
-                    } else {
-                        self.draw_slots()
-                    };
+                    self.remaining_slots =
+                        if self.busy_until(now).is_none() { 0 } else { self.draw_slots() };
                 }
                 None => {
                     self.state = MainState::Idle;
@@ -364,10 +361,7 @@ impl<P: Clone> Dcf<P> {
     /// The earliest instant the medium *might* be idle, or `None` if idle
     /// now. Combines physical carrier, NAV, and our own transmitter.
     fn busy_until(&self, now: SimTime) -> Option<SimTime> {
-        let horizon = self
-            .phys_busy_until
-            .max(self.nav_until)
-            .max(self.radio_busy_until);
+        let horizon = self.phys_busy_until.max(self.nav_until).max(self.radio_busy_until);
         (horizon > now).then_some(horizon)
     }
 
@@ -376,7 +370,8 @@ impl<P: Clone> Dcf<P> {
         cmds.push(MacCommand::CancelTimer { timer: MacTimer::Defer });
         let elapsed = now.saturating_since(self.defer_started);
         if elapsed > self.cfg.difs {
-            let slots_done = ((elapsed - self.cfg.difs).as_nanos() / self.cfg.slot.as_nanos()) as u32;
+            let slots_done =
+                ((elapsed - self.cfg.difs).as_nanos() / self.cfg.slot.as_nanos()) as u32;
             self.remaining_slots = self.remaining_slots.saturating_sub(slots_done);
         }
         self.state = MainState::WaitIdle;
@@ -415,10 +410,8 @@ impl<P: Clone> Dcf<P> {
             self.transmit(frame, now, cmds);
         } else if self.cfg.uses_rts(pkt.bytes) {
             let data_dur = self.cfg.data_duration(pkt.bytes);
-            let nav = self.cfg.sifs * 3
-                + self.cfg.cts_duration()
-                + data_dur
-                + self.cfg.ack_duration();
+            let nav =
+                self.cfg.sifs * 3 + self.cfg.cts_duration() + data_dur + self.cfg.ack_duration();
             let frame = MacFrame {
                 kind: FrameKind::Rts,
                 src: self.node,
@@ -632,9 +625,7 @@ impl<P: Clone> Dcf<P> {
             return;
         }
         // Remaining reservation after our CTS ends.
-        let nav = frame
-            .nav
-            .saturating_sub(self.cfg.sifs + self.cfg.cts_duration());
+        let nav = frame.nav.saturating_sub(self.cfg.sifs + self.cfg.cts_duration());
         let cts = MacFrame {
             kind: FrameKind::Cts,
             src: self.node,
@@ -780,7 +771,9 @@ mod tests {
             payload: None,
         };
         let cmds = mac.on_receive(ack, data_end + cfg.sifs + cfg.ack_duration());
-        assert!(cmds.iter().any(|c| matches!(c, MacCommand::TxOk { dst } if *dst == NodeId::new(1))));
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, MacCommand::TxOk { dst } if *dst == NodeId::new(1))));
         assert!(mac.is_idle());
     }
 
@@ -797,10 +790,9 @@ mod tests {
             let cmds = mac.on_timer(MacTimer::TxEnd, tx_end);
             let cts_to = timer_at(&cmds, MacTimer::CtsTimeout).unwrap();
             let cmds = mac.on_timer(MacTimer::CtsTimeout, cts_to);
-            if cmds
-                .iter()
-                .any(|c| matches!(c, MacCommand::TxFailed { payload: 7, dst } if *dst == NodeId::new(1)))
-            {
+            if cmds.iter().any(
+                |c| matches!(c, MacCommand::TxFailed { payload: 7, dst } if *dst == NodeId::new(1)),
+            ) {
                 failed = true;
                 break;
             }
@@ -856,10 +848,9 @@ mod tests {
         // Channel turns busy mid-countdown: Defer cancelled, Recheck armed.
         let mid = t(0.001) + cfg.difs + cfg.slot;
         let cmds = mac.on_channel_busy(mid, t(0.020));
-        assert!(cmds.iter().any(|c| matches!(
-            c,
-            MacCommand::CancelTimer { timer: MacTimer::Defer }
-        )));
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, MacCommand::CancelTimer { timer: MacTimer::Defer })));
         assert_eq!(timer_at(&cmds, MacTimer::Recheck), Some(t(0.020)));
     }
 
@@ -911,7 +902,10 @@ mod tests {
             payload: None,
         };
         let cmds = mac.on_receive(rts, t(0.001));
-        assert!(timer_at(&cmds, MacTimer::SifsResponse).is_none(), "CTS must be withheld under NAV");
+        assert!(
+            timer_at(&cmds, MacTimer::SifsResponse).is_none(),
+            "CTS must be withheld under NAV"
+        );
     }
 
     #[test]
@@ -996,8 +990,7 @@ mod tests {
     fn ack_timeouts_exhaust_into_link_failure_without_rts() {
         let mut cfg = MacConfig::ieee80211_dsss();
         cfg.rts_threshold_bytes = 10_000; // plain DATA path
-        let mut mac: TestDcf =
-            Dcf::new(NodeId::new(0), cfg, RngFactory::new(1).stream("mac", 0));
+        let mut mac: TestDcf = Dcf::new(NodeId::new(0), cfg, RngFactory::new(1).stream("mac", 0));
         let cmds = mac.enqueue(3, NodeId::new(1), 512, Priority::Data, t(0.0));
         let mut defer_at = timer_at(&cmds, MacTimer::Defer).unwrap();
         let mut failed = false;

@@ -61,6 +61,10 @@ pub struct Metrics {
 
     drops: HashMap<DropReason, u64>,
     ifq_drops: u64,
+
+    faults_injected: u64,
+    frames_corrupted: u64,
+    arrivals_suppressed: u64,
 }
 
 impl Metrics {
@@ -186,6 +190,23 @@ impl Metrics {
         self.ifq_drops += 1;
     }
 
+    /// A scheduled fault event activated (node crash, blackout window,
+    /// corruption window, ...).
+    pub fn record_fault_injected(&mut self) {
+        self.faults_injected += 1;
+    }
+
+    /// A frame copy was corrupted in flight by a fault-injection window.
+    pub fn record_frame_corrupted(&mut self) {
+        self.frames_corrupted += 1;
+    }
+
+    /// An in-range receiver never sensed a frame because a fault (node
+    /// down, link blackout) silenced it.
+    pub fn record_arrivals_suppressed(&mut self, n: u64) {
+        self.arrivals_suppressed += n;
+    }
+
     /// Drop count for one reason.
     pub fn drops(&self, reason: DropReason) -> u64 {
         self.drops.get(&reason).copied().unwrap_or(0)
@@ -246,6 +267,9 @@ impl Metrics {
             error_rebroadcasts: self.error_rebroadcasts,
             ifq_drops: self.ifq_drops,
             dsr_drops: self.drops.values().sum(),
+            faults_injected: self.faults_injected,
+            frames_corrupted: self.frames_corrupted,
+            arrivals_suppressed: self.arrivals_suppressed,
             series: self.series_points(),
         }
     }
@@ -315,6 +339,12 @@ pub struct Report {
     pub ifq_drops: u64,
     /// All DSR-level drops.
     pub dsr_drops: u64,
+    /// Scheduled fault events that activated during the run.
+    pub faults_injected: u64,
+    /// Frame copies destroyed by corruption windows.
+    pub frames_corrupted: u64,
+    /// In-range receptions silenced by node-down / blackout faults.
+    pub arrivals_suppressed: u64,
     /// Delivery time series, when enabled on the collector.
     pub series: Option<Vec<SeriesPoint>>,
 }
@@ -331,8 +361,9 @@ impl Report {
         assert!(!reports.is_empty(), "cannot average zero reports");
         let n = reports.len() as f64;
         let favg = |f: &dyn Fn(&Report) -> f64| reports.iter().map(f).sum::<f64>() / n;
-        let uavg =
-            |f: &dyn Fn(&Report) -> u64| (reports.iter().map(f).sum::<u64>() as f64 / n).round() as u64;
+        let uavg = |f: &dyn Fn(&Report) -> u64| {
+            (reports.iter().map(f).sum::<u64>() as f64 / n).round() as u64
+        };
         // Overhead can be infinite in a degenerate run; propagate finitely.
         let overhead = {
             let vals: Vec<f64> =
@@ -374,6 +405,9 @@ impl Report {
             error_rebroadcasts: uavg(&|r| r.error_rebroadcasts),
             ifq_drops: uavg(&|r| r.ifq_drops),
             dsr_drops: uavg(&|r| r.dsr_drops),
+            faults_injected: uavg(&|r| r.faults_injected),
+            frames_corrupted: uavg(&|r| r.frames_corrupted),
+            arrivals_suppressed: uavg(&|r| r.arrivals_suppressed),
             // Per-seed series are not merged; averaging loses alignment.
             series: None,
         }
@@ -398,7 +432,11 @@ impl std::fmt::Display for Report {
         writeln!(
             f,
             "  overhead {:.2}/pkt (routing {} + mac {}), discoveries {} ({} floods)",
-            self.normalized_overhead, self.routing_tx, self.mac_control_tx, self.discoveries, self.floods
+            self.normalized_overhead,
+            self.routing_tx,
+            self.mac_control_tx,
+            self.discoveries,
+            self.floods
         )?;
         write!(
             f,
@@ -408,7 +446,15 @@ impl std::fmt::Display for Report {
             self.invalid_cache_pct,
             self.cache_hits,
             self.link_breaks
-        )
+        )?;
+        if self.faults_injected > 0 {
+            write!(
+                f,
+                "\n  faults {} (corrupted {} frames, suppressed {} arrivals)",
+                self.faults_injected, self.frames_corrupted, self.arrivals_suppressed
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -524,6 +570,24 @@ mod tests {
         assert!((mean.delivery_fraction - 0.5).abs() < 1e-12);
         assert_eq!(mean.originated, 2); // (1 + 2) / 2 rounded
         assert_eq!(mean.label, "DSR");
+    }
+
+    #[test]
+    fn fault_counters_flow_into_report() {
+        let mut m = Metrics::new();
+        m.record_fault_injected();
+        m.record_fault_injected();
+        m.record_frame_corrupted();
+        m.record_arrivals_suppressed(3);
+        let r = m.report("x", 10.0);
+        assert_eq!(r.faults_injected, 2);
+        assert_eq!(r.frames_corrupted, 1);
+        assert_eq!(r.arrivals_suppressed, 3);
+        let text = format!("{r}");
+        assert!(text.contains("faults 2"), "display surfaces faults: {text}");
+        // A fault-free run stays visually identical to the legacy format.
+        let clean = format!("{}", Metrics::new().report("x", 10.0));
+        assert!(!clean.contains("faults"));
     }
 
     #[test]

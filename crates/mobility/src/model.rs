@@ -26,9 +26,7 @@ pub trait MobilityModel: Send + Sync {
 
     /// Positions of all nodes at instant `t`, in node-index order.
     fn snapshot(&self, t: SimTime) -> Vec<Point> {
-        (0..self.num_nodes())
-            .map(|i| self.position(NodeId::new(i as u16), t))
-            .collect()
+        (0..self.num_nodes()).map(|i| self.position(NodeId::new(i as u16), t)).collect()
     }
 }
 
@@ -63,10 +61,7 @@ impl StaticPositions {
         assert!(!positions.is_empty(), "a scenario needs at least one node");
         let w = positions.iter().map(|p| p.x).fold(0.0_f64, f64::max);
         let h = positions.iter().map(|p| p.y).fold(0.0_f64, f64::max);
-        StaticPositions {
-            positions,
-            field: Field::new(w.max(1.0) + 1.0, h.max(1.0) + 1.0),
-        }
+        StaticPositions { positions, field: Field::new(w.max(1.0) + 1.0, h.max(1.0) + 1.0) }
     }
 
     /// `n` nodes on a horizontal line, `spacing` meters apart.

@@ -270,7 +270,8 @@ mod tests {
             for step in 0..500 {
                 let t0 = SimTime::from_secs(step as f64 * dt);
                 let t1 = SimTime::from_secs((step + 1) as f64 * dt);
-                let d = m.position(NodeId::new(node), t0).distance(m.position(NodeId::new(node), t1));
+                let d =
+                    m.position(NodeId::new(node), t0).distance(m.position(NodeId::new(node), t1));
                 // Allow tiny numeric slack; a waypoint turn within the window
                 // can only *reduce* apparent displacement.
                 assert!(d <= cfg.max_speed * dt + 1e-6, "node {node} moved {d} m in {dt} s");

@@ -123,11 +123,7 @@ impl RouteRequest {
     /// Wire size: IP header + request option with accumulated addresses
     /// (+ the piggybacked error option, if present).
     pub fn wire_size(&self) -> usize {
-        let err = if self.piggyback_error.is_some() {
-            RERR_OPTION_FIXED_BYTES
-        } else {
-            0
-        };
+        let err = if self.piggyback_error.is_some() { RERR_OPTION_FIXED_BYTES } else { 0 };
         IP_HEADER_BYTES + RREQ_OPTION_FIXED_BYTES + ADDR_BYTES * self.path.len() + err
     }
 }
@@ -304,7 +300,11 @@ impl fmt::Display for Packet {
         match self {
             Packet::Data(p) => write!(f, "DATA#{} {}->{} via {}", p.uid, p.src, p.dst, p.route),
             Packet::Request(p) => {
-                write!(f, "RREQ#{} {}=>{} id={} ttl={}", p.uid, p.origin, p.target, p.request_id, p.ttl)
+                write!(
+                    f,
+                    "RREQ#{} {}=>{} id={} ttl={}",
+                    p.uid, p.origin, p.target, p.request_id, p.ttl
+                )
             }
             Packet::Reply(p) => write!(f, "RREP#{} route {}", p.uid, p.discovered),
             Packet::Error(p) => write!(f, "RERR#{} broken {}", p.uid, p.broken),

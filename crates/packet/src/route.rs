@@ -195,10 +195,7 @@ impl Route {
     /// notification: *"all source routes containing the broken link are
     /// truncated at the point of failure."*
     pub fn truncate_before_link(&self, link: Link) -> Option<Route> {
-        let i = self
-            .nodes
-            .windows(2)
-            .position(|w| w[0] == link.from && w[1] == link.to)?;
+        let i = self.nodes.windows(2).position(|w| w[0] == link.from && w[1] == link.to)?;
         Some(Route { nodes: self.nodes[..=i].to_vec() })
     }
 
@@ -217,11 +214,7 @@ impl Route {
     /// Panics if `self.destination() != rest.source()`; callers join routes
     /// only at a shared node.
     pub fn join(&self, rest: &Route) -> Result<Route, InvalidRoute> {
-        assert_eq!(
-            self.destination(),
-            rest.source(),
-            "joined routes must share the junction node"
-        );
+        assert_eq!(self.destination(), rest.source(), "joined routes must share the junction node");
         let mut nodes = self.nodes.clone();
         nodes.extend_from_slice(&rest.nodes[1..]);
         Route::new(nodes)
@@ -339,10 +332,7 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(format!("{}", r(&[0, 1, 2])), "n0-n1-n2");
-        assert_eq!(
-            format!("{}", Link::new(NodeId::new(1), NodeId::new(2))),
-            "n1->n2"
-        );
+        assert_eq!(format!("{}", Link::new(NodeId::new(1), NodeId::new(2))), "n1->n2");
     }
 
     #[test]

@@ -25,6 +25,6 @@ pub mod medium;
 pub mod propagation;
 pub mod receiver;
 
-pub use medium::{plan_arrivals, Arrival, TxIdSource};
+pub use medium::{plan_arrivals, plan_arrivals_masked, Arrival, PlannedArrivals, TxIdSource};
 pub use propagation::{RadioConfig, SPEED_OF_LIGHT};
 pub use receiver::{ArrivalVerdict, ReceiverState, TxId};

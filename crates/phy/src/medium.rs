@@ -42,8 +42,35 @@ pub fn plan_arrivals(
     duration: SimDuration,
     cfg: &RadioConfig,
 ) -> Vec<Arrival> {
+    plan_arrivals_masked(tx, positions, now, duration, cfg, |_| false).arrivals
+}
+
+/// The outcome of [`plan_arrivals_masked`]: the surviving arrivals plus the
+/// count of receivers that would have sensed the frame but were suppressed
+/// by the mask (fault injection bookkeeping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedArrivals {
+    /// Arrivals at receivers the mask let through.
+    pub arrivals: Vec<Arrival>,
+    /// In-range receivers the mask silenced.
+    pub suppressed: u64,
+}
+
+/// Like [`plan_arrivals`], but receivers for which `suppress` returns
+/// `true` never sense the frame at all — no signal energy, no carrier, no
+/// capture. This models crashed nodes and regional link blackouts: the
+/// medium simply does not exist for them.
+pub fn plan_arrivals_masked(
+    tx: NodeId,
+    positions: &[Point],
+    now: SimTime,
+    duration: SimDuration,
+    cfg: &RadioConfig,
+    mut suppress: impl FnMut(NodeId) -> bool,
+) -> PlannedArrivals {
     let tx_pos = positions[tx.index()];
     let mut arrivals = Vec::new();
+    let mut suppressed = 0u64;
     for (i, &pos) in positions.iter().enumerate() {
         if i == tx.index() {
             continue;
@@ -53,11 +80,16 @@ pub fn plan_arrivals(
         if power < cfg.cs_threshold_w {
             continue;
         }
+        let receiver = NodeId::new(i as u16);
+        if suppress(receiver) {
+            suppressed += 1;
+            continue;
+        }
         let delay = SimDuration::from_secs(cfg.propagation_delay_s(dist));
         let start = now + delay;
-        arrivals.push(Arrival { receiver: NodeId::new(i as u16), power_w: power, start, end: start + duration });
+        arrivals.push(Arrival { receiver, power_w: power, start, end: start + duration });
     }
-    arrivals
+    PlannedArrivals { arrivals, suppressed }
 }
 
 /// Monotonically increasing transmission-id source.
@@ -90,13 +122,8 @@ mod tests {
     fn neighbors_in_rx_range_hear_loudly() {
         let cfg = RadioConfig::wavelan();
         let pos = line_positions(4, 200.0);
-        let arrivals = plan_arrivals(
-            NodeId::new(0),
-            &pos,
-            SimTime::ZERO,
-            SimDuration::from_millis(1.0),
-            &cfg,
-        );
+        let arrivals =
+            plan_arrivals(NodeId::new(0), &pos, SimTime::ZERO, SimDuration::from_millis(1.0), &cfg);
         // 200 m: decodable; 400 m: carrier only; 600 m: silent.
         assert_eq!(arrivals.len(), 2);
         assert_eq!(arrivals[0].receiver, NodeId::new(1));
@@ -136,6 +163,44 @@ mod tests {
         let arrivals =
             plan_arrivals(NodeId::new(0), &pos, SimTime::ZERO, SimDuration::from_millis(1.0), &cfg);
         assert!(arrivals.is_empty());
+    }
+
+    #[test]
+    fn mask_silences_receivers_and_counts_them() {
+        let cfg = RadioConfig::wavelan();
+        let pos = line_positions(4, 200.0);
+        let dead = NodeId::new(1);
+        let planned = plan_arrivals_masked(
+            NodeId::new(0),
+            &pos,
+            SimTime::ZERO,
+            SimDuration::from_millis(1.0),
+            &cfg,
+            |rx| rx == dead,
+        );
+        assert_eq!(planned.suppressed, 1);
+        assert!(planned.arrivals.iter().all(|a| a.receiver != dead));
+        // Node 2 (carrier-only range) still senses the frame.
+        assert_eq!(planned.arrivals.len(), 1);
+        assert_eq!(planned.arrivals[0].receiver, NodeId::new(2));
+    }
+
+    #[test]
+    fn empty_mask_matches_plan_arrivals() {
+        let cfg = RadioConfig::wavelan();
+        let pos = line_positions(5, 180.0);
+        let plain =
+            plan_arrivals(NodeId::new(2), &pos, SimTime::ZERO, SimDuration::from_millis(1.0), &cfg);
+        let masked = plan_arrivals_masked(
+            NodeId::new(2),
+            &pos,
+            SimTime::ZERO,
+            SimDuration::from_millis(1.0),
+            &cfg,
+            |_| false,
+        );
+        assert_eq!(masked.arrivals, plain);
+        assert_eq!(masked.suppressed, 0);
     }
 
     #[test]

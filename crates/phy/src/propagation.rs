@@ -152,8 +152,8 @@ mod tests {
     #[test]
     fn friis_and_two_ray_continuous_at_crossover() {
         let cfg = RadioConfig::wavelan();
-        let crossover =
-            4.0 * std::f64::consts::PI * cfg.antenna_height_m * cfg.antenna_height_m / cfg.wavelength_m;
+        let crossover = 4.0 * std::f64::consts::PI * cfg.antenna_height_m * cfg.antenna_height_m
+            / cfg.wavelength_m;
         let before = cfg.rx_power_w(crossover * 0.999);
         let after = cfg.rx_power_w(crossover * 1.001);
         assert!((before / after - 1.0).abs() < 0.05, "discontinuity: {before} vs {after}");

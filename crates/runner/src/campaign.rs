@@ -1,0 +1,433 @@
+//! Crash-isolated, watchdogged multi-seed campaigns.
+//!
+//! The experiment binaries run every data point across several seeds. One
+//! misbehaving seed used to take the whole campaign down: a panic anywhere
+//! in the stack aborted every other seed's work, and a zero-progress event
+//! cycle would spin forever. This module isolates each run behind
+//! [`std::panic::catch_unwind`], enforces per-run watchdogs
+//! ([`RunLimits`]), classifies what went wrong ([`RunError`]), retries
+//! transient failures once, and returns everything that *did* work in a
+//! [`CampaignResult`] so callers degrade gracefully.
+//!
+//! ```
+//! use runner::{run_campaign, CampaignConfig, ScenarioConfig};
+//! use dsr::DsrConfig;
+//!
+//! let base = ScenarioConfig::static_line(3, 200.0, 2.0, DsrConfig::base(), 0);
+//! let result = run_campaign(&base, &[1, 2], &CampaignConfig::default());
+//! assert!(result.all_ok());
+//! assert_eq!(result.reports.len(), 2);
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use dsr::DsrNode;
+use metrics::Report;
+use sim_core::{NodeId, SimRng, SimTime};
+
+use crate::config::ScenarioConfig;
+use crate::proto::RoutingAgent;
+use crate::sim::Simulator;
+
+/// Per-run watchdog limits enforced by
+/// [`Simulator::try_run`](crate::Simulator::try_run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Abort the run once it has consumed this much wall-clock time
+    /// (checked between events; a single stuck event cannot be preempted).
+    /// `None` disables the timeout.
+    pub wall_clock: Option<Duration>,
+    /// Abort once one simulated second costs more than this many events —
+    /// the signature of a zero-progress event storm. `None` disables the
+    /// budget.
+    pub max_events_per_sim_second: Option<u64>,
+}
+
+impl Default for RunLimits {
+    /// No wall-clock limit; an event budget of 100 million per simulated
+    /// second, two to three orders of magnitude above what the heaviest
+    /// legitimate scenario needs.
+    fn default() -> Self {
+        RunLimits { wall_clock: None, max_events_per_sim_second: Some(100_000_000) }
+    }
+}
+
+impl RunLimits {
+    /// No watchdogs at all (the pre-campaign behaviour).
+    pub fn unlimited() -> Self {
+        RunLimits { wall_clock: None, max_events_per_sim_second: None }
+    }
+}
+
+/// Why one simulation run produced no report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The run panicked; `payload` is the panic message when it was a
+    /// string (the common case), or a placeholder otherwise.
+    Panicked {
+        /// The failing run's seed.
+        seed: u64,
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// The run exceeded [`RunLimits::wall_clock`].
+    WatchdogTimeout {
+        /// The failing run's seed.
+        seed: u64,
+        /// Simulated instant reached when the watchdog fired.
+        at: SimTime,
+    },
+    /// One simulated second cost more than
+    /// [`RunLimits::max_events_per_sim_second`] events (livelock).
+    EventBudgetExhausted {
+        /// The failing run's seed.
+        seed: u64,
+        /// The simulated instant the storm was detected at.
+        at: SimTime,
+        /// Events consumed within that simulated second.
+        events: u64,
+    },
+    /// The event queue yielded an event before the current instant —
+    /// simulated time went backwards, which would silently corrupt every
+    /// metric downstream.
+    TimeRegression {
+        /// The failing run's seed.
+        seed: u64,
+        /// The run's clock when the stale event surfaced.
+        now: SimTime,
+        /// The stale event's timestamp.
+        event_at: SimTime,
+    },
+}
+
+impl RunError {
+    /// The seed of the failed run.
+    pub fn seed(&self) -> u64 {
+        match *self {
+            RunError::Panicked { seed, .. }
+            | RunError::WatchdogTimeout { seed, .. }
+            | RunError::EventBudgetExhausted { seed, .. }
+            | RunError::TimeRegression { seed, .. } => seed,
+        }
+    }
+
+    /// Whether retrying the run could plausibly succeed. Only the
+    /// wall-clock watchdog qualifies (a loaded machine); panics, event
+    /// storms, and time regressions are deterministic for a given seed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RunError::WatchdogTimeout { .. })
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Panicked { seed, payload } => {
+                write!(f, "seed {seed}: run panicked: {payload}")
+            }
+            RunError::WatchdogTimeout { seed, at } => {
+                write!(f, "seed {seed}: wall-clock watchdog fired at simulated {at}")
+            }
+            RunError::EventBudgetExhausted { seed, at, events } => {
+                write!(f, "seed {seed}: event budget exhausted at simulated {at} ({events} events in one simulated second)")
+            }
+            RunError::TimeRegression { seed, now, event_at } => {
+                write!(f, "seed {seed}: time went backwards ({event_at} after reaching {now})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// How a campaign executes its runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Worker threads (1 = strict serial execution).
+    pub threads: usize,
+    /// Watchdogs applied to every run.
+    pub limits: RunLimits,
+    /// Retry runs whose failure is [`RunError::is_transient`] once.
+    pub retry_transient: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { threads: 1, limits: RunLimits::default(), retry_transient: true }
+    }
+}
+
+/// One run that produced no report, with its (possibly retried) error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunFailure {
+    /// The failing run's seed.
+    pub seed: u64,
+    /// What went wrong (the *last* attempt's error when retried).
+    pub error: RunError,
+    /// Whether the run was retried before being declared failed.
+    pub retried: bool,
+}
+
+/// The outcome of a multi-seed campaign: every report that completed plus
+/// a structured record of every run that did not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Reports of the successful runs, in seed order.
+    pub reports: Vec<Report>,
+    /// The failed runs, in seed order.
+    pub failures: Vec<RunFailure>,
+}
+
+impl CampaignResult {
+    /// Whether every run completed.
+    pub fn all_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The mean report across the successful runs, or `None` if every run
+    /// failed.
+    pub fn mean(&self) -> Option<Report> {
+        if self.reports.is_empty() {
+            None
+        } else {
+            Some(Report::mean(&self.reports))
+        }
+    }
+
+    /// One line per failure, for logs and CSV footers.
+    pub fn failure_summary(&self) -> String {
+        self.failures
+            .iter()
+            .map(
+                |f| {
+                    if f.retried {
+                        format!("{} (after retry)", f.error)
+                    } else {
+                        f.error.to_string()
+                    }
+                },
+            )
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// Runs a DSR scenario across `seeds` under the campaign's watchdogs,
+/// isolating every run so one bad seed cannot take down the rest.
+pub fn run_campaign(
+    base: &ScenarioConfig,
+    seeds: &[u64],
+    campaign: &CampaignConfig,
+) -> CampaignResult {
+    let dsr = base.dsr.clone();
+    let label = dsr.label();
+    run_campaign_with(base, seeds, campaign, label, move |node, rng| {
+        DsrNode::new(node, dsr.clone(), rng)
+    })
+}
+
+/// [`run_campaign`] over an arbitrary routing protocol. `make_agent` must
+/// be `Fn` (not `FnMut`) because runs may execute concurrently.
+pub fn run_campaign_with<A, F>(
+    base: &ScenarioConfig,
+    seeds: &[u64],
+    campaign: &CampaignConfig,
+    label: impl Into<String>,
+    make_agent: F,
+) -> CampaignResult
+where
+    A: RoutingAgent,
+    F: Fn(NodeId, SimRng) -> A + Send + Sync,
+{
+    assert!(campaign.threads > 0, "need at least one worker thread");
+    let label = label.into();
+    let jobs: Vec<ScenarioConfig> =
+        seeds.iter().map(|&seed| ScenarioConfig { seed, ..base.clone() }).collect();
+    let mut outcomes: Vec<Option<Result<Report, RunFailure>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    if campaign.threads == 1 || jobs.len() <= 1 {
+        for (slot, job) in outcomes.iter_mut().zip(&jobs) {
+            *slot = Some(attempt_with_retry(job, &label, &make_agent, campaign));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots = Mutex::new(&mut outcomes);
+        std::thread::scope(|scope| {
+            for _ in 0..campaign.threads.min(jobs.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let outcome = attempt_with_retry(&jobs[i], &label, &make_agent, campaign);
+                    slots.lock().expect("poisoned results lock")[i] = Some(outcome);
+                });
+            }
+        });
+    }
+    let mut reports = Vec::new();
+    let mut failures = Vec::new();
+    for outcome in outcomes {
+        match outcome.expect("every job ran") {
+            Ok(report) => reports.push(report),
+            Err(failure) => failures.push(failure),
+        }
+    }
+    CampaignResult { reports, failures }
+}
+
+/// Preserved pre-campaign API: runs the same DSR scenario under several
+/// seeds and returns the per-seed reports (callers average with
+/// [`Report::mean`]). Runs execute on `threads` worker threads (use 1 for
+/// strict serial execution).
+///
+/// # Panics
+///
+/// Panics if any run fails; callers that need partial results should use
+/// [`run_campaign`] instead.
+pub fn run_seeds(base: &ScenarioConfig, seeds: &[u64], threads: usize) -> Vec<Report> {
+    let campaign = CampaignConfig { threads, ..CampaignConfig::default() };
+    let result = run_campaign(base, seeds, &campaign);
+    assert!(result.all_ok(), "campaign failed: {}", result.failure_summary());
+    result.reports
+}
+
+fn attempt_with_retry<A, F>(
+    cfg: &ScenarioConfig,
+    label: &str,
+    make_agent: &F,
+    campaign: &CampaignConfig,
+) -> Result<Report, RunFailure>
+where
+    A: RoutingAgent,
+    F: Fn(NodeId, SimRng) -> A + Send + Sync,
+{
+    match attempt_one(cfg.clone(), label, make_agent, campaign.limits) {
+        Ok(report) => Ok(report),
+        Err(error) if campaign.retry_transient && error.is_transient() => {
+            match attempt_one(cfg.clone(), label, make_agent, campaign.limits) {
+                Ok(report) => Ok(report),
+                Err(error) => Err(RunFailure { seed: cfg.seed, error, retried: true }),
+            }
+        }
+        Err(error) => Err(RunFailure { seed: cfg.seed, error, retried: false }),
+    }
+}
+
+/// One isolated run: builds the simulator, applies the watchdog limits,
+/// and converts a panic anywhere in the stack into [`RunError::Panicked`].
+fn attempt_one<A, F>(
+    cfg: ScenarioConfig,
+    label: &str,
+    make_agent: &F,
+    limits: RunLimits,
+) -> Result<Report, RunError>
+where
+    A: RoutingAgent,
+    F: Fn(NodeId, SimRng) -> A + Send + Sync,
+{
+    let seed = cfg.seed;
+    // The simulator is consumed by the run and nothing borrowed crosses
+    // the unwind boundary, so suppressing the UnwindSafe bound is sound:
+    // a poisoned half-built simulator is dropped with the panic.
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let mut sim = Simulator::with_agents(cfg, label, make_agent);
+        sim.set_limits(limits);
+        sim.try_run()
+    }));
+    match caught {
+        Ok(run_result) => run_result,
+        Err(payload) => {
+            let payload = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(RunError::Panicked { seed, payload })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FaultPlan;
+    use dsr::DsrConfig;
+    use sim_core::SimDuration;
+
+    fn tiny_line(seed: u64) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::static_line(3, 200.0, 2.0, DsrConfig::base(), seed);
+        cfg.duration = SimDuration::from_secs(5.0);
+        cfg
+    }
+
+    #[test]
+    fn run_error_taxonomy_renders_and_classifies() {
+        let p = RunError::Panicked { seed: 3, payload: "boom".into() };
+        let w = RunError::WatchdogTimeout { seed: 4, at: SimTime::from_secs(1.0) };
+        let b = RunError::EventBudgetExhausted { seed: 5, at: SimTime::from_secs(2.0), events: 10 };
+        let t = RunError::TimeRegression {
+            seed: 6,
+            now: SimTime::from_secs(3.0),
+            event_at: SimTime::from_secs(1.0),
+        };
+        assert_eq!(p.seed(), 3);
+        assert_eq!(t.seed(), 6);
+        assert!(!p.is_transient());
+        assert!(w.is_transient());
+        assert!(!b.is_transient());
+        assert!(format!("{p}").contains("boom"));
+        assert!(format!("{b}").contains("budget"));
+        assert!(format!("{t}").contains("backwards"));
+    }
+
+    #[test]
+    fn campaign_runs_all_seeds_serially_and_in_parallel() {
+        let base = tiny_line(0);
+        let serial = run_campaign(&base, &[1, 2, 3], &CampaignConfig::default());
+        assert!(serial.all_ok());
+        assert_eq!(serial.reports.len(), 3);
+        let parallel = run_campaign(
+            &base,
+            &[1, 2, 3],
+            &CampaignConfig { threads: 3, ..CampaignConfig::default() },
+        );
+        assert_eq!(parallel.reports, serial.reports, "thread count must not change results");
+        assert!(serial.mean().is_some());
+    }
+
+    #[test]
+    fn wall_clock_watchdog_fires_and_is_retried() {
+        let base = tiny_line(0);
+        let campaign = CampaignConfig {
+            limits: RunLimits { wall_clock: Some(Duration::from_nanos(1)), ..RunLimits::default() },
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign(&base, &[1], &campaign);
+        assert_eq!(result.reports.len(), 0);
+        assert_eq!(result.failures.len(), 1);
+        let failure = &result.failures[0];
+        assert!(matches!(failure.error, RunError::WatchdogTimeout { seed: 1, .. }));
+        assert!(failure.retried, "transient failures are retried once");
+        assert!(result.mean().is_none());
+        assert!(result.failure_summary().contains("after retry"));
+    }
+
+    #[test]
+    fn run_seeds_still_panics_on_failure() {
+        let mut base = tiny_line(0);
+        base.faults = FaultPlan {
+            events: vec![crate::config::FaultEvent::Panic {
+                at: SimTime::from_secs(1.0),
+                only_seed: None,
+            }],
+        };
+        let caught = catch_unwind(AssertUnwindSafe(|| run_seeds(&base, &[1], 1)));
+        assert!(caught.is_err(), "run_seeds preserves its all-or-nothing contract");
+    }
+}

@@ -2,7 +2,7 @@
 
 use mobility::{Field, Point, WaypointConfig};
 use phy::RadioConfig;
-use sim_core::SimDuration;
+use sim_core::{NodeId, SimDuration, SimTime};
 use traffic::TrafficConfig;
 
 use dsr::DsrConfig;
@@ -24,6 +24,134 @@ impl MobilitySpec {
             MobilitySpec::Waypoint(cfg) => cfg.num_nodes,
             MobilitySpec::Static(points) => points.len(),
         }
+    }
+}
+
+/// An axis-aligned rectangle on the simulation field, used to scope
+/// regional faults ([`FaultEvent::LinkBlackout`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Region {
+    /// Builds the rectangle spanning the two corners (in any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Region {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Whether `p` lies inside the rectangle (boundary inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        (self.min.x..=self.max.x).contains(&p.x) && (self.min.y..=self.max.y).contains(&p.y)
+    }
+}
+
+/// One scheduled, deterministic fault. Faults are part of the scenario:
+/// the same plan under the same seed reproduces the same run bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// `node` crashes at `at` for `down_for`: it neither transmits nor
+    /// receives, and its queued MAC/agent timers are suspended until it
+    /// comes back up. A node id outside the scenario is a no-op.
+    NodeDown {
+        /// The crashing node.
+        node: NodeId,
+        /// Crash instant.
+        at: SimTime,
+        /// Outage length.
+        down_for: SimDuration,
+    },
+    /// All receptions by nodes inside `region` are suppressed during the
+    /// window — a localized jammer or terrain blackout.
+    LinkBlackout {
+        /// Affected area.
+        region: Region,
+        /// Window start.
+        at: SimTime,
+        /// Window length.
+        down_for: SimDuration,
+    },
+    /// During `[from, until)` every planned frame arrival is independently
+    /// destroyed with probability `prob` (clamped to `[0, 1]`), drawn from
+    /// the dedicated `"fault"` RNG stream so replay stays deterministic.
+    FrameCorruption {
+        /// Per-arrival corruption probability.
+        prob: f64,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Chaos hook: panic inside the event loop at `at`. Exercises the
+    /// campaign engine's crash isolation; `only_seed` restricts the panic
+    /// to one seed of a multi-seed campaign.
+    Panic {
+        /// Panic instant.
+        at: SimTime,
+        /// Panic only when the run's seed matches (always when `None`).
+        only_seed: Option<u64>,
+    },
+    /// Chaos hook: from `at` on, perpetually reschedule a zero-progress
+    /// event at the current instant. Exercises the event-budget watchdog.
+    EventStorm {
+        /// Storm start.
+        at: SimTime,
+    },
+}
+
+impl FaultEvent {
+    /// The instant the fault first activates.
+    pub fn starts_at(&self) -> SimTime {
+        match *self {
+            FaultEvent::NodeDown { at, .. }
+            | FaultEvent::LinkBlackout { at, .. }
+            | FaultEvent::Panic { at, .. }
+            | FaultEvent::EventStorm { at } => at,
+            FaultEvent::FrameCorruption { from, .. } => from,
+        }
+    }
+}
+
+/// The scenario's scheduled faults (empty by default).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// The scheduled fault events, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds a node crash. Chainable.
+    pub fn node_down(mut self, node: NodeId, at: SimTime, down_for: SimDuration) -> Self {
+        self.events.push(FaultEvent::NodeDown { node, at, down_for });
+        self
+    }
+
+    /// Adds a regional blackout. Chainable.
+    pub fn link_blackout(mut self, region: Region, at: SimTime, down_for: SimDuration) -> Self {
+        self.events.push(FaultEvent::LinkBlackout { region, at, down_for });
+        self
+    }
+
+    /// Adds a frame-corruption window. Chainable.
+    pub fn frame_corruption(mut self, prob: f64, from: SimTime, until: SimTime) -> Self {
+        self.events.push(FaultEvent::FrameCorruption { prob, from, until });
+        self
     }
 }
 
@@ -50,6 +178,8 @@ pub struct ScenarioConfig {
     /// 20 m/s is at most one meter of error against a 250 m radio range,
     /// and caps position interpolation cost.
     pub position_refresh: SimDuration,
+    /// Scheduled deterministic faults (none by default).
+    pub faults: FaultPlan,
 }
 
 impl ScenarioConfig {
@@ -61,10 +191,13 @@ impl ScenarioConfig {
             dsr,
             mac: MacConfig::ieee80211_dsss(),
             radio: RadioConfig::wavelan(),
-            mobility: MobilitySpec::Waypoint(WaypointConfig::paper(SimDuration::from_secs(pause_s))),
+            mobility: MobilitySpec::Waypoint(WaypointConfig::paper(SimDuration::from_secs(
+                pause_s,
+            ))),
             traffic: TrafficConfig::paper(rate_pps),
             duration: SimDuration::from_secs(500.0),
             position_refresh: SimDuration::from_millis(50.0),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -125,6 +258,7 @@ impl ScenarioConfig {
             },
             duration: SimDuration::from_secs(30.0),
             position_refresh: SimDuration::from_secs(1.0),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -157,6 +291,37 @@ mod tests {
         assert!(cfg.duration < SimDuration::from_secs(500.0));
         let tiny = ScenarioConfig::tiny(0.0, 3.0, DsrConfig::base(), 1);
         assert!(tiny.num_nodes() < 100);
+    }
+
+    #[test]
+    fn region_normalizes_and_contains() {
+        let r = Region::new(Point::new(500.0, 300.0), Point::new(100.0, 50.0));
+        assert_eq!(r.min, Point::new(100.0, 50.0));
+        assert_eq!(r.max, Point::new(500.0, 300.0));
+        assert!(r.contains(Point::new(100.0, 50.0)), "boundary inclusive");
+        assert!(r.contains(Point::new(300.0, 200.0)));
+        assert!(!r.contains(Point::new(99.9, 200.0)));
+        assert!(!r.contains(Point::new(300.0, 300.1)));
+    }
+
+    #[test]
+    fn fault_plan_builders_chain() {
+        let region = Region::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let plan = FaultPlan::none()
+            .node_down(NodeId::new(3), SimTime::from_secs(5.0), SimDuration::from_secs(2.0))
+            .link_blackout(region, SimTime::from_secs(1.0), SimDuration::from_secs(4.0))
+            .frame_corruption(0.25, SimTime::from_secs(2.0), SimTime::from_secs(8.0));
+        assert_eq!(plan.events.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.events[0].starts_at(), SimTime::from_secs(5.0));
+        assert_eq!(plan.events[2].starts_at(), SimTime::from_secs(2.0));
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn scenarios_default_to_no_faults() {
+        assert!(ScenarioConfig::paper(0.0, 3.0, DsrConfig::base(), 1).faults.is_empty());
+        assert!(ScenarioConfig::static_line(4, 200.0, 2.0, DsrConfig::base(), 1).faults.is_empty());
     }
 
     #[test]

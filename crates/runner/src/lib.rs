@@ -16,12 +16,17 @@
 //! assert!(report.delivery_fraction > 0.9);
 //! ```
 
+pub mod campaign;
 pub mod config;
 pub mod proto;
 pub mod sim;
 pub mod trace;
 
-pub use config::{MobilitySpec, ScenarioConfig};
+pub use campaign::{
+    run_campaign, run_campaign_with, run_seeds, CampaignConfig, CampaignResult, RunError,
+    RunFailure, RunLimits,
+};
+pub use config::{FaultEvent, FaultPlan, MobilitySpec, Region, ScenarioConfig};
 pub use proto::{AgentCommand, RoutingAgent};
-pub use sim::{run_scenario, run_scenario_with, run_seeds, Simulator};
+pub use sim::{run_scenario, run_scenario_with, Simulator};
 pub use trace::{TraceEvent, TraceKind, TraceSink};

@@ -199,14 +199,18 @@ mod tests {
 
     #[test]
     fn dsr_node_drives_through_the_trait() {
-        let mut agent =
-            dsr::DsrNode::new(NodeId::new(0), dsr::DsrConfig::base(), RngFactory::new(1).stream("dsr", 0));
+        let mut agent = dsr::DsrNode::new(
+            NodeId::new(0),
+            dsr::DsrConfig::base(),
+            RngFactory::new(1).stream("dsr", 0),
+        );
         let cmds = RoutingAgent::start(&mut agent, SimTime::ZERO);
         assert!(cmds.iter().any(|c| matches!(c, AgentCommand::SetTimer { .. })));
         let cmds = RoutingAgent::originate(&mut agent, NodeId::new(5), 512, 0, SimTime::ZERO);
         assert!(cmds.iter().any(|c| matches!(c, AgentCommand::Send { .. })));
-        assert!(cmds
-            .iter()
-            .any(|c| matches!(c, AgentCommand::Event { event: ProtocolEvent::DiscoveryStarted { .. } })));
+        assert!(cmds.iter().any(|c| matches!(
+            c,
+            AgentCommand::Event { event: ProtocolEvent::DiscoveryStarted { .. } }
+        )));
     }
 }

@@ -25,23 +25,59 @@ use mac::{Dcf, MacCommand, MacFrame, MacTimer, Priority};
 use metrics::{Metrics, Report};
 use mobility::{LinkOracle, MobilityModel, Point, RandomWaypoint, StaticPositions};
 use packet::{DropReason, NetPacket, ProtocolEvent};
-use phy::{plan_arrivals, ReceiverState, TxId, TxIdSource};
-use sim_core::{EventId, EventQueue, NodeId, RngFactory, SimRng, SimTime};
+use phy::{plan_arrivals_masked, ReceiverState, TxId, TxIdSource};
+use sim_core::{EventId, EventQueue, NodeId, RngFactory, SimDuration, SimRng, SimTime};
 use traffic::{generate_flows, CbrFlow};
 
-use crate::config::{MobilitySpec, ScenarioConfig};
+use crate::campaign::{RunError, RunLimits};
+use crate::config::{FaultEvent, MobilitySpec, ScenarioConfig};
 use crate::proto::{AgentCommand, RoutingAgent};
 use crate::trace::{TraceEvent, TraceKind, TraceSink};
 
 /// Global simulation events.
 enum Ev<P, T> {
-    MacTimer { node: u16, timer: MacTimer },
-    AgentTimer { node: u16, timer: T },
+    MacTimer {
+        node: u16,
+        timer: MacTimer,
+    },
+    AgentTimer {
+        node: u16,
+        timer: T,
+    },
     /// A jittered agent send whose delay elapsed: hand to the MAC now.
-    AgentSend { node: u16, packet: P, next_hop: NodeId },
-    ArrivalStart { rx: u16, tx_id: TxId, power_w: f64, end: SimTime, frame: MacFrame<P> },
-    ArrivalEnd { rx: u16, tx_id: TxId, frame: MacFrame<P> },
-    Traffic { flow: usize, k: u64 },
+    AgentSend {
+        node: u16,
+        packet: P,
+        next_hop: NodeId,
+    },
+    ArrivalStart {
+        rx: u16,
+        tx_id: TxId,
+        power_w: f64,
+        end: SimTime,
+        frame: MacFrame<P>,
+        /// A fault-injection window destroyed this copy in flight: its
+        /// energy still occupies the medium, but it never decodes.
+        corrupted: bool,
+    },
+    ArrivalEnd {
+        rx: u16,
+        tx_id: TxId,
+        frame: MacFrame<P>,
+        corrupted: bool,
+    },
+    Traffic {
+        flow: usize,
+        k: u64,
+    },
+    /// Scheduled fault `idx` of the scenario's [`FaultPlan`] activates.
+    FaultStart {
+        idx: usize,
+    },
+    /// Scheduled fault `idx` deactivates (node back up, window over).
+    FaultEnd {
+        idx: usize,
+    },
 }
 
 /// One fully assembled simulation run over routing protocol `A`
@@ -66,6 +102,19 @@ pub struct Simulator<A: RoutingAgent = DsrNode> {
     positions: Vec<Point>,
     positions_at: SimTime,
     trace: Option<TraceSink>,
+    /// Watchdog limits enforced by [`Simulator::try_run`].
+    limits: RunLimits,
+    /// Per-node crash flag ([`FaultEvent::NodeDown`]).
+    node_down: Vec<bool>,
+    /// When each crashed node comes back up (meaningful while down).
+    node_up_at: Vec<SimTime>,
+    /// Whether fault `idx` of the plan is currently active (windows).
+    fault_active: Vec<bool>,
+    /// Whether fault `idx` was already counted in the metrics.
+    fault_fired: Vec<bool>,
+    /// Dedicated RNG stream for corruption draws, independent of every
+    /// protocol stream so adding faults never perturbs protocol behaviour.
+    fault_rng: SimRng,
 }
 
 impl<A: RoutingAgent> std::fmt::Debug for Simulator<A> {
@@ -116,6 +165,7 @@ impl<A: RoutingAgent> Simulator<A> {
         let flows = generate_flows(n, &cfg.traffic, factory);
         let positions = mobility.snapshot(SimTime::ZERO);
         let end = SimTime::ZERO + cfg.duration;
+        let num_faults = cfg.faults.events.len();
         Simulator {
             label: label.into(),
             queue: EventQueue::new(),
@@ -134,8 +184,19 @@ impl<A: RoutingAgent> Simulator<A> {
             positions,
             positions_at: SimTime::ZERO,
             trace: None,
+            limits: RunLimits::default(),
+            node_down: vec![false; n],
+            node_up_at: vec![SimTime::ZERO; n],
+            fault_active: vec![false; num_faults],
+            fault_fired: vec![false; num_faults],
+            fault_rng: factory.stream("fault", 0),
             cfg,
         }
+    }
+
+    /// Overrides the watchdog limits enforced by [`Simulator::try_run`].
+    pub fn set_limits(&mut self, limits: RunLimits) {
+        self.limits = limits;
     }
 
     /// The ground-truth oracle (for external validation and tests).
@@ -172,7 +233,23 @@ impl<A: RoutingAgent> Simulator<A> {
 
     /// Runs the simulation to completion and returns the metrics report,
     /// labelled with the protocol variant.
-    pub fn run(mut self) -> Report {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run trips a watchdog ([`RunError`]); campaign code
+    /// should prefer [`Simulator::try_run`], which surfaces the error.
+    pub fn run(self) -> Report {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the simulation to completion, enforcing the configured
+    /// [`RunLimits`]: simulated time must never regress, each simulated
+    /// second may cost at most `max_events_per_sim_second` events (a
+    /// zero-progress event storm becomes [`RunError::EventBudgetExhausted`]
+    /// instead of a hang), and the whole run must finish within
+    /// `wall_clock` if one is set.
+    pub fn try_run(mut self) -> Result<Report, RunError> {
+        let seed = self.cfg.seed;
         // Boot the agents' periodic timers.
         for i in 0..self.agents.len() {
             let cmds = self.agents[i].start(SimTime::ZERO);
@@ -184,59 +261,223 @@ impl<A: RoutingAgent> Simulator<A> {
                 self.queue.schedule(flow.send_time(0), Ev::Traffic { flow: idx, k: 0 });
             }
         }
+        // Schedule the scenario's fault plan.
+        for (idx, fault) in self.cfg.faults.events.iter().enumerate() {
+            let at = fault.starts_at();
+            if at <= self.end {
+                self.queue.schedule(at, Ev::FaultStart { idx });
+            }
+        }
+        let wall_started = std::time::Instant::now();
+        let one_second = SimDuration::from_secs(1.0);
+        // Event-budget window: `popped()` at the instant the current
+        // simulated second began.
+        let mut window_start = SimTime::ZERO;
+        let mut window_base = self.queue.popped();
         while let Some((at, ev)) = self.queue.pop() {
             if at > self.end {
                 break;
             }
-            debug_assert!(at >= self.now, "time went backwards");
+            if at < self.now {
+                return Err(RunError::TimeRegression { seed, now: self.now, event_at: at });
+            }
+            if let Some(budget) = self.limits.max_events_per_sim_second {
+                if at.saturating_since(window_start) >= one_second {
+                    window_start = at;
+                    window_base = self.queue.popped();
+                }
+                let in_window = self.queue.popped() - window_base;
+                if in_window > budget {
+                    return Err(RunError::EventBudgetExhausted { seed, at, events: in_window });
+                }
+            }
+            if let Some(limit) = self.limits.wall_clock {
+                if wall_started.elapsed() >= limit {
+                    return Err(RunError::WatchdogTimeout { seed, at });
+                }
+            }
             self.now = at;
             self.dispatch(ev);
         }
         let duration = self.cfg.duration.as_secs();
-        self.metrics.report(self.label.clone(), duration)
+        Ok(self.metrics.report(self.label.clone(), duration))
     }
 
     fn dispatch(&mut self, ev: Ev<A::Packet, A::Timer>) {
         match ev {
             Ev::MacTimer { node, timer } => {
+                if self.node_down[node as usize] {
+                    // Suspended while the node is down: fires on wake-up.
+                    let at = self.node_up_at[node as usize];
+                    let id = self.queue.schedule(at, Ev::MacTimer { node, timer });
+                    self.mac_timers[node as usize].insert(timer, id);
+                    return;
+                }
                 self.mac_timers[node as usize].remove(&timer);
                 let cmds = self.macs[node as usize].on_timer(timer, self.now);
                 self.apply_mac(node, cmds);
             }
             Ev::AgentTimer { node, timer } => {
+                if self.node_down[node as usize] {
+                    let at = self.node_up_at[node as usize];
+                    let id = self.queue.schedule(at, Ev::AgentTimer { node, timer });
+                    self.agent_timers[node as usize].insert(timer, id);
+                    return;
+                }
                 self.agent_timers[node as usize].remove(&timer);
                 let cmds = self.agents[node as usize].on_timer(timer, self.now);
                 self.apply_agent(node, cmds);
             }
             Ev::AgentSend { node, packet, next_hop } => {
+                if self.node_down[node as usize] {
+                    let at = self.node_up_at[node as usize];
+                    self.queue.schedule(at, Ev::AgentSend { node, packet, next_hop });
+                    return;
+                }
                 self.hand_to_mac(node, packet, next_hop);
             }
-            Ev::ArrivalStart { rx, tx_id, power_w, end, frame } => {
+            Ev::ArrivalStart { rx, tx_id, power_w, end, frame, corrupted } => {
+                if self.node_down[rx as usize] || self.in_blackout(rx) {
+                    // The fault activated after this arrival was planned;
+                    // the receiver never senses it.
+                    self.metrics.record_arrivals_suppressed(1);
+                    return;
+                }
                 let state = &mut self.rx_states[rx as usize];
                 state.arrival_start(tx_id, power_w, self.now, end, &self.cfg.radio);
                 if let Some(horizon) = state.busy_until(self.now) {
                     let cmds = self.macs[rx as usize].on_channel_busy(self.now, horizon);
                     self.apply_mac(rx, cmds);
                 }
-                self.queue.schedule(end, Ev::ArrivalEnd { rx, tx_id, frame });
+                self.queue.schedule(end, Ev::ArrivalEnd { rx, tx_id, frame, corrupted });
             }
-            Ev::ArrivalEnd { rx, tx_id, frame } => {
-                if self.rx_states[rx as usize].arrival_end(tx_id, self.now) {
+            Ev::ArrivalEnd { rx, tx_id, frame, corrupted } => {
+                // Always settle the receiver state machine (the frame's
+                // energy leaves the air) — but a corrupted copy, a crashed
+                // receiver, or an active blackout suppress the decode.
+                let intact = self.rx_states[rx as usize].arrival_end(tx_id, self.now);
+                if intact && !corrupted && !self.node_down[rx as usize] && !self.in_blackout(rx) {
                     let cmds = self.macs[rx as usize].on_receive(frame, self.now);
                     self.apply_mac(rx, cmds);
                 }
             }
             Ev::Traffic { flow, k } => {
                 let f = self.flows[flow];
-                self.metrics.record_origination(self.now);
-                let cmds =
-                    self.agents[f.src.index()].originate(f.dst, f.packet_bytes, k, self.now);
-                self.apply_agent(f.src.index() as u16, cmds);
+                // A crashed source's application is down with it: the
+                // packet is never originated (but the flow resumes later).
+                if !self.node_down[f.src.index()] {
+                    self.metrics.record_origination(self.now);
+                    let cmds =
+                        self.agents[f.src.index()].originate(f.dst, f.packet_bytes, k, self.now);
+                    self.apply_agent(f.src.index() as u16, cmds);
+                }
                 let next = f.send_time(k + 1);
                 if next <= self.end {
                     self.queue.schedule(next, Ev::Traffic { flow, k: k + 1 });
                 }
             }
+            Ev::FaultStart { idx } => self.fault_start(idx),
+            Ev::FaultEnd { idx } => self.fault_end(idx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Whether node `rx` currently sits inside an active blackout region.
+    fn in_blackout(&self, rx: u16) -> bool {
+        self.cfg.faults.events.iter().enumerate().any(|(idx, f)| {
+            matches!(f, FaultEvent::LinkBlackout { region, .. }
+                if self.fault_active[idx] && region.contains(self.positions[rx as usize]))
+        })
+    }
+
+    /// Per-arrival corruption probability right now: the union of all
+    /// active [`FaultEvent::FrameCorruption`] windows.
+    fn corruption_prob(&self) -> f64 {
+        let mut p_ok = 1.0f64;
+        for (idx, f) in self.cfg.faults.events.iter().enumerate() {
+            if let FaultEvent::FrameCorruption { prob, .. } = f {
+                if self.fault_active[idx] {
+                    p_ok *= 1.0 - prob.clamp(0.0, 1.0);
+                }
+            }
+        }
+        1.0 - p_ok
+    }
+
+    /// Counts fault `idx` in the metrics once, no matter how often its
+    /// activation event fires (an [`FaultEvent::EventStorm`] re-fires).
+    fn count_fault_once(&mut self, idx: usize) {
+        if !self.fault_fired[idx] {
+            self.fault_fired[idx] = true;
+            self.metrics.record_fault_injected();
+        }
+    }
+
+    fn fault_start(&mut self, idx: usize) {
+        match self.cfg.faults.events[idx].clone() {
+            FaultEvent::NodeDown { node, down_for, .. } => {
+                let i = node.index();
+                if i >= self.node_down.len() {
+                    return; // fault targets a node outside the scenario
+                }
+                self.count_fault_once(idx);
+                self.node_down[i] = true;
+                let up = self.now + down_for;
+                if up > self.node_up_at[i] {
+                    self.node_up_at[i] = up;
+                }
+                // The crash wipes the radio: in-flight receptions die and
+                // the node's carrier state resets.
+                self.rx_states[i] = ReceiverState::new();
+                self.queue.schedule(self.node_up_at[i], Ev::FaultEnd { idx });
+            }
+            FaultEvent::LinkBlackout { down_for, .. } => {
+                self.count_fault_once(idx);
+                self.fault_active[idx] = true;
+                self.queue.schedule(self.now + down_for, Ev::FaultEnd { idx });
+            }
+            FaultEvent::FrameCorruption { from, until, .. } => {
+                if until <= from {
+                    return; // empty window
+                }
+                self.count_fault_once(idx);
+                self.fault_active[idx] = true;
+                self.queue.schedule(until, Ev::FaultEnd { idx });
+            }
+            FaultEvent::Panic { only_seed, .. } => {
+                if only_seed.is_none_or(|s| s == self.cfg.seed) {
+                    panic!(
+                        "fault injection: scheduled panic at {} (seed {})",
+                        self.now, self.cfg.seed
+                    );
+                }
+            }
+            FaultEvent::EventStorm { .. } => {
+                self.count_fault_once(idx);
+                // Perpetual zero-progress self-rescheduling: simulated
+                // time never advances, so only the event budget stops it.
+                self.queue.schedule(self.now, Ev::FaultStart { idx });
+            }
+        }
+    }
+
+    fn fault_end(&mut self, idx: usize) {
+        match self.cfg.faults.events[idx] {
+            FaultEvent::NodeDown { node, .. } => {
+                // Overlapping crashes extend `node_up_at`; only the last
+                // scheduled wake-up actually revives the node.
+                let i = node.index();
+                if i < self.node_down.len() && self.now >= self.node_up_at[i] {
+                    self.node_down[i] = false;
+                }
+            }
+            FaultEvent::LinkBlackout { .. } | FaultEvent::FrameCorruption { .. } => {
+                self.fault_active[idx] = false;
+            }
+            FaultEvent::Panic { .. } | FaultEvent::EventStorm { .. } => {}
         }
     }
 
@@ -248,6 +489,10 @@ impl<A: RoutingAgent> Simulator<A> {
         for cmd in cmds {
             match cmd {
                 MacCommand::StartTx { frame, duration } => {
+                    if self.node_down[node as usize] {
+                        // Defensive: a crashed node's radio never powers up.
+                        continue;
+                    }
                     let routing = frame.payload.as_ref().map(|p| p.is_routing_overhead());
                     self.metrics.record_mac_tx(frame.kind, routing);
                     if self.trace.is_some() {
@@ -265,14 +510,26 @@ impl<A: RoutingAgent> Simulator<A> {
                     self.rx_states[node as usize].begin_tx(self.now, until);
                     self.refresh_positions();
                     let tx_id = self.tx_ids.next_id();
-                    let arrivals = plan_arrivals(
+                    let p_corrupt = self.corruption_prob();
+                    let planned = plan_arrivals_masked(
                         NodeId::new(node),
                         &self.positions,
                         self.now,
                         duration,
                         &self.cfg.radio,
+                        |rx| self.node_down[rx.index()] || self.in_blackout(rx.index() as u16),
                     );
-                    for a in arrivals {
+                    if planned.suppressed > 0 {
+                        self.metrics.record_arrivals_suppressed(planned.suppressed);
+                    }
+                    for a in planned.arrivals {
+                        // Drawing only inside corruption windows keeps
+                        // fault-free runs byte-identical to the legacy path.
+                        let corrupted = p_corrupt > 0.0
+                            && sim_core::rng::uniform(&mut self.fault_rng, 0.0, 1.0) < p_corrupt;
+                        if corrupted {
+                            self.metrics.record_frame_corrupted();
+                        }
                         self.queue.schedule(
                             a.start,
                             Ev::ArrivalStart {
@@ -281,6 +538,7 @@ impl<A: RoutingAgent> Simulator<A> {
                                 power_w: a.power_w,
                                 end: a.end,
                                 frame: frame.clone(),
+                                corrupted,
                             },
                         );
                     }
@@ -326,10 +584,8 @@ impl<A: RoutingAgent> Simulator<A> {
                     if jitter == sim_core::SimDuration::ZERO {
                         self.hand_to_mac(node, packet, next_hop);
                     } else {
-                        self.queue.schedule(
-                            self.now + jitter,
-                            Ev::AgentSend { node, packet, next_hop },
-                        );
+                        self.queue
+                            .schedule(self.now + jitter, Ev::AgentSend { node, packet, next_hop });
                     }
                 }
                 AgentCommand::Deliver { uid, src, sent_at, bytes, hops } => {
@@ -395,11 +651,7 @@ impl<A: RoutingAgent> Simulator<A> {
     }
 
     fn hand_to_mac(&mut self, node: u16, packet: A::Packet, next_hop: NodeId) {
-        let prio = if packet.is_routing_overhead() {
-            Priority::Control
-        } else {
-            Priority::Data
-        };
+        let prio = if packet.is_routing_overhead() { Priority::Control } else { Priority::Data };
         let bytes = packet.wire_size();
         let cmds = self.macs[node as usize].enqueue(packet, next_hop, bytes, prio, self.now);
         self.apply_mac(node, cmds);
@@ -450,38 +702,4 @@ pub fn run_scenario_with<A: RoutingAgent>(
     make_agent: impl FnMut(NodeId, SimRng) -> A,
 ) -> Report {
     Simulator::with_agents(cfg, label, make_agent).run()
-}
-
-/// Runs the same DSR scenario under several seeds and returns the per-seed
-/// reports (callers average with [`Report::mean`]). Runs execute on
-/// `threads` worker threads (use 1 for strict serial execution).
-pub fn run_seeds(base: &ScenarioConfig, seeds: &[u64], threads: usize) -> Vec<Report> {
-    assert!(threads > 0, "need at least one worker thread");
-    if threads == 1 || seeds.len() <= 1 {
-        return seeds
-            .iter()
-            .map(|&seed| run_scenario(ScenarioConfig { seed, ..base.clone() }))
-            .collect();
-    }
-    let jobs: Vec<ScenarioConfig> = seeds
-        .iter()
-        .map(|&seed| ScenarioConfig { seed, ..base.clone() })
-        .collect();
-    let mut results: Vec<Option<Report>> = vec![None; jobs.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs.len()) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= jobs.len() {
-                    break;
-                }
-                let report = run_scenario(jobs[i].clone());
-                results_mutex.lock().expect("poisoned results lock")[i] = Some(report);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    results.into_iter().map(|r| r.expect("every job ran")).collect()
 }

@@ -114,12 +114,8 @@ mod tests {
 
     #[test]
     fn mac_send_renders_unicast_and_broadcast() {
-        let uni = ev(TraceKind::MacSend {
-            frame: "RTS",
-            payload: None,
-            bytes: 20,
-            dst: NodeId::new(7),
-        });
+        let uni =
+            ev(TraceKind::MacSend { frame: "RTS", payload: None, bytes: 20, dst: NodeId::new(7) });
         assert_eq!(format!("{uni}"), "s 12.500000 _n5_ MAC RTS 20B -> n7");
         let bc = ev(TraceKind::MacSend {
             frame: "DATA",

@@ -1,0 +1,165 @@
+//! Acceptance tests for the fault-injection subsystem and the
+//! crash-isolated campaign engine (ISSUE 1).
+
+use std::time::Duration;
+
+use dsr::DsrConfig;
+use mobility::Point;
+use runner::{
+    run_campaign, run_scenario, CampaignConfig, FaultEvent, FaultPlan, Region, RunError, RunLimits,
+    ScenarioConfig,
+};
+use sim_core::{NodeId, SimDuration, SimTime};
+
+/// A 5-node static chain, 20 simulated seconds: every packet crosses four
+/// hops, so a mid-chain fault is guaranteed to be on the data path.
+fn chain(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::static_line(5, 200.0, 2.0, DsrConfig::base(), seed);
+    cfg.duration = SimDuration::from_secs(20.0);
+    cfg
+}
+
+#[test]
+fn one_panicking_seed_does_not_take_down_the_campaign() {
+    let mut base = chain(0);
+    base.faults = FaultPlan {
+        events: vec![FaultEvent::Panic { at: SimTime::from_secs(5.0), only_seed: Some(2) }],
+    };
+    let result = run_campaign(&base, &[1, 2, 3], &CampaignConfig::default());
+    assert_eq!(result.reports.len(), 2, "seeds 1 and 3 must still report");
+    assert_eq!(result.failures.len(), 1);
+    let failure = &result.failures[0];
+    assert_eq!(failure.seed, 2);
+    assert!(
+        matches!(&failure.error, RunError::Panicked { seed: 2, payload } if payload.contains("fault injection")),
+        "unexpected failure: {}",
+        failure.error
+    );
+    assert!(!failure.retried, "panics are deterministic, not retried");
+    assert!(result.mean().is_some());
+}
+
+#[test]
+fn event_storm_trips_the_budget_watchdog_instead_of_hanging() {
+    let mut base = chain(0);
+    base.faults =
+        FaultPlan { events: vec![FaultEvent::EventStorm { at: SimTime::from_secs(2.0) }] };
+    let campaign = CampaignConfig {
+        limits: RunLimits { wall_clock: None, max_events_per_sim_second: Some(50_000) },
+        ..CampaignConfig::default()
+    };
+    let result = run_campaign(&base, &[1], &campaign);
+    assert!(result.reports.is_empty());
+    assert_eq!(result.failures.len(), 1);
+    match &result.failures[0].error {
+        RunError::EventBudgetExhausted { seed: 1, at, events } => {
+            assert_eq!(at.as_secs(), 2.0, "storm pins simulated time at its start");
+            assert!(*events >= 50_000);
+        }
+        other => panic!("expected EventBudgetExhausted, got {other}"),
+    }
+    assert!(!result.failures[0].retried, "storms are deterministic, not retried");
+}
+
+#[test]
+fn relay_crash_breaks_routes_and_is_visible_in_the_report() {
+    // Seed 1's flow crosses all four hops, so the middle relay is on the
+    // data path by construction.
+    let baseline = run_scenario(chain(1));
+    assert!(baseline.avg_hops > 3.0, "test premise: the flow must traverse the chain");
+    // Crash the middle relay for a quarter of the run.
+    let mut faulted_cfg = chain(1);
+    faulted_cfg.faults = FaultPlan::none().node_down(
+        NodeId::new(2),
+        SimTime::from_secs(5.0),
+        SimDuration::from_secs(5.0),
+    );
+    let faulted = run_scenario(faulted_cfg);
+    assert_eq!(faulted.faults_injected, 1);
+    assert!(faulted.arrivals_suppressed > 0, "a crashed relay must miss receptions");
+    assert!(
+        faulted.link_breaks > baseline.link_breaks,
+        "crashing the only relay must surface as link breaks \
+         (baseline {}, faulted {})",
+        baseline.link_breaks,
+        faulted.link_breaks
+    );
+    assert!(
+        faulted.errors_sent > baseline.errors_sent,
+        "the upstream node must originate a route error \
+         (baseline {}, faulted {})",
+        baseline.errors_sent,
+        faulted.errors_sent
+    );
+    assert!(faulted.delivered < baseline.delivered, "outage must cost deliveries");
+}
+
+#[test]
+fn blackout_and_corruption_register_in_the_metrics() {
+    let mut cfg = chain(3);
+    cfg.faults = FaultPlan::none()
+        // Black out the two middle relays' neighborhood.
+        .link_blackout(
+            Region::new(Point::new(150.0, -50.0), Point::new(650.0, 50.0)),
+            SimTime::from_secs(4.0),
+            SimDuration::from_secs(3.0),
+        )
+        .frame_corruption(0.5, SimTime::from_secs(10.0), SimTime::from_secs(14.0));
+    let r = run_scenario(cfg);
+    assert_eq!(r.faults_injected, 2);
+    assert!(r.arrivals_suppressed > 0, "blackout must suppress in-range receptions");
+    assert!(r.frames_corrupted > 0, "a 50% window over busy seconds must corrupt frames");
+    assert!(r.delivered <= r.originated);
+}
+
+#[test]
+fn fault_plans_are_deterministic_for_a_given_seed() {
+    let make = || {
+        let mut cfg = chain(11);
+        cfg.faults = FaultPlan::none()
+            .node_down(NodeId::new(1), SimTime::from_secs(3.0), SimDuration::from_secs(2.0))
+            .frame_corruption(0.2, SimTime::from_secs(6.0), SimTime::from_secs(9.0))
+            .link_blackout(
+                Region::new(Point::new(300.0, -10.0), Point::new(900.0, 10.0)),
+                SimTime::from_secs(12.0),
+                SimDuration::from_secs(2.0),
+            );
+        cfg
+    };
+    let a = run_scenario(make());
+    let b = run_scenario(make());
+    assert_eq!(a, b, "identical (config, seed) must reproduce byte-for-byte");
+    assert_eq!(a.faults_injected, 3);
+}
+
+#[test]
+fn fault_free_runs_are_unchanged_by_the_fault_machinery() {
+    // An empty plan and a plan whose faults never activate (out-of-range
+    // node, post-run start) must all match the no-fault baseline exactly.
+    let baseline = run_scenario(chain(5));
+    let mut inert = chain(5);
+    inert.faults = FaultPlan::none()
+        .node_down(NodeId::new(99), SimTime::from_secs(1.0), SimDuration::from_secs(1.0))
+        .frame_corruption(0.9, SimTime::from_secs(100.0), SimTime::from_secs(200.0));
+    let r = run_scenario(inert);
+    assert_eq!(r.delivered, baseline.delivered);
+    assert_eq!(r.routing_tx, baseline.routing_tx);
+    assert_eq!(r.frames_corrupted, 0);
+    assert_eq!(r.arrivals_suppressed, 0);
+}
+
+#[test]
+fn wall_clock_watchdog_is_classified_transient_and_retried() {
+    let campaign = CampaignConfig {
+        limits: RunLimits {
+            wall_clock: Some(Duration::from_nanos(1)),
+            max_events_per_sim_second: None,
+        },
+        ..CampaignConfig::default()
+    };
+    let result = run_campaign(&chain(0), &[4], &campaign);
+    assert_eq!(result.failures.len(), 1);
+    assert!(matches!(result.failures[0].error, RunError::WatchdogTimeout { seed: 4, .. }));
+    assert!(result.failures[0].retried);
+    assert!(result.failure_summary().contains("after retry"));
+}

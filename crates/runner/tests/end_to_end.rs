@@ -80,9 +80,6 @@ fn all_variants_work_on_a_chain() {
         let mut cfg = ScenarioConfig::static_line(4, 200.0, 2.0, dsr, 5);
         cfg.duration = sim_core::SimDuration::from_secs(20.0);
         let report = run_scenario(cfg);
-        assert!(
-            report.delivery_fraction > 0.9,
-            "{label} failed on a static chain: {report}"
-        );
+        assert!(report.delivery_fraction > 0.9, "{label} failed on a static chain: {report}");
     }
 }

@@ -67,6 +67,7 @@ pub struct EventQueue<E> {
     cancelled: HashSet<EventId>,
     pending: HashSet<EventId>,
     next_seq: u64,
+    popped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -83,6 +84,7 @@ impl<E> EventQueue<E> {
             cancelled: HashSet::new(),
             pending: HashSet::new(),
             next_seq: 0,
+            popped: 0,
         }
     }
 
@@ -119,6 +121,7 @@ impl<E> EventQueue<E> {
                 continue;
             }
             self.pending.remove(&entry.id);
+            self.popped += 1;
             return Some((entry.at, entry.payload));
         }
         None
@@ -145,6 +148,15 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
+    }
+
+    /// Total number of events delivered by [`EventQueue::pop`] over the
+    /// queue's lifetime (cancelled entries are not counted).
+    ///
+    /// Watchdogs use this to detect event storms: if the count grows
+    /// without simulated time advancing, the run is livelocked.
+    pub fn popped(&self) -> u64 {
+        self.popped
     }
 }
 
@@ -225,6 +237,21 @@ mod tests {
         q.schedule(SimTime::from_secs(2.0), ());
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn popped_counts_deliveries_not_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), ());
+        q.schedule(SimTime::from_secs(2.0), ());
+        q.schedule(SimTime::from_secs(3.0), ());
+        q.cancel(a);
+        assert_eq!(q.popped(), 0);
+        q.pop();
+        q.pop();
+        assert_eq!(q.popped(), 2, "cancelled entry is skipped, not counted");
+        assert!(q.pop().is_none());
+        assert_eq!(q.popped(), 2);
     }
 
     #[test]

@@ -209,9 +209,7 @@ impl TcpSender {
             }
         }
         let rto_s = self.srtt_s.expect("just set") + 4.0 * self.rttvar_s;
-        self.rto = SimDuration::from_secs(rto_s)
-            .max(self.cfg.min_rto)
-            .min(self.cfg.max_rto);
+        self.rto = SimDuration::from_secs(rto_s).max(self.cfg.min_rto).min(self.cfg.max_rto);
     }
 
     /// Transmit backlog segments while the window allows.

@@ -131,7 +131,7 @@ impl TcpHost {
         let delivered = self
             .receivers
             .entry(peer)
-            .or_insert_with(TcpReceiver::new)
+            .or_default()
             .on_segment(packet.seq, meta);
         for m in delivered {
             out.push(Cmd::Deliver {
@@ -163,11 +163,7 @@ impl TcpHost {
                     self.translate(cmds, now, out);
                 }
                 SenderAction::ArmRto => {
-                    let rto = self
-                        .senders
-                        .get(&peer)
-                        .expect("actions came from this sender")
-                        .rto();
+                    let rto = self.senders.get(&peer).expect("actions came from this sender").rto();
                     out.push(Cmd::SetTimer { timer: HostTimer::Rto { peer }, at: now + rto });
                 }
                 SenderAction::CancelRto => {
@@ -189,14 +185,17 @@ impl RoutingAgent for TcpHost {
         out
     }
 
-    fn originate(&mut self, dst: NodeId, _payload_bytes: usize, _seq: u64, now: SimTime) -> Vec<Cmd> {
+    fn originate(
+        &mut self,
+        dst: NodeId,
+        _payload_bytes: usize,
+        _seq: u64,
+        now: SimTime,
+    ) -> Vec<Cmd> {
         // The driver's traffic event is an application write to the socket.
         let mut out = Vec::new();
-        let actions = self
-            .senders
-            .entry(dst)
-            .or_insert_with(|| TcpSender::new(self.cfg))
-            .app_write(now);
+        let actions =
+            self.senders.entry(dst).or_insert_with(|| TcpSender::new(self.cfg)).app_write(now);
         self.apply_sender_actions(dst, actions, now, &mut out);
         out
     }
@@ -324,11 +323,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "larger than ACKs")]
     fn tiny_segments_rejected() {
-        let dsr = DsrNode::new(
-            NodeId::new(0),
-            DsrConfig::base(),
-            RngFactory::new(3).stream("dsr", 0),
-        );
+        let dsr =
+            DsrNode::new(NodeId::new(0), DsrConfig::base(), RngFactory::new(3).stream("dsr", 0));
         let _ = TcpHost::new(dsr, TcpConfig::default(), 40);
     }
 }

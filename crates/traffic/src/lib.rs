@@ -81,7 +81,11 @@ pub fn generate_flows(num_nodes: usize, cfg: &TrafficConfig, factory: RngFactory
     assert!(num_nodes >= 2, "traffic needs at least two nodes");
     assert!(cfg.rate_pps > 0.0 && cfg.rate_pps.is_finite(), "invalid rate {}", cfg.rate_pps);
     let max_pairs = num_nodes * (num_nodes - 1);
-    assert!(cfg.num_flows <= max_pairs, "cannot draw {} distinct pairs from {num_nodes} nodes", cfg.num_flows);
+    assert!(
+        cfg.num_flows <= max_pairs,
+        "cannot draw {} distinct pairs from {num_nodes} nodes",
+        cfg.num_flows
+    );
 
     let mut rng = factory.stream("traffic", 0);
     let interval = SimDuration::from_secs(1.0 / cfg.rate_pps);

@@ -17,7 +17,9 @@ use dsr_caching::prelude::*;
 fn main() {
     let mut est = AdaptiveTimeout::new(1.25, SimDuration::from_secs(1.0));
 
-    println!("adaptive timeout: T = max(1.25 * avg_route_lifetime, time_since_last_break), floor 1 s\n");
+    println!(
+        "adaptive timeout: T = max(1.25 * avg_route_lifetime, time_since_last_break), floor 1 s\n"
+    );
     println!("{:>7}  {:>22}  {:>12}  {:>8}", "time(s)", "event", "avg_life(s)", "T(s)");
 
     let log = |t: f64, event: &str, est: &AdaptiveTimeout| {

@@ -20,10 +20,9 @@ fn main() {
         println!("{}\n", run_scenario(cfg));
     }
 
-    for aodv in [
-        AodvConfig::default(),
-        AodvConfig { intermediate_replies: false, ..AodvConfig::default() },
-    ] {
+    for aodv in
+        [AodvConfig::default(), AodvConfig { intermediate_replies: false, ..AodvConfig::default() }]
+    {
         let cfg = ScenarioConfig::quick(pause_s, rate_pps, DsrConfig::base(), 1);
         let label = aodv.label();
         let report =

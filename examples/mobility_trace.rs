@@ -18,7 +18,8 @@ fn main() {
 
     let mut cfg = WaypointConfig::paper(SimDuration::from_secs(pause_s));
     cfg.duration = SimDuration::from_secs(120.0);
-    let model = Arc::new(RandomWaypoint::generate(&cfg, dsr_caching::sim_core::RngFactory::new(seed)));
+    let model =
+        Arc::new(RandomWaypoint::generate(&cfg, dsr_caching::sim_core::RngFactory::new(seed)));
 
     println!(
         "random waypoint: {} nodes on {}, speeds U({}, {}) m/s, pause {pause_s}s, seed {seed}\n",

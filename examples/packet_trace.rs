@@ -13,8 +13,7 @@ use dsr_caching::prelude::*;
 use dsr_caching::runner::TraceKind;
 
 fn main() {
-    let max_lines: usize =
-        std::env::args().nth(1).map_or(60, |s| s.parse().expect("max lines"));
+    let max_lines: usize = std::env::args().nth(1).map_or(60, |s| s.parse().expect("max lines"));
 
     let cfg = ScenarioConfig::tiny(0.0, 1.0, DsrConfig::combined(), 3);
     let mut sim = Simulator::new(cfg);

@@ -53,10 +53,13 @@ fn parse_args() -> Options {
             "--pause" => opts.pause_s = value("--pause").parse().expect("pause seconds"),
             "--rate" => opts.rate_pps = value("--rate").parse().expect("rate pkt/s"),
             "--nodes" => opts.nodes = value("--nodes").parse().expect("node count"),
-            "--duration" => opts.duration_s = value("--duration").parse().expect("duration seconds"),
+            "--duration" => {
+                opts.duration_s = value("--duration").parse().expect("duration seconds")
+            }
             "--seed" => opts.seed = value("--seed").parse().expect("seed"),
             "--static-timeout" => {
-                opts.static_timeout_s = Some(value("--static-timeout").parse().expect("timeout seconds"))
+                opts.static_timeout_s =
+                    Some(value("--static-timeout").parse().expect("timeout seconds"))
             }
             "--trace" => opts.trace = true,
             "--series" => opts.series = true,
@@ -118,7 +121,9 @@ fn main() {
                 "aodv" => AodvConfig::default(),
                 "aodv-noir" => AodvConfig { intermediate_replies: false, ..AodvConfig::default() },
                 other => {
-                    eprintln!("unknown protocol {other} (dsr|dsr-we|dsr-ae|dsr-nc|dsr-c|aodv|aodv-noir)");
+                    eprintln!(
+                        "unknown protocol {other} (dsr|dsr-we|dsr-ae|dsr-nc|dsr-c|aodv|aodv-noir)"
+                    );
                     std::process::exit(2);
                 }
             };

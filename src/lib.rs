@@ -48,7 +48,9 @@ pub mod prelude {
     pub use metrics::Report;
     pub use mobility::{Field, Point, WaypointConfig};
     pub use runner::{
-        run_scenario, run_scenario_with, run_seeds, MobilitySpec, ScenarioConfig, Simulator,
+        run_campaign, run_campaign_with, run_scenario, run_scenario_with, run_seeds,
+        CampaignConfig, CampaignResult, FaultEvent, FaultPlan, MobilitySpec, Region, RunError,
+        RunFailure, RunLimits, ScenarioConfig, Simulator,
     };
     pub use sim_core::{NodeId, SimDuration, SimTime};
     pub use tcp::{TcpConfig, TcpHost};

@@ -57,7 +57,8 @@ fn arb_input() -> impl Strategy<Value = Input> {
         ((0u16..10, 0u16..10), 0u64..50)
             .prop_map(|(broken, uid)| Input::ErrorBroadcast { broken, uid }),
         (arb_route(), 1u16..10).prop_map(|(route, next_hop)| Input::TxFailed { route, next_hop }),
-        (arb_route(), 0u16..10).prop_map(|(route, transmitter)| Input::Snoop { route, transmitter }),
+        (arb_route(), 0u16..10)
+            .prop_map(|(route, transmitter)| Input::Snoop { route, transmitter }),
         Just(Input::Tick),
         (1u16..10).prop_map(|target| Input::RequestTimeout { target }),
     ]

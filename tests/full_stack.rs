@@ -36,10 +36,7 @@ fn every_variant_survives_a_mobile_network() {
         let label = dsr.label();
         let r = run_scenario(stressed(dsr, 3));
         assert!(r.originated > 500, "{label}: traffic should flow, got {r}");
-        assert!(
-            r.delivery_fraction > 0.5,
-            "{label}: mobile delivery collapsed: {r}"
-        );
+        assert!(r.delivery_fraction > 0.5, "{label}: mobile delivery collapsed: {r}");
         assert!(r.link_breaks > 0, "{label}: constant motion must break links");
         assert!(r.discoveries > 0, "{label}: discovery must happen");
     }

@@ -20,6 +20,34 @@ const TIMERS: [MacTimer; 6] = [
     MacTimer::AckTimeout,
 ];
 
+/// Arbitrary *non-chaos* fault events (`Panic`/`EventStorm` are excluded:
+/// those exist to kill runs on purpose and are exercised by the campaign
+/// acceptance tests). Node ids may exceed the scenario size and windows
+/// may be empty or start after the run ends — all must be harmless.
+fn arb_fault() -> impl Strategy<Value = FaultEvent> {
+    use dsr_caching::sim_core::{SimDuration, SimTime};
+    prop_oneof![
+        (0u16..10, 0.0f64..10.0, 0.1f64..5.0).prop_map(|(node, at, dur)| FaultEvent::NodeDown {
+            node: NodeId::new(node),
+            at: SimTime::from_secs(at),
+            down_for: SimDuration::from_secs(dur),
+        }),
+        (0.0f64..1500.0, 0.0f64..500.0, 1.0f64..800.0, 1.0f64..300.0, 0.0f64..10.0, 0.1f64..5.0)
+            .prop_map(|(x, y, w, h, at, dur)| FaultEvent::LinkBlackout {
+                region: Region::new(Point::new(x, y), Point::new(x + w, y + h)),
+                at: SimTime::from_secs(at),
+                down_for: SimDuration::from_secs(dur),
+            }),
+        (0.0f64..1.0, 0.0f64..10.0, 0.0f64..10.0).prop_map(|(prob, a, b)| {
+            FaultEvent::FrameCorruption {
+                prob,
+                from: SimTime::from_secs(a.min(b)),
+                until: SimTime::from_secs(a.max(b)),
+            }
+        }),
+    ]
+}
+
 #[derive(Debug, Clone)]
 enum FuzzInput {
     Enqueue { dst: u16, bytes: usize, control: bool },
@@ -117,6 +145,41 @@ proptest! {
         // Replay determinism.
         let r2 = run_scenario(cfg);
         prop_assert_eq!(r, r2);
+    }
+
+    /// Random fault plans over random small chains: the simulator never
+    /// panics, accounting invariants hold, a fault can activate at most
+    /// once, and the run replays byte-for-byte.
+    #[test]
+    fn random_fault_plans_never_panic_and_replay_deterministically(
+        seed in 0u64..100,
+        n_nodes in 2usize..7,
+        faults in proptest::collection::vec(arb_fault(), 0..6),
+    ) {
+        let mut cfg = ScenarioConfig::static_line(n_nodes, 180.0, 2.0, DsrConfig::combined(), seed);
+        cfg.duration = SimDuration::from_secs(8.0);
+        cfg.faults = FaultPlan { events: faults };
+        let r = run_scenario(cfg.clone());
+        prop_assert!(r.delivered <= r.originated, "over-delivery under faults: {r}");
+        prop_assert!(r.delivery_fraction >= 0.0 && r.delivery_fraction <= 1.0);
+        prop_assert!((r.faults_injected as usize) <= cfg.faults.events.len());
+        let r2 = run_scenario(cfg);
+        prop_assert_eq!(r, r2, "fault-injected runs must replay identically");
+    }
+
+    /// Campaigns under random fault plans degrade gracefully: every seed
+    /// either reports or yields a classified error, and fault-free seeds
+    /// are never casualties of a faulty plan.
+    #[test]
+    fn campaigns_account_for_every_seed_under_faults(
+        faults in proptest::collection::vec(arb_fault(), 0..4),
+    ) {
+        let mut cfg = ScenarioConfig::static_line(4, 180.0, 2.0, DsrConfig::base(), 0);
+        cfg.duration = SimDuration::from_secs(5.0);
+        cfg.faults = FaultPlan { events: faults };
+        let result = run_campaign(&cfg, &[1, 2, 3], &CampaignConfig::default());
+        prop_assert_eq!(result.reports.len() + result.failures.len(), 3);
+        prop_assert!(result.all_ok(), "benign faults must not fail runs: {}", result.failure_summary());
     }
 
     /// Random clustered placements (possibly partitioned): no panic, sane

@@ -10,11 +10,10 @@ use dsr_caching::sim_core::{EventQueue, NodeId, RngFactory, SimDuration, SimTime
 
 /// Strategy: a loop-free node sequence of 2..=8 nodes drawn from 0..16.
 fn arb_route() -> impl Strategy<Value = Route> {
-    proptest::collection::vec(0u16..16, 2..=8)
-        .prop_filter_map("must be loop-free", |ids| {
-            let nodes: Vec<NodeId> = ids.into_iter().map(NodeId::new).collect();
-            Route::new(nodes).ok()
-        })
+    proptest::collection::vec(0u16..16, 2..=8).prop_filter_map("must be loop-free", |ids| {
+        let nodes: Vec<NodeId> = ids.into_iter().map(NodeId::new).collect();
+        Route::new(nodes).ok()
+    })
 }
 
 fn arb_link() -> impl Strategy<Value = Link> {
