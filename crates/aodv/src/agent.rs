@@ -439,6 +439,7 @@ impl RoutingAgent for AodvNode {
         assert!(dst != self.id && !dst.is_broadcast(), "invalid destination {dst}");
         let mut cmds = Vec::new();
         let pending = PendingData { uid: self.fresh_uid(), dst, seq, payload_bytes, sent_at: now };
+        cmds.push(Cmd::Event { event: ProtocolEvent::DataOriginated { uid: pending.uid } });
         match self.table.valid_entry(dst, now).map(|e| e.next_hop) {
             Some(next_hop) => {
                 self.table.refresh(dst, self.cfg.active_route_timeout, now);
@@ -468,6 +469,14 @@ impl RoutingAgent for AodvNode {
     fn on_snoop(&mut self, _transmitter: NodeId, _packet: &AodvPacket, _now: SimTime) -> Vec<Cmd> {
         // AODV does not use promiscuous listening.
         Vec::new()
+    }
+
+    fn supports_conservation_audit(&self) -> bool {
+        true
+    }
+
+    fn buffered_uids(&self) -> Vec<u64> {
+        self.send_buffer.uids()
     }
 
     fn on_tx_failed(&mut self, packet: AodvPacket, next_hop: NodeId, now: SimTime) -> Vec<Cmd> {

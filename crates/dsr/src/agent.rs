@@ -197,6 +197,29 @@ impl DsrNode {
         self.send_buffer.len()
     }
 
+    /// The uids of every packet waiting in the send buffer (conservation
+    /// audits).
+    pub fn buffered_uids(&self) -> Vec<u64> {
+        self.send_buffer.uids()
+    }
+
+    /// Checks the paper's invariant that the route cache and the negative
+    /// cache are mutually exclusive with respect to the links they hold.
+    /// Returns a description of the first violation, or `None` when the
+    /// invariant holds (trivially so without a negative cache).
+    pub fn cache_exclusion_violation(&self, now: SimTime) -> Option<String> {
+        let neg = self.negative.as_ref()?;
+        for link in neg.live_links(now) {
+            if self.cache.contains_link(link) {
+                return Some(format!(
+                    "node {}: link {}->{} is both negatively cached and route-cached",
+                    self.id, link.from, link.to
+                ));
+            }
+        }
+        None
+    }
+
     fn fresh_uid(&mut self) -> u64 {
         let uid = (self.id.index() as u64) << 40 | self.uid_counter;
         self.uid_counter += 1;
@@ -240,6 +263,7 @@ impl DsrNode {
         assert!(dst != self.id && !dst.is_broadcast(), "invalid destination {dst}");
         let mut cmds = Vec::new();
         let pending = PendingData { uid: self.fresh_uid(), dst, seq, payload_bytes, sent_at: now };
+        cmds.push(DsrCommand::Event { event: DsrEvent::DataOriginated { uid: pending.uid } });
         if let Some(route) = self.cache.find(dst, now) {
             cmds.push(DsrCommand::Event {
                 event: DsrEvent::CacheHit { route: route.clone(), kind: CacheHitKind::Origination },

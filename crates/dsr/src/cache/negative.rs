@@ -92,6 +92,11 @@ impl NegativeCache {
     pub fn purge(&mut self, now: SimTime) {
         self.entries.retain(|&(_, exp)| exp > now);
     }
+
+    /// Every link still blacklisted at `now` (mutual-exclusion audits).
+    pub fn live_links(&self, now: SimTime) -> Vec<Link> {
+        self.entries.iter().filter(|&&(_, exp)| exp > now).map(|&(l, _)| l).collect()
+    }
 }
 
 #[cfg(test)]
@@ -161,5 +166,13 @@ mod tests {
         neg.insert(link(0, 1), SimTime::ZERO);
         neg.purge(SimTime::from_secs(2.0));
         assert!(neg.is_empty(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn live_links_excludes_expired() {
+        let mut neg = cache(8, 10.0);
+        neg.insert(link(0, 1), SimTime::ZERO);
+        neg.insert(link(1, 2), SimTime::from_secs(5.0));
+        assert_eq!(neg.live_links(SimTime::from_secs(12.0)), vec![link(1, 2)]);
     }
 }

@@ -119,6 +119,12 @@ impl SendBuffer {
         dsts
     }
 
+    /// The uids of every buffered packet, in arrival order (conservation
+    /// audits).
+    pub fn uids(&self) -> Vec<u64> {
+        self.entries.iter().map(|(p, _)| p.uid).collect()
+    }
+
     /// Buffered packet count.
     pub fn len(&self) -> usize {
         self.entries.len()

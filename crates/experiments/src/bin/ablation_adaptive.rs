@@ -8,14 +8,15 @@
 //! why the paper includes it for bursty link-failure patterns.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ablation_adaptive [--quick|--full]
+//! cargo run --release -p experiments --bin ablation_adaptive [--quick|--full] [--resume <journal>] [--audit <level>]
 //! ```
 
 use dsr::{DsrConfig, ExpiryPolicy};
-use experiments::{f3, pct, run_point, ExpMode, Table};
+use experiments::{f3, pct, run_point, ExpArgs, Table};
 
 fn main() {
-    let mode = ExpMode::from_args();
+    let args = ExpArgs::from_env_or_exit("ablation_adaptive");
+    let mode = args.mode;
     eprintln!("Ablation ({mode:?}): adaptive-timeout alpha sweep + quiet-term at pause 0, 3 pkt/s");
 
     let mut table = Table::new(
@@ -34,7 +35,7 @@ fn main() {
     for alpha in [0.5, 0.75, 1.0, 1.25, 1.5, 2.0] {
         let dsr =
             DsrConfig { expiry: ExpiryPolicy::adaptive_with_alpha(alpha), ..DsrConfig::base() };
-        let r = run_point(&mode.scenario(0.0, 3.0, dsr), mode);
+        let r = run_point(&mode.scenario(0.0, 3.0, dsr), &args);
         table.row(vec![
             format!("alpha={alpha}"),
             f3(r.delivery_fraction),
@@ -56,7 +57,7 @@ fn main() {
         },
         ..DsrConfig::base()
     };
-    let r = run_point(&mode.scenario(0.0, 3.0, no_quiet), mode);
+    let r = run_point(&mode.scenario(0.0, 3.0, no_quiet), &args);
     table.row(vec![
         "alpha=1.25, no quiet term".into(),
         f3(r.delivery_fraction),
@@ -68,6 +69,6 @@ fn main() {
     ]);
 
     println!("\nAblation: adaptive timeout (alpha sweep, quiet-term on/off)\n");
-    table.finish();
+    table.finish_or_exit();
     println!("expected shape: flat across alpha in [0.5, 2]; dropping the quiet term over-expires routes.");
 }

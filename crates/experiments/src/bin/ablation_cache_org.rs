@@ -9,14 +9,15 @@
 //! paper's correctness techniques recover much of the gap.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ablation_cache_org [--quick|--full]
+//! cargo run --release -p experiments --bin ablation_cache_org [--quick|--full] [--resume <journal>] [--audit <level>]
 //! ```
 
 use dsr::DsrConfig;
-use experiments::{f3, pct, run_point, ExpMode, Table};
+use experiments::{f3, pct, run_point, ExpArgs, Table};
 
 fn main() {
-    let mode = ExpMode::from_args();
+    let args = ExpArgs::from_env_or_exit("ablation_cache_org");
+    let mode = args.mode;
     eprintln!("Ablation ({mode:?}): path cache vs link cache at pause 0, 3 pkt/s");
 
     let mut table = Table::new(
@@ -39,7 +40,7 @@ fn main() {
         DsrConfig::combined(),
         DsrConfig::combined().with_link_cache(),
     ] {
-        let r = run_point(&mode.scenario(0.0, 3.0, dsr), mode);
+        let r = run_point(&mode.scenario(0.0, 3.0, dsr), &args);
         table.row(vec![
             r.label.clone(),
             f3(r.delivery_fraction),
@@ -53,5 +54,5 @@ fn main() {
     }
 
     println!("\nAblation: cache organization (path vs link)\n");
-    table.finish();
+    table.finish_or_exit();
 }

@@ -11,14 +11,15 @@
 //! the broadcast cost.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ablation_wider_error [--quick|--full]
+//! cargo run --release -p experiments --bin ablation_wider_error [--quick|--full] [--resume <journal>] [--audit <level>]
 //! ```
 
 use dsr::{DsrConfig, WiderErrorRebroadcast};
-use experiments::{f3, pct, run_point, ExpMode, Table};
+use experiments::{f3, pct, run_point, ExpArgs, Table};
 
 fn main() {
-    let mode = ExpMode::from_args();
+    let args = ExpArgs::from_env_or_exit("ablation_wider_error");
+    let mode = args.mode;
     eprintln!("Ablation ({mode:?}): wider-error re-broadcast predicate at pause 0, 3 pkt/s");
 
     let mut table = Table::new(
@@ -41,7 +42,7 @@ fn main() {
         ("flood", WiderErrorRebroadcast::Flood),
     ] {
         let dsr = DsrConfig { wider_error_rebroadcast: policy, ..DsrConfig::wider_error() };
-        let r = run_point(&mode.scenario(0.0, 3.0, dsr), mode);
+        let r = run_point(&mode.scenario(0.0, 3.0, dsr), &args);
         table.row(vec![
             name.into(),
             f3(r.delivery_fraction),
@@ -55,5 +56,5 @@ fn main() {
     }
 
     println!("\nAblation: wider-error re-broadcast predicate\n");
-    table.finish();
+    table.finish_or_exit();
 }

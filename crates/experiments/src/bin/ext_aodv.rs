@@ -13,23 +13,24 @@
 //! floods). Disabling intermediate replies costs latency and overhead.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ext_aodv [--quick|--full]
+//! cargo run --release -p experiments --bin ext_aodv [--quick|--full] [--resume <journal>] [--audit <level>]
 //! ```
 
 use aodv::{AodvConfig, AodvNode};
 use dsr::DsrConfig;
-use experiments::{f3, run_point_with, ExpMode, Point, Table};
+use experiments::{f3, run_point_with, ExpArgs, Point, Table};
 use runner::ScenarioConfig;
 
-fn run_aodv_point(base: &ScenarioConfig, aodv: &AodvConfig, mode: ExpMode) -> Point {
+fn run_aodv_point(base: &ScenarioConfig, aodv: &AodvConfig, args: &ExpArgs) -> Point {
     let aodv = aodv.clone();
-    run_point_with(base, mode, aodv.label(), move |node, rng| {
+    run_point_with(base, args, aodv.label(), move |node, rng| {
         AodvNode::new(node, aodv.clone(), rng)
     })
 }
 
 fn main() {
-    let mode = ExpMode::from_args();
+    let args = ExpArgs::from_env_or_exit("ext_aodv");
+    let mode = args.mode;
     let rate_pps = 3.0;
     eprintln!("Extension ({mode:?}): DSR vs AODV across mobility at {rate_pps} pkt/s");
 
@@ -50,7 +51,7 @@ fn main() {
         eprintln!("pause {pause_s}s:");
         // The two DSR anchors.
         for dsr in [DsrConfig::base(), DsrConfig::combined()] {
-            let r = experiments::run_point(&mode.scenario(pause_s, rate_pps, dsr), mode);
+            let r = experiments::run_point(&mode.scenario(pause_s, rate_pps, dsr), &args);
             table.row(vec![
                 format!("{pause_s:.0}"),
                 r.label.clone(),
@@ -67,7 +68,7 @@ fn main() {
             AodvConfig { intermediate_replies: false, ..AodvConfig::default() },
         ] {
             let base = mode.scenario(pause_s, rate_pps, DsrConfig::base());
-            let r = run_aodv_point(&base, &aodv, mode);
+            let r = run_aodv_point(&base, &aodv, &args);
             table.row(vec![
                 format!("{pause_s:.0}"),
                 r.label.clone(),
@@ -81,5 +82,5 @@ fn main() {
     }
 
     println!("\nExtension: DSR vs AODV across mobility\n");
-    table.finish();
+    table.finish_or_exit();
 }

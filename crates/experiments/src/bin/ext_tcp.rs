@@ -13,25 +13,26 @@
 //! caches clean.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ext_tcp [--quick|--full]
+//! cargo run --release -p experiments --bin ext_tcp [--quick|--full] [--resume <journal>] [--audit <level>]
 //! ```
 
 use dsr::{DsrConfig, DsrNode};
-use experiments::{f3, run_point_with, ExpMode, Point, Table};
+use experiments::{f3, run_point_with, ExpArgs, Point, Table};
 use runner::ScenarioConfig;
 use tcp::{TcpConfig, TcpHost};
 use traffic::TrafficConfig;
 
-fn run_tcp_point(base: &ScenarioConfig, dsr: &DsrConfig, label: &str, mode: ExpMode) -> Point {
+fn run_tcp_point(base: &ScenarioConfig, dsr: &DsrConfig, label: &str, args: &ExpArgs) -> Point {
     let dsr = dsr.clone();
-    run_point_with(base, mode, label, move |node, rng| {
+    run_point_with(base, args, label, move |node, rng| {
         let agent = DsrNode::new(node, dsr.clone(), rng);
         TcpHost::new(agent, TcpConfig::default(), 512)
     })
 }
 
 fn main() {
-    let mode = ExpMode::from_args();
+    let args = ExpArgs::from_env_or_exit("ext_tcp");
+    let mode = args.mode;
     eprintln!("Extension ({mode:?}): one bulk TCP connection over DSR variants, pause 0");
 
     let mut table = Table::new(
@@ -63,7 +64,7 @@ fn main() {
             packet_bytes: 512,
             start_window: sim_core::SimDuration::from_secs(1.0),
         };
-        let r = run_tcp_point(&base, &dsr, label, mode);
+        let r = run_tcp_point(&base, &dsr, label, &args);
         eprintln!("  [{label}] goodput {:.1} kb/s", r.throughput_kbps);
         table.row(vec![
             label.to_string(),
@@ -77,7 +78,7 @@ fn main() {
     }
 
     println!("\nExtension: single TCP connection over DSR variants (pause 0)\n");
-    table.finish();
+    table.finish_or_exit();
     println!(
         "expected shape: disabling cache replies helps base DSR (Holland & Vaidya);\n\
          DSR-C makes cache replies safe again."

@@ -10,14 +10,15 @@
 //! well-chosen static value.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin fig1_timeout [--quick|--full]
+//! cargo run --release -p experiments --bin fig1_timeout [--quick|--full] [--resume <journal>] [--audit <level>]
 //! ```
 
 use dsr::DsrConfig;
-use experiments::{f3, pct, run_point, ExpMode, Table};
+use experiments::{f3, pct, run_point, ExpArgs, Table};
 
 fn main() {
-    let mode = ExpMode::from_args();
+    let args = ExpArgs::from_env_or_exit("fig1_timeout");
+    let mode = args.mode;
     let pause_s = 0.0;
     let rate_pps = 3.0;
     eprintln!("Fig 1 ({mode:?}): static timeout sweep, pause {pause_s}s, {rate_pps} pkt/s");
@@ -36,7 +37,7 @@ fn main() {
     );
 
     // Reference lines: no timeout (base DSR) and adaptive selection.
-    let base = run_point(&mode.scenario(pause_s, rate_pps, DsrConfig::base()), mode);
+    let base = run_point(&mode.scenario(pause_s, rate_pps, DsrConfig::base()), &args);
     table.row(vec![
         "none".into(),
         base.label.clone(),
@@ -46,7 +47,8 @@ fn main() {
         base.runs_failed.to_string(),
         base.faults_injected.to_string(),
     ]);
-    let adaptive = run_point(&mode.scenario(pause_s, rate_pps, DsrConfig::adaptive_expiry()), mode);
+    let adaptive =
+        run_point(&mode.scenario(pause_s, rate_pps, DsrConfig::adaptive_expiry()), &args);
     table.row(vec![
         "adaptive".into(),
         adaptive.label.clone(),
@@ -59,7 +61,7 @@ fn main() {
 
     for timeout_s in mode.timeout_sweep() {
         let dsr = DsrConfig::static_expiry(sim_core::SimDuration::from_secs(timeout_s));
-        let r = run_point(&mode.scenario(pause_s, rate_pps, dsr), mode);
+        let r = run_point(&mode.scenario(pause_s, rate_pps, dsr), &args);
         table.row(vec![
             pct(timeout_s),
             r.label.clone(),
@@ -72,6 +74,6 @@ fn main() {
     }
 
     println!("\nFig 1: performance vs static timeout (pause 0 s, 3 pkt/s)\n");
-    table.finish();
+    table.finish_or_exit();
     println!("expected shape: 1 s timeout < no-timeout; peak near 10 s; adaptive ~= best static.");
 }

@@ -11,13 +11,14 @@
 //! caches; all variants converge as the network becomes static.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin fig2_mobility [--quick|--full]
+//! cargo run --release -p experiments --bin fig2_mobility [--quick|--full] [--resume <journal>] [--audit <level>]
 //! ```
 
-use experiments::{f3, run_point, variants, ExpMode, Table};
+use experiments::{f3, run_point, variants, ExpArgs, Table};
 
 fn main() {
-    let mode = ExpMode::from_args();
+    let args = ExpArgs::from_env_or_exit("fig2_mobility");
+    let mode = args.mode;
     let rate_pps = 3.0;
     eprintln!("Fig 2 ({mode:?}): pause-time sweep at {rate_pps} pkt/s");
 
@@ -37,7 +38,7 @@ fn main() {
     for pause_s in mode.pause_sweep() {
         eprintln!("pause {pause_s}s:");
         for dsr in variants() {
-            let r = run_point(&mode.scenario(pause_s, rate_pps, dsr), mode);
+            let r = run_point(&mode.scenario(pause_s, rate_pps, dsr), &args);
             table.row(vec![
                 format!("{pause_s:.0}"),
                 r.label.clone(),
@@ -51,6 +52,6 @@ fn main() {
     }
 
     println!("\nFig 2: performance vs pause time (3 pkt/s)\n");
-    table.finish();
+    table.finish_or_exit();
     println!("expected shape: DSR-C best overall; base DSR worst except at high pause; convergence when static.");
 }

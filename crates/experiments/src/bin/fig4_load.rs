@@ -10,14 +10,15 @@
 //! re-inserting stale routes).
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin fig4_load [--quick|--full]
+//! cargo run --release -p experiments --bin fig4_load [--quick|--full] [--resume <journal>] [--audit <level>]
 //! ```
 
-use experiments::{f3, run_point, variants, ExpMode, Table};
+use experiments::{f3, run_point, variants, ExpArgs, Table};
 use traffic::TrafficConfig;
 
 fn main() {
-    let mode = ExpMode::from_args();
+    let args = ExpArgs::from_env_or_exit("fig4_load");
+    let mode = args.mode;
     let pause_s = 0.0;
     eprintln!("Fig 4 ({mode:?}): offered-load sweep at pause {pause_s}s");
 
@@ -39,7 +40,7 @@ fn main() {
         let load = TrafficConfig::paper(rate_pps).offered_load_kbps();
         eprintln!("rate {rate_pps} pkt/s ({load:.0} kb/s offered):");
         for dsr in variants() {
-            let r = run_point(&mode.scenario(pause_s, rate_pps, dsr), mode);
+            let r = run_point(&mode.scenario(pause_s, rate_pps, dsr), &args);
             table.row(vec![
                 format!("{rate_pps}"),
                 format!("{load:.0}"),
@@ -54,6 +55,6 @@ fn main() {
     }
 
     println!("\nFig 4: performance vs offered load (pause 0 s)\n");
-    table.finish();
+    table.finish_or_exit();
     println!("expected shape: DSR-C dominates across load; all variants saturate at high load.");
 }

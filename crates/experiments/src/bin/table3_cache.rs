@@ -11,13 +11,14 @@
 //! by ~70% relative to base DSR.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin table3_cache [--quick|--full]
+//! cargo run --release -p experiments --bin table3_cache [--quick|--full] [--resume <journal>] [--audit <level>]
 //! ```
 
-use experiments::{pct, run_point, variants, ExpMode, Table};
+use experiments::{pct, run_point, variants, ExpArgs, Table};
 
 fn main() {
-    let mode = ExpMode::from_args();
+    let args = ExpArgs::from_env_or_exit("table3_cache");
+    let mode = args.mode;
     let pause_s = 0.0;
     let rate_pps = 3.0;
     eprintln!("Table 3 ({mode:?}): cache metrics at pause {pause_s}s, {rate_pps} pkt/s");
@@ -36,7 +37,7 @@ fn main() {
     );
 
     for dsr in variants() {
-        let r = run_point(&mode.scenario(pause_s, rate_pps, dsr), mode);
+        let r = run_point(&mode.scenario(pause_s, rate_pps, dsr), &args);
         table.row(vec![
             r.label.clone(),
             pct(r.good_reply_pct),
@@ -49,6 +50,6 @@ fn main() {
     }
 
     println!("\nTable 3: cache-related metrics (pause 0 s)\n");
-    table.finish();
+    table.finish_or_exit();
     println!("expected shape: base DSR worst on both columns; DSR-C best; ordering AE > WE > NC in between.");
 }

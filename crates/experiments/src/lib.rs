@@ -3,11 +3,15 @@
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper. They share:
 //!
+//! - [`ExpArgs`] — typed command-line parsing (`--quick`/`--full`,
+//!   `--resume <journal>`, `--audit <level>`) with a usage message and a
+//!   nonzero exit on bad input instead of a panic;
 //! - [`ExpMode`] — `--quick` (time-compressed scenario, 2 seeds; the
 //!   default) vs `--full` (the paper's exact 500 s / 5 seed setup);
 //! - [`run_point`] — run one `(scenario, variant)` point across seeds as a
 //!   crash-isolated campaign and average the survivors, echoing progress
-//!   (and any per-seed failures) to stderr;
+//!   (and any per-seed failures) to stderr; failed runs leave repro
+//!   artifacts under `results/forensics/`;
 //! - [`Point`] — the mean report plus how many runs failed, so binaries
 //!   emit partial CSVs instead of dying with the first bad seed;
 //! - [`Table`] — aligned stdout tables plus CSV files under `results/`.
@@ -18,7 +22,9 @@ use std::path::PathBuf;
 
 use dsr::DsrConfig;
 use metrics::{Metrics, Report};
-use runner::{run_campaign, run_campaign_with, CampaignConfig, RoutingAgent, ScenarioConfig};
+use runner::{
+    run_campaign, run_campaign_with, AuditLevel, CampaignConfig, RoutingAgent, ScenarioConfig,
+};
 use sim_core::{NodeId, SimRng};
 
 /// Experiment scale.
@@ -33,21 +39,6 @@ pub enum ExpMode {
 }
 
 impl ExpMode {
-    /// Parses `--quick` / `--full` from the command line (default quick).
-    pub fn from_args() -> ExpMode {
-        let mut mode = ExpMode::Quick;
-        for arg in std::env::args().skip(1) {
-            match arg.as_str() {
-                "--full" => mode = ExpMode::Full,
-                "--quick" => mode = ExpMode::Quick,
-                other => {
-                    eprintln!("warning: ignoring unknown argument {other} (use --quick/--full)")
-                }
-            }
-        }
-        mode
-    }
-
     /// The seeds averaged per data point.
     pub fn seeds(self) -> Vec<u64> {
         match self {
@@ -98,6 +89,105 @@ impl ExpMode {
     }
 }
 
+/// A malformed experiment command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// An argument no experiment binary understands.
+    Unknown(String),
+    /// A flag that takes a value appeared last.
+    MissingValue(&'static str),
+    /// A flag's value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: &'static str,
+        /// The raw value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::Unknown(arg) => write!(f, "unknown argument '{arg}'"),
+            ArgError::MissingValue(flag) => write!(f, "{flag} requires a value"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "invalid value '{value}' for {flag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command line shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Experiment scale (`--quick` default, `--full` for the paper's).
+    pub mode: ExpMode,
+    /// Campaign journal to resume from / record into (`--resume <path>`).
+    pub resume: Option<PathBuf>,
+    /// Packet-conservation audit level (`--audit off|counters|full`).
+    pub audit: AuditLevel,
+}
+
+impl ExpArgs {
+    /// Parses an argument list (without the program name).
+    pub fn parse<I>(args: I) -> Result<ExpArgs, ArgError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut parsed = ExpArgs { mode: ExpMode::Quick, resume: None, audit: AuditLevel::Off };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => parsed.mode = ExpMode::Quick,
+                "--full" => parsed.mode = ExpMode::Full,
+                "--resume" => {
+                    let path = args.next().ok_or(ArgError::MissingValue("--resume"))?;
+                    parsed.resume = Some(PathBuf::from(path));
+                }
+                "--audit" => {
+                    let value = args.next().ok_or(ArgError::MissingValue("--audit"))?;
+                    parsed.audit = AuditLevel::parse(&value)
+                        .ok_or(ArgError::BadValue { flag: "--audit", value })?;
+                }
+                _ => return Err(ArgError::Unknown(arg)),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The usage line printed on parse errors.
+    pub fn usage(bin: &str) -> String {
+        format!("usage: {bin} [--quick|--full] [--resume <journal>] [--audit off|counters|full]")
+    }
+
+    /// Parses the process arguments; on error prints the problem plus a
+    /// usage message to stderr and exits with status 2.
+    pub fn from_env_or_exit(bin: &str) -> ExpArgs {
+        match ExpArgs::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("{bin}: {e}");
+                eprintln!("{}", ExpArgs::usage(bin));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The campaign configuration these arguments describe: requested
+    /// audit level, the `--resume` journal (if any), and repro artifacts
+    /// under `results/forensics/`.
+    pub fn campaign(&self) -> CampaignConfig {
+        CampaignConfig {
+            audit: self.audit,
+            journal: self.resume.clone(),
+            forensics_dir: Some(PathBuf::from("results").join("forensics")),
+            ..CampaignConfig::default()
+        }
+    }
+}
+
 /// The five protocol variants every comparison figure plots.
 pub fn variants() -> Vec<DsrConfig> {
     vec![
@@ -141,11 +231,13 @@ impl Point {
 
 /// Runs one DSR configuration across the mode's seeds as a crash-isolated
 /// campaign and returns the mean over the seeds that survived, logging
-/// progress — and any failures — to stderr.
-pub fn run_point(base: &ScenarioConfig, mode: ExpMode) -> Point {
-    let seeds = mode.seeds();
+/// progress — and any failures — to stderr. Completed seeds are journaled
+/// when `--resume` is set; failed seeds leave repro artifacts under
+/// `results/forensics/`.
+pub fn run_point(base: &ScenarioConfig, args: &ExpArgs) -> Point {
+    let seeds = args.mode.seeds();
     let started = std::time::Instant::now();
-    let result = run_campaign(base, &seeds, &CampaignConfig::default());
+    let result = run_campaign(base, &seeds, &args.campaign());
     if !result.all_ok() {
         eprintln!(
             "  [{}] WARNING: {}/{} runs failed: {}",
@@ -165,7 +257,7 @@ pub fn run_point(base: &ScenarioConfig, mode: ExpMode) -> Point {
 /// factory.
 pub fn run_point_with<A, F>(
     base: &ScenarioConfig,
-    mode: ExpMode,
+    args: &ExpArgs,
     label: impl Into<String>,
     make_agent: F,
 ) -> Point
@@ -174,9 +266,9 @@ where
     F: Fn(NodeId, SimRng) -> A + Send + Sync,
 {
     let label = label.into();
-    let seeds = mode.seeds();
+    let seeds = args.mode.seeds();
     let started = std::time::Instant::now();
-    let result = run_campaign_with(base, &seeds, &CampaignConfig::default(), &label, make_agent);
+    let result = run_campaign_with(base, &seeds, &args.campaign(), &label, make_agent);
     if !result.all_ok() {
         eprintln!(
             "  [{label}] WARNING: {}/{} runs failed: {}",
@@ -252,22 +344,30 @@ impl Table {
         out
     }
 
-    /// Prints the table to stdout and writes `results/<name>.csv`.
-    pub fn finish(&self) {
+    /// Prints the table to stdout and writes `results/<name>.csv`,
+    /// returning the CSV path. I/O failures surface as errors instead of
+    /// being swallowed.
+    pub fn finish(&self) -> std::io::Result<PathBuf> {
         println!("{}", self.render());
         let path = self.csv_path();
         if let Some(parent) = path.parent() {
-            let _ = std::fs::create_dir_all(parent);
+            std::fs::create_dir_all(parent)?;
         }
-        match std::fs::File::create(&path) {
-            Ok(mut f) => {
-                let _ = writeln!(f, "{}", self.headers.join(","));
-                for row in &self.rows {
-                    let _ = writeln!(f, "{}", row.join(","));
-                }
-                eprintln!("wrote {}", path.display());
-            }
-            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        eprintln!("wrote {}", path.display());
+        Ok(path)
+    }
+
+    /// [`Table::finish`], exiting with status 1 on I/O failure — results
+    /// that silently never land on disk are worse than a failed run.
+    pub fn finish_or_exit(&self) {
+        if let Err(e) = self.finish() {
+            eprintln!("could not write {}: {e}", self.csv_path().display());
+            std::process::exit(1);
         }
     }
 
@@ -327,6 +427,41 @@ mod tests {
         assert_eq!(p.runs_failed, 1);
         assert_eq!(p.report.label, "DSR");
         assert_eq!(p.originated, 0, "Deref reaches the zeroed report");
+    }
+
+    fn to_args(raw: &[&str]) -> Result<ExpArgs, ArgError> {
+        ExpArgs::parse(raw.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn args_parse_defaults_and_flags() {
+        let d = to_args(&[]).expect("empty is fine");
+        assert_eq!(d.mode, ExpMode::Quick);
+        assert_eq!(d.audit, AuditLevel::Off);
+        assert_eq!(d.resume, None);
+
+        let a = to_args(&["--full", "--resume", "results/j.txt", "--audit", "full"])
+            .expect("all flags");
+        assert_eq!(a.mode, ExpMode::Full);
+        assert_eq!(a.resume, Some(PathBuf::from("results/j.txt")));
+        assert_eq!(a.audit, AuditLevel::Full);
+
+        let campaign = a.campaign();
+        assert_eq!(campaign.audit, AuditLevel::Full);
+        assert_eq!(campaign.journal, Some(PathBuf::from("results/j.txt")));
+        assert!(campaign.forensics_dir.is_some());
+    }
+
+    #[test]
+    fn args_reject_bad_input_with_typed_errors() {
+        assert_eq!(to_args(&["--fast"]), Err(ArgError::Unknown("--fast".into())));
+        assert_eq!(to_args(&["--resume"]), Err(ArgError::MissingValue("--resume")));
+        assert_eq!(
+            to_args(&["--audit", "loud"]),
+            Err(ArgError::BadValue { flag: "--audit", value: "loud".into() })
+        );
+        assert!(format!("{}", to_args(&["--fast"]).unwrap_err()).contains("--fast"));
+        assert!(ExpArgs::usage("fig1_timeout").contains("--resume"));
     }
 
     #[test]

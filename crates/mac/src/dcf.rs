@@ -218,6 +218,18 @@ impl<P: Clone> Dcf<P> {
         self.state == MainState::Idle && self.current.is_none() && self.queue.is_empty()
     }
 
+    /// Every network-layer payload this MAC still holds: the packet in
+    /// service, the interface queue, and any payload-bearing pending
+    /// response frames. Conservation audits count these as "in flight",
+    /// not lost.
+    pub fn pending_payloads(&self) -> impl Iterator<Item = &P> + '_ {
+        self.current
+            .iter()
+            .map(|q| &q.payload)
+            .chain(self.queue.iter().map(|q| &q.payload))
+            .chain(self.responses.iter().filter_map(|(_, f)| f.payload.as_ref()))
+    }
+
     // ------------------------------------------------------------------
     // Inputs
     // ------------------------------------------------------------------

@@ -95,6 +95,12 @@ impl<P> IfQueue<P> {
     pub fn drain(&mut self) -> impl Iterator<Item = QueuedPacket<P>> + '_ {
         self.control.drain(..).chain(self.data.drain(..))
     }
+
+    /// Visits every queued packet (both classes, control first) without
+    /// removing anything — conservation audits.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedPacket<P>> + '_ {
+        self.control.iter().chain(self.data.iter())
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +149,16 @@ mod tests {
         let drained: Vec<u32> = q.drain().map(|p| p.payload).collect();
         assert_eq!(drained, vec![2, 1]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn iter_visits_without_removing() {
+        let mut q = IfQueue::new(5);
+        q.push(pkt(1), Priority::Data);
+        q.push(pkt(2), Priority::Control);
+        let seen: Vec<u32> = q.iter().map(|p| p.payload).collect();
+        assert_eq!(seen, vec![2, 1]);
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

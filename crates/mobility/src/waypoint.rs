@@ -10,7 +10,7 @@
 //! The whole itinerary is generated at construction from a seeded RNG
 //! stream, and positions are interpolated on demand in O(log legs) with no
 //! per-tick events. This keeps the model *pure* (see
-//! [`MobilityModel`](crate::model::MobilityModel)) and identical across protocol
+//! [`crate::model::MobilityModel`]) and identical across protocol
 //! variants, as the evaluation methodology requires.
 
 use rand::Rng;

@@ -3,6 +3,8 @@
 //! metric events, and the [`NetPacket`] trait every network-layer packet
 //! type implements.
 
+use std::fmt;
+
 use sim_core::NodeId;
 
 use crate::route::{Link, Route};
@@ -34,6 +36,38 @@ pub enum DropReason {
     TtlExpired,
 }
 
+impl DropReason {
+    /// Every reason, for exhaustive iteration (ledgers, tests).
+    pub const ALL: [DropReason; 9] = [
+        DropReason::SendBufferFull,
+        DropReason::SendBufferTimeout,
+        DropReason::NoRouteToSalvage,
+        DropReason::SalvageLimit,
+        DropReason::NegativeCacheHit,
+        DropReason::ControlUndeliverable,
+        DropReason::NotOnRoute,
+        DropReason::NoForwardingEntry,
+        DropReason::TtlExpired,
+    ];
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DropReason::SendBufferFull => "SendBufferFull",
+            DropReason::SendBufferTimeout => "SendBufferTimeout",
+            DropReason::NoRouteToSalvage => "NoRouteToSalvage",
+            DropReason::SalvageLimit => "SalvageLimit",
+            DropReason::NegativeCacheHit => "NegativeCacheHit",
+            DropReason::ControlUndeliverable => "ControlUndeliverable",
+            DropReason::NotOnRoute => "NotOnRoute",
+            DropReason::NoForwardingEntry => "NoForwardingEntry",
+            DropReason::TtlExpired => "TtlExpired",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Which cache use produced a cache hit (drives the *invalid cached
 /// routes* metric).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,6 +85,12 @@ pub enum CacheHitKind {
 /// ground-truth oracle at the instant the event is emitted.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProtocolEvent {
+    /// The agent accepted a fresh data packet from the application and
+    /// assigned it a uid. Feeds the packet-conservation ledger.
+    DataOriginated {
+        /// The uid assigned to the new packet.
+        uid: u64,
+    },
     /// A discovery round was launched.
     DiscoveryStarted {
         /// Node being sought.
@@ -129,6 +169,16 @@ mod tests {
         ];
         let set: HashSet<_> = all.iter().collect();
         assert_eq!(set.len(), all.len());
+        assert_eq!(all, DropReason::ALL);
+    }
+
+    #[test]
+    fn drop_reason_display_matches_debug() {
+        // The trace format promises the historical string spellings, which
+        // happen to coincide with the variant names.
+        for reason in DropReason::ALL {
+            assert_eq!(format!("{reason}"), format!("{reason:?}"));
+        }
     }
 
     #[test]

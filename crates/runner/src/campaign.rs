@@ -19,18 +19,24 @@
 //! assert_eq!(result.reports.len(), 2);
 //! ```
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use dsr::DsrNode;
 use metrics::Report;
 use sim_core::{NodeId, SimRng, SimTime};
 
+use crate::audit::AuditLevel;
 use crate::config::ScenarioConfig;
+use crate::forensics::{config_fingerprint, ForensicArtifact, TRACE_TAIL_CAPACITY};
+use crate::journal::{Journal, JournalWriter};
 use crate::proto::RoutingAgent;
 use crate::sim::Simulator;
+use crate::trace::TraceEvent;
 
 /// Per-run watchdog limits enforced by
 /// [`Simulator::try_run`](crate::Simulator::try_run).
@@ -101,6 +107,19 @@ pub enum RunError {
         /// The stale event's timestamp.
         event_at: SimTime,
     },
+    /// The packet-conservation audit ([`crate::audit`]) found an
+    /// originated packet that was neither delivered, dropped with a
+    /// reason, nor still buffered at run end — or another accounting
+    /// invariant broke.
+    ConservationViolation {
+        /// The failing run's seed.
+        seed: u64,
+        /// The offending packet uid (0 for run-wide violations such as a
+        /// cache-exclusion breach).
+        uid: u64,
+        /// The auditor's ledger line for the violation.
+        detail: String,
+    },
 }
 
 impl RunError {
@@ -110,13 +129,15 @@ impl RunError {
             RunError::Panicked { seed, .. }
             | RunError::WatchdogTimeout { seed, .. }
             | RunError::EventBudgetExhausted { seed, .. }
-            | RunError::TimeRegression { seed, .. } => seed,
+            | RunError::TimeRegression { seed, .. }
+            | RunError::ConservationViolation { seed, .. } => seed,
         }
     }
 
     /// Whether retrying the run could plausibly succeed. Only the
     /// wall-clock watchdog qualifies (a loaded machine); panics, event
-    /// storms, and time regressions are deterministic for a given seed.
+    /// storms, time regressions, and conservation violations are
+    /// deterministic for a given seed.
     pub fn is_transient(&self) -> bool {
         matches!(self, RunError::WatchdogTimeout { .. })
     }
@@ -137,6 +158,9 @@ impl std::fmt::Display for RunError {
             RunError::TimeRegression { seed, now, event_at } => {
                 write!(f, "seed {seed}: time went backwards ({event_at} after reaching {now})")
             }
+            RunError::ConservationViolation { seed, uid, detail } => {
+                write!(f, "seed {seed}: packet conservation violated for uid {uid}: {detail}")
+            }
         }
     }
 }
@@ -152,11 +176,28 @@ pub struct CampaignConfig {
     pub limits: RunLimits,
     /// Retry runs whose failure is [`RunError::is_transient`] once.
     pub retry_transient: bool,
+    /// Packet-conservation audit level applied to every run (see
+    /// [`crate::audit`]). Defaults to [`AuditLevel::Off`].
+    pub audit: AuditLevel,
+    /// Append-only journal of completed runs. When set, seeds already
+    /// journaled for this scenario are skipped on restart and their
+    /// reports returned as-is (see [`crate::journal`]).
+    pub journal: Option<PathBuf>,
+    /// Directory for repro artifacts of failed runs (see
+    /// [`crate::forensics`]). `None` disables artifact capture.
+    pub forensics_dir: Option<PathBuf>,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { threads: 1, limits: RunLimits::default(), retry_transient: true }
+        CampaignConfig {
+            threads: 1,
+            limits: RunLimits::default(),
+            retry_transient: true,
+            audit: AuditLevel::Off,
+            journal: None,
+            forensics_dir: None,
+        }
     }
 }
 
@@ -224,13 +265,18 @@ pub fn run_campaign(
 ) -> CampaignResult {
     let dsr = base.dsr.clone();
     let label = dsr.label();
-    run_campaign_with(base, seeds, campaign, label, move |node, rng| {
+    run_campaign_inner(base, seeds, campaign, label, true, move |node, rng| {
         DsrNode::new(node, dsr.clone(), rng)
     })
 }
 
 /// [`run_campaign`] over an arbitrary routing protocol. `make_agent` must
 /// be `Fn` (not `FnMut`) because runs may execute concurrently.
+///
+/// Forensic artifacts written for these runs are marked non-replayable:
+/// the artifact captures the scenario but cannot capture `make_agent`, so
+/// the `repro` binary (which rebuilds DSR agents from the scenario alone)
+/// refuses to replay them.
 pub fn run_campaign_with<A, F>(
     base: &ScenarioConfig,
     seeds: &[u64],
@@ -242,18 +288,74 @@ where
     A: RoutingAgent,
     F: Fn(NodeId, SimRng) -> A + Send + Sync,
 {
+    run_campaign_inner(base, seeds, campaign, label.into(), false, make_agent)
+}
+
+fn run_campaign_inner<A, F>(
+    base: &ScenarioConfig,
+    seeds: &[u64],
+    campaign: &CampaignConfig,
+    label: String,
+    replayable: bool,
+    make_agent: F,
+) -> CampaignResult
+where
+    A: RoutingAgent,
+    F: Fn(NodeId, SimRng) -> A + Send + Sync,
+{
     assert!(campaign.threads > 0, "need at least one worker thread");
-    let label = label.into();
     let jobs: Vec<ScenarioConfig> =
         seeds.iter().map(|&seed| ScenarioConfig { seed, ..base.clone() }).collect();
     let mut outcomes: Vec<Option<Result<Report, RunFailure>>> =
         (0..jobs.len()).map(|_| None).collect();
+
+    // Resume support: pre-fill outcomes for seeds already journaled for
+    // this exact scenario (fingerprint excludes the seed), then append
+    // every fresh success so the *next* restart can skip it too. Journal
+    // I/O problems degrade to a plain, un-resumable campaign rather than
+    // failing runs that would otherwise succeed.
+    let fingerprint = config_fingerprint(base);
+    let mut journal_writer = None;
+    if let Some(path) = &campaign.journal {
+        match Journal::load(path) {
+            Ok(journal) => {
+                for (slot, job) in outcomes.iter_mut().zip(&jobs) {
+                    if let Some(report) = journal.get(fingerprint, job.seed) {
+                        *slot = Some(Ok(report.clone()));
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("warning: could not load campaign journal {}: {e}", path.display())
+            }
+        }
+        match JournalWriter::open(path) {
+            Ok(writer) => journal_writer = Some(writer),
+            Err(e) => {
+                eprintln!("warning: could not open campaign journal {}: {e}", path.display())
+            }
+        }
+    }
+    let journal_writer = journal_writer.as_ref();
+    let run_one = |job: &ScenarioConfig| -> Result<Report, RunFailure> {
+        let outcome = attempt_with_retry(job, &label, &make_agent, campaign, replayable);
+        if let (Ok(report), Some(writer)) = (&outcome, journal_writer) {
+            if let Err(e) = writer.record(fingerprint, job.seed, report) {
+                eprintln!("warning: could not journal seed {}: {e}", job.seed);
+            }
+        }
+        outcome
+    };
+
     if campaign.threads == 1 || jobs.len() <= 1 {
         for (slot, job) in outcomes.iter_mut().zip(&jobs) {
-            *slot = Some(attempt_with_retry(job, &label, &make_agent, campaign));
+            if slot.is_none() {
+                *slot = Some(run_one(job));
+            }
         }
     } else {
         let next = AtomicUsize::new(0);
+        let done: Vec<bool> = outcomes.iter().map(Option::is_some).collect();
         let slots = Mutex::new(&mut outcomes);
         std::thread::scope(|scope| {
             for _ in 0..campaign.threads.min(jobs.len()) {
@@ -262,7 +364,10 @@ where
                     if i >= jobs.len() {
                         break;
                     }
-                    let outcome = attempt_with_retry(&jobs[i], &label, &make_agent, campaign);
+                    if done[i] {
+                        continue;
+                    }
+                    let outcome = run_one(&jobs[i]);
                     slots.lock().expect("poisoned results lock")[i] = Some(outcome);
                 });
             }
@@ -277,6 +382,19 @@ where
         }
     }
     CampaignResult { reports, failures }
+}
+
+/// Re-runs one DSR scenario exactly as a campaign would (crash-isolated,
+/// default watchdogs) at the given audit level. This is the `repro`
+/// binary's entry point for replaying forensic artifacts; the scenario's
+/// own seed is used, and no retry, journaling, or artifact capture
+/// applies.
+pub fn replay_run(cfg: &ScenarioConfig, audit: AuditLevel) -> Result<Report, RunError> {
+    let dsr = cfg.dsr.clone();
+    let label = dsr.label();
+    let campaign = CampaignConfig { audit, ..CampaignConfig::default() };
+    let make_agent = move |node, rng| DsrNode::new(node, dsr.clone(), rng);
+    attempt_one(cfg.clone(), &label, &make_agent, &campaign, false).0
 }
 
 /// Preserved pre-campaign API: runs the same DSR scenario under several
@@ -300,45 +418,89 @@ fn attempt_with_retry<A, F>(
     label: &str,
     make_agent: &F,
     campaign: &CampaignConfig,
+    replayable: bool,
 ) -> Result<Report, RunFailure>
 where
     A: RoutingAgent,
     F: Fn(NodeId, SimRng) -> A + Send + Sync,
 {
-    match attempt_one(cfg.clone(), label, make_agent, campaign.limits) {
-        Ok(report) => Ok(report),
-        Err(error) if campaign.retry_transient && error.is_transient() => {
-            match attempt_one(cfg.clone(), label, make_agent, campaign.limits) {
-                Ok(report) => Ok(report),
-                Err(error) => Err(RunFailure { seed: cfg.seed, error, retried: true }),
+    let capture = campaign.forensics_dir.is_some();
+    let (error, trace, retried) =
+        match attempt_one(cfg.clone(), label, make_agent, campaign, capture) {
+            (Ok(report), _) => return Ok(report),
+            (Err(error), trace) if campaign.retry_transient && error.is_transient() => {
+                match attempt_one(cfg.clone(), label, make_agent, campaign, capture) {
+                    (Ok(report), _) => return Ok(report),
+                    (Err(retry_error), retry_trace) => {
+                        let _ = (error, trace); // the retry's artifact supersedes the first attempt's
+                        (retry_error, retry_trace, true)
+                    }
+                }
             }
+            (Err(error), trace) => (error, trace, false),
+        };
+    if let Some(dir) = &campaign.forensics_dir {
+        let artifact = ForensicArtifact {
+            label: label.to_string(),
+            replayable,
+            config: cfg.clone(),
+            error: error.clone(),
+            trace,
+        };
+        match artifact.write_to(dir) {
+            Ok(path) => eprintln!("forensic artifact written: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write forensic artifact: {e}"),
         }
-        Err(error) => Err(RunFailure { seed: cfg.seed, error, retried: false }),
     }
+    Err(RunFailure { seed: cfg.seed, error, retried })
 }
 
-/// One isolated run: builds the simulator, applies the watchdog limits,
-/// and converts a panic anywhere in the stack into [`RunError::Panicked`].
+/// One isolated run: builds the simulator, applies the watchdog limits
+/// and audit level, and converts a panic anywhere in the stack into
+/// [`RunError::Panicked`]. When `capture_trace` is set, the last
+/// [`TRACE_TAIL_CAPACITY`] trace events are retained (even across a
+/// panic) and returned rendered, for forensic artifacts.
 fn attempt_one<A, F>(
     cfg: ScenarioConfig,
     label: &str,
     make_agent: &F,
-    limits: RunLimits,
-) -> Result<Report, RunError>
+    campaign: &CampaignConfig,
+    capture_trace: bool,
+) -> (Result<Report, RunError>, Vec<String>)
 where
     A: RoutingAgent,
     F: Fn(NodeId, SimRng) -> A + Send + Sync,
 {
     let seed = cfg.seed;
+    let ring: Arc<Mutex<VecDeque<TraceEvent>>> = Arc::new(Mutex::new(VecDeque::new()));
+    let sink_ring = Arc::clone(&ring);
+    let audit = campaign.audit;
+    let limits = campaign.limits;
     // The simulator is consumed by the run and nothing borrowed crosses
     // the unwind boundary, so suppressing the UnwindSafe bound is sound:
     // a poisoned half-built simulator is dropped with the panic.
-    let caught = catch_unwind(AssertUnwindSafe(|| {
+    let caught = catch_unwind(AssertUnwindSafe(move || {
         let mut sim = Simulator::with_agents(cfg, label, make_agent);
         sim.set_limits(limits);
+        sim.set_audit(audit);
+        if capture_trace {
+            sim.set_trace(Box::new(move |ev| {
+                let mut ring = sink_ring.lock().expect("trace ring poisoned");
+                if ring.len() == TRACE_TAIL_CAPACITY {
+                    ring.pop_front();
+                }
+                ring.push_back(*ev);
+            }));
+        }
         sim.try_run()
     }));
-    match caught {
+    // A panic inside the sink would poison the ring; recover the data
+    // anyway — the tail is exactly what the artifact is for.
+    let trace: Vec<String> = {
+        let ring = ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        ring.iter().map(|ev| ev.to_string()).collect()
+    };
+    let result = match caught {
         Ok(run_result) => run_result,
         Err(payload) => {
             let payload = if let Some(s) = payload.downcast_ref::<&str>() {
@@ -350,7 +512,8 @@ where
             };
             Err(RunError::Panicked { seed, payload })
         }
-    }
+    };
+    (result, trace)
 }
 
 #[cfg(test)]
@@ -376,14 +539,19 @@ mod tests {
             now: SimTime::from_secs(3.0),
             event_at: SimTime::from_secs(1.0),
         };
+        let c =
+            RunError::ConservationViolation { seed: 7, uid: 42, detail: "uid 42 vanished".into() };
         assert_eq!(p.seed(), 3);
         assert_eq!(t.seed(), 6);
+        assert_eq!(c.seed(), 7);
         assert!(!p.is_transient());
         assert!(w.is_transient());
         assert!(!b.is_transient());
+        assert!(!c.is_transient(), "conservation violations are deterministic");
         assert!(format!("{p}").contains("boom"));
         assert!(format!("{b}").contains("budget"));
         assert!(format!("{t}").contains("backwards"));
+        assert!(format!("{c}").contains("uid 42"));
     }
 
     #[test]

@@ -1,0 +1,843 @@
+//! Self-contained repro artifacts for failed runs.
+//!
+//! When a campaign run fails, one line of [`RunError`] is not enough to
+//! debug it: you need the exact scenario, the seed, the fault plan, and
+//! the last packet-level events before the failure. A
+//! [`ForensicArtifact`] bundles all of that in a small hand-rolled text
+//! format (flat `key = value` lines — the workspace takes no serde
+//! dependency) that the `repro` experiment binary can load and re-run
+//! deterministically.
+//!
+//! The format is versioned by its first line (`format = dsr-forensics v1`)
+//! and exact: simulated times serialize as integer nanoseconds and floats
+//! as Rust's shortest round-trip representation, so a parsed artifact
+//! rebuilds the *identical* [`ScenarioConfig`] and therefore the identical
+//! run. Trace lines are informational (the tail of the run's
+//! [`TraceEvent`](crate::TraceEvent) ring buffer) and are carried through
+//! verbatim.
+//!
+//! [`config_fingerprint`] hashes the serialized scenario *excluding the
+//! seed*; the campaign journal ([`crate::journal`]) keys on it so one
+//! journal file can serve a whole sweep of distinct configurations.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use dsr::{CacheOrganization, DsrConfig, ExpiryPolicy, NegativeCacheConfig, WiderErrorRebroadcast};
+use mac::MacConfig;
+use mobility::{Field, Point, WaypointConfig};
+use phy::RadioConfig;
+use sim_core::{NodeId, SimDuration, SimTime};
+use traffic::TrafficConfig;
+
+use crate::campaign::RunError;
+use crate::config::{FaultEvent, FaultPlan, MobilitySpec, Region, ScenarioConfig};
+
+/// First line of every artifact; bump the version on format changes.
+pub const FORMAT_HEADER: &str = "dsr-forensics v1";
+
+/// How many trailing trace events a campaign run retains for artifacts.
+pub const TRACE_TAIL_CAPACITY: usize = 256;
+
+/// Why an artifact could not be written or read back.
+#[derive(Debug)]
+pub enum ForensicError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`FORMAT_HEADER`].
+    BadHeader(String),
+    /// A required key is absent.
+    MissingKey(String),
+    /// A key's value failed to parse.
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// The raw value.
+        value: String,
+    },
+    /// A line is not `key = value`, a comment, or blank.
+    BadLine {
+        /// 1-based line number.
+        line_no: usize,
+        /// The raw line.
+        line: String,
+    },
+}
+
+impl fmt::Display for ForensicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForensicError::Io(e) => write!(f, "artifact I/O failed: {e}"),
+            ForensicError::BadHeader(got) => {
+                write!(f, "not a forensic artifact (expected '{FORMAT_HEADER}', got '{got}')")
+            }
+            ForensicError::MissingKey(key) => write!(f, "artifact is missing key '{key}'"),
+            ForensicError::BadValue { key, value } => {
+                write!(f, "artifact key '{key}' has unparseable value '{value}'")
+            }
+            ForensicError::BadLine { line_no, line } => {
+                write!(f, "artifact line {line_no} is not 'key = value': '{line}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForensicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ForensicError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ForensicError {
+    fn from(e: std::io::Error) -> Self {
+        ForensicError::Io(e)
+    }
+}
+
+// ----------------------------------------------------------------------
+// String escaping
+// ----------------------------------------------------------------------
+
+/// Escapes a free-form string into a single whitespace-free token
+/// (backslash, newline, carriage return, and space are encoded), so
+/// values survive both the line-oriented artifact format and the
+/// journal's space-separated records.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            ' ' => out.push_str("\\s"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverts [`escape`]. Unknown escapes and a trailing backslash are kept
+/// literally (best effort — the writer never produces them).
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('s') => out.push(' '),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// The key-value block
+// ----------------------------------------------------------------------
+
+/// An ordered `key = value` block with typed accessors.
+#[derive(Debug, Default)]
+struct KvBlock {
+    pairs: Vec<(String, String)>,
+    map: HashMap<String, String>,
+}
+
+impl KvBlock {
+    fn push(&mut self, key: impl Into<String>, value: impl fmt::Display) {
+        let key = key.into();
+        let value = value.to_string();
+        self.map.insert(key.clone(), value.clone());
+        self.pairs.push((key, value));
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.pairs {
+            out.push_str(k);
+            out.push_str(" = ");
+            out.push_str(v);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn parse(text: &str) -> Result<KvBlock, ForensicError> {
+        let mut block = KvBlock::default();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once(" = ") else {
+                return Err(ForensicError::BadLine { line_no: i + 1, line: line.to_string() });
+            };
+            block.push(key.trim().to_string(), value.trim().to_string());
+        }
+        Ok(block)
+    }
+
+    fn get(&self, key: &str) -> Result<&str, ForensicError> {
+        self.map
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ForensicError::MissingKey(key.to_string()))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, ForensicError> {
+        let raw = self.get(key)?;
+        raw.parse()
+            .map_err(|_| ForensicError::BadValue { key: key.to_string(), value: raw.to_string() })
+    }
+
+    fn get_time(&self, key: &str) -> Result<SimTime, ForensicError> {
+        Ok(SimTime::from_nanos(self.get_parsed::<u64>(key)?))
+    }
+
+    fn get_duration(&self, key: &str) -> Result<SimDuration, ForensicError> {
+        Ok(SimDuration::from_nanos(self.get_parsed::<u64>(key)?))
+    }
+
+    fn get_string(&self, key: &str) -> Result<String, ForensicError> {
+        Ok(unescape(self.get(key)?))
+    }
+}
+
+/// `{:?}` is Rust's shortest representation that round-trips through
+/// `str::parse::<f64>()` exactly (including `inf`).
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+// ----------------------------------------------------------------------
+// Scenario serialization
+// ----------------------------------------------------------------------
+
+fn push_scenario(kv: &mut KvBlock, cfg: &ScenarioConfig) {
+    kv.push("seed", cfg.seed);
+    kv.push("duration_ns", cfg.duration.as_nanos());
+    kv.push("position_refresh_ns", cfg.position_refresh.as_nanos());
+
+    let d = &cfg.dsr;
+    kv.push("dsr.replies_from_cache", d.replies_from_cache);
+    kv.push("dsr.salvaging", d.salvaging);
+    kv.push("dsr.max_salvage_count", d.max_salvage_count);
+    kv.push("dsr.gratuitous_repair", d.gratuitous_repair);
+    kv.push("dsr.promiscuous", d.promiscuous);
+    kv.push("dsr.gratuitous_replies", d.gratuitous_replies);
+    kv.push("dsr.nonpropagating_requests", d.nonpropagating_requests);
+    kv.push("dsr.send_buffer_capacity", d.send_buffer_capacity);
+    kv.push("dsr.send_buffer_timeout_ns", d.send_buffer_timeout.as_nanos());
+    kv.push("dsr.cache_capacity", d.cache_capacity);
+    let org = match d.cache_organization {
+        CacheOrganization::Path => "path",
+        CacheOrganization::Link => "link",
+    };
+    kv.push("dsr.cache_organization", org);
+    kv.push("dsr.nonprop_timeout_ns", d.nonprop_timeout.as_nanos());
+    kv.push("dsr.request_period_ns", d.request_period.as_nanos());
+    kv.push("dsr.max_request_period_ns", d.max_request_period.as_nanos());
+    kv.push("dsr.broadcast_jitter_ns", d.broadcast_jitter.as_nanos());
+    kv.push("dsr.wider_error_notification", d.wider_error_notification);
+    let rb = match d.wider_error_rebroadcast {
+        WiderErrorRebroadcast::CachedAndUsed => "cached_and_used",
+        WiderErrorRebroadcast::CachedOnly => "cached_only",
+        WiderErrorRebroadcast::Flood => "flood",
+    };
+    kv.push("dsr.wider_error_rebroadcast", rb);
+    match d.expiry {
+        ExpiryPolicy::None => kv.push("dsr.expiry", "none"),
+        ExpiryPolicy::Static { timeout } => {
+            kv.push("dsr.expiry", "static");
+            kv.push("dsr.expiry.timeout_ns", timeout.as_nanos());
+        }
+        ExpiryPolicy::Adaptive { alpha, min_timeout, recompute_period, quiet_term } => {
+            kv.push("dsr.expiry", "adaptive");
+            kv.push("dsr.expiry.alpha", fmt_f64(alpha));
+            kv.push("dsr.expiry.min_timeout_ns", min_timeout.as_nanos());
+            kv.push("dsr.expiry.recompute_period_ns", recompute_period.as_nanos());
+            kv.push("dsr.expiry.quiet_term", quiet_term);
+        }
+    }
+    match d.negative_cache {
+        None => kv.push("dsr.negative_cache", false),
+        Some(n) => {
+            kv.push("dsr.negative_cache", true);
+            kv.push("dsr.negative_cache.capacity", n.capacity);
+            kv.push("dsr.negative_cache.timeout_ns", n.timeout.as_nanos());
+        }
+    }
+
+    let m = &cfg.mac;
+    kv.push("mac.slot_ns", m.slot.as_nanos());
+    kv.push("mac.sifs_ns", m.sifs.as_nanos());
+    kv.push("mac.difs_ns", m.difs.as_nanos());
+    kv.push("mac.plcp_overhead_ns", m.plcp_overhead.as_nanos());
+    kv.push("mac.data_rate_bps", fmt_f64(m.data_rate_bps));
+    kv.push("mac.cw_min", m.cw_min);
+    kv.push("mac.cw_max", m.cw_max);
+    kv.push("mac.short_retry_limit", m.short_retry_limit);
+    kv.push("mac.long_retry_limit", m.long_retry_limit);
+    kv.push("mac.rts_bytes", m.rts_bytes);
+    kv.push("mac.cts_bytes", m.cts_bytes);
+    kv.push("mac.ack_bytes", m.ack_bytes);
+    kv.push("mac.data_header_bytes", m.data_header_bytes);
+    kv.push("mac.rts_threshold_bytes", m.rts_threshold_bytes);
+    kv.push("mac.queue_capacity", m.queue_capacity);
+
+    let r = &cfg.radio;
+    kv.push("radio.tx_power_w", fmt_f64(r.tx_power_w));
+    kv.push("radio.antenna_gain", fmt_f64(r.antenna_gain));
+    kv.push("radio.antenna_height_m", fmt_f64(r.antenna_height_m));
+    kv.push("radio.wavelength_m", fmt_f64(r.wavelength_m));
+    kv.push("radio.rx_threshold_w", fmt_f64(r.rx_threshold_w));
+    kv.push("radio.cs_threshold_w", fmt_f64(r.cs_threshold_w));
+    kv.push("radio.capture_ratio", fmt_f64(r.capture_ratio));
+
+    let t = &cfg.traffic;
+    kv.push("traffic.num_flows", t.num_flows);
+    kv.push("traffic.rate_pps", fmt_f64(t.rate_pps));
+    kv.push("traffic.packet_bytes", t.packet_bytes);
+    kv.push("traffic.start_window_ns", t.start_window.as_nanos());
+
+    match &cfg.mobility {
+        MobilitySpec::Waypoint(w) => {
+            kv.push("mobility", "waypoint");
+            kv.push("mobility.num_nodes", w.num_nodes);
+            kv.push("mobility.field.width", fmt_f64(w.field.width));
+            kv.push("mobility.field.height", fmt_f64(w.field.height));
+            kv.push("mobility.min_speed", fmt_f64(w.min_speed));
+            kv.push("mobility.max_speed", fmt_f64(w.max_speed));
+            kv.push("mobility.pause_time_ns", w.pause_time.as_nanos());
+            kv.push("mobility.duration_ns", w.duration.as_nanos());
+        }
+        MobilitySpec::Static(points) => {
+            kv.push("mobility", "static");
+            kv.push("mobility.num_nodes", points.len());
+            for (i, p) in points.iter().enumerate() {
+                kv.push(format!("mobility.pos.{i}.x"), fmt_f64(p.x));
+                kv.push(format!("mobility.pos.{i}.y"), fmt_f64(p.y));
+            }
+        }
+    }
+
+    kv.push("faults", cfg.faults.events.len());
+    for (i, fault) in cfg.faults.events.iter().enumerate() {
+        let k = |suffix: &str| format!("fault.{i}.{suffix}");
+        match *fault {
+            FaultEvent::NodeDown { node, at, down_for } => {
+                kv.push(format!("fault.{i}"), "node_down");
+                kv.push(k("node"), node.index());
+                kv.push(k("at_ns"), at.as_nanos());
+                kv.push(k("down_for_ns"), down_for.as_nanos());
+            }
+            FaultEvent::LinkBlackout { region, at, down_for } => {
+                kv.push(format!("fault.{i}"), "link_blackout");
+                kv.push(k("min.x"), fmt_f64(region.min.x));
+                kv.push(k("min.y"), fmt_f64(region.min.y));
+                kv.push(k("max.x"), fmt_f64(region.max.x));
+                kv.push(k("max.y"), fmt_f64(region.max.y));
+                kv.push(k("at_ns"), at.as_nanos());
+                kv.push(k("down_for_ns"), down_for.as_nanos());
+            }
+            FaultEvent::FrameCorruption { prob, from, until } => {
+                kv.push(format!("fault.{i}"), "frame_corruption");
+                kv.push(k("prob"), fmt_f64(prob));
+                kv.push(k("from_ns"), from.as_nanos());
+                kv.push(k("until_ns"), until.as_nanos());
+            }
+            FaultEvent::Panic { at, only_seed } => {
+                kv.push(format!("fault.{i}"), "panic");
+                kv.push(k("at_ns"), at.as_nanos());
+                if let Some(seed) = only_seed {
+                    kv.push(k("only_seed"), seed);
+                }
+            }
+            FaultEvent::EventStorm { at } => {
+                kv.push(format!("fault.{i}"), "event_storm");
+                kv.push(k("at_ns"), at.as_nanos());
+            }
+        }
+    }
+}
+
+fn parse_scenario(kv: &KvBlock) -> Result<ScenarioConfig, ForensicError> {
+    let bad = |key: &str, value: &str| ForensicError::BadValue {
+        key: key.to_string(),
+        value: value.to_string(),
+    };
+
+    let expiry = match kv.get("dsr.expiry")? {
+        "none" => ExpiryPolicy::None,
+        "static" => ExpiryPolicy::Static { timeout: kv.get_duration("dsr.expiry.timeout_ns")? },
+        "adaptive" => ExpiryPolicy::Adaptive {
+            alpha: kv.get_parsed("dsr.expiry.alpha")?,
+            min_timeout: kv.get_duration("dsr.expiry.min_timeout_ns")?,
+            recompute_period: kv.get_duration("dsr.expiry.recompute_period_ns")?,
+            quiet_term: kv.get_parsed("dsr.expiry.quiet_term")?,
+        },
+        other => return Err(bad("dsr.expiry", other)),
+    };
+    let negative_cache = if kv.get_parsed::<bool>("dsr.negative_cache")? {
+        Some(NegativeCacheConfig {
+            capacity: kv.get_parsed("dsr.negative_cache.capacity")?,
+            timeout: kv.get_duration("dsr.negative_cache.timeout_ns")?,
+        })
+    } else {
+        None
+    };
+    let dsr = DsrConfig {
+        replies_from_cache: kv.get_parsed("dsr.replies_from_cache")?,
+        salvaging: kv.get_parsed("dsr.salvaging")?,
+        max_salvage_count: kv.get_parsed("dsr.max_salvage_count")?,
+        gratuitous_repair: kv.get_parsed("dsr.gratuitous_repair")?,
+        promiscuous: kv.get_parsed("dsr.promiscuous")?,
+        gratuitous_replies: kv.get_parsed("dsr.gratuitous_replies")?,
+        nonpropagating_requests: kv.get_parsed("dsr.nonpropagating_requests")?,
+        send_buffer_capacity: kv.get_parsed("dsr.send_buffer_capacity")?,
+        send_buffer_timeout: kv.get_duration("dsr.send_buffer_timeout_ns")?,
+        cache_capacity: kv.get_parsed("dsr.cache_capacity")?,
+        cache_organization: match kv.get("dsr.cache_organization")? {
+            "path" => CacheOrganization::Path,
+            "link" => CacheOrganization::Link,
+            other => return Err(bad("dsr.cache_organization", other)),
+        },
+        nonprop_timeout: kv.get_duration("dsr.nonprop_timeout_ns")?,
+        request_period: kv.get_duration("dsr.request_period_ns")?,
+        max_request_period: kv.get_duration("dsr.max_request_period_ns")?,
+        broadcast_jitter: kv.get_duration("dsr.broadcast_jitter_ns")?,
+        wider_error_notification: kv.get_parsed("dsr.wider_error_notification")?,
+        wider_error_rebroadcast: match kv.get("dsr.wider_error_rebroadcast")? {
+            "cached_and_used" => WiderErrorRebroadcast::CachedAndUsed,
+            "cached_only" => WiderErrorRebroadcast::CachedOnly,
+            "flood" => WiderErrorRebroadcast::Flood,
+            other => return Err(bad("dsr.wider_error_rebroadcast", other)),
+        },
+        expiry,
+        negative_cache,
+    };
+
+    let mac = MacConfig {
+        slot: kv.get_duration("mac.slot_ns")?,
+        sifs: kv.get_duration("mac.sifs_ns")?,
+        difs: kv.get_duration("mac.difs_ns")?,
+        plcp_overhead: kv.get_duration("mac.plcp_overhead_ns")?,
+        data_rate_bps: kv.get_parsed("mac.data_rate_bps")?,
+        cw_min: kv.get_parsed("mac.cw_min")?,
+        cw_max: kv.get_parsed("mac.cw_max")?,
+        short_retry_limit: kv.get_parsed("mac.short_retry_limit")?,
+        long_retry_limit: kv.get_parsed("mac.long_retry_limit")?,
+        rts_bytes: kv.get_parsed("mac.rts_bytes")?,
+        cts_bytes: kv.get_parsed("mac.cts_bytes")?,
+        ack_bytes: kv.get_parsed("mac.ack_bytes")?,
+        data_header_bytes: kv.get_parsed("mac.data_header_bytes")?,
+        rts_threshold_bytes: kv.get_parsed("mac.rts_threshold_bytes")?,
+        queue_capacity: kv.get_parsed("mac.queue_capacity")?,
+    };
+
+    let radio = RadioConfig {
+        tx_power_w: kv.get_parsed("radio.tx_power_w")?,
+        antenna_gain: kv.get_parsed("radio.antenna_gain")?,
+        antenna_height_m: kv.get_parsed("radio.antenna_height_m")?,
+        wavelength_m: kv.get_parsed("radio.wavelength_m")?,
+        rx_threshold_w: kv.get_parsed("radio.rx_threshold_w")?,
+        cs_threshold_w: kv.get_parsed("radio.cs_threshold_w")?,
+        capture_ratio: kv.get_parsed("radio.capture_ratio")?,
+    };
+
+    let traffic = TrafficConfig {
+        num_flows: kv.get_parsed("traffic.num_flows")?,
+        rate_pps: kv.get_parsed("traffic.rate_pps")?,
+        packet_bytes: kv.get_parsed("traffic.packet_bytes")?,
+        start_window: kv.get_duration("traffic.start_window_ns")?,
+    };
+
+    let mobility = match kv.get("mobility")? {
+        "waypoint" => MobilitySpec::Waypoint(WaypointConfig {
+            num_nodes: kv.get_parsed("mobility.num_nodes")?,
+            field: Field::new(
+                kv.get_parsed("mobility.field.width")?,
+                kv.get_parsed("mobility.field.height")?,
+            ),
+            min_speed: kv.get_parsed("mobility.min_speed")?,
+            max_speed: kv.get_parsed("mobility.max_speed")?,
+            pause_time: kv.get_duration("mobility.pause_time_ns")?,
+            duration: kv.get_duration("mobility.duration_ns")?,
+        }),
+        "static" => {
+            let n: usize = kv.get_parsed("mobility.num_nodes")?;
+            let mut points = Vec::with_capacity(n);
+            for i in 0..n {
+                points.push(Point::new(
+                    kv.get_parsed(&format!("mobility.pos.{i}.x"))?,
+                    kv.get_parsed(&format!("mobility.pos.{i}.y"))?,
+                ));
+            }
+            MobilitySpec::Static(points)
+        }
+        other => return Err(bad("mobility", other)),
+    };
+
+    let num_faults: usize = kv.get_parsed("faults")?;
+    let mut events = Vec::with_capacity(num_faults);
+    for i in 0..num_faults {
+        let kind_key = format!("fault.{i}");
+        let k = |suffix: &str| format!("fault.{i}.{suffix}");
+        let event = match kv.get(&kind_key)? {
+            "node_down" => FaultEvent::NodeDown {
+                node: NodeId::new(kv.get_parsed(&k("node"))?),
+                at: kv.get_time(&k("at_ns"))?,
+                down_for: kv.get_duration(&k("down_for_ns"))?,
+            },
+            "link_blackout" => FaultEvent::LinkBlackout {
+                region: Region::new(
+                    Point::new(kv.get_parsed(&k("min.x"))?, kv.get_parsed(&k("min.y"))?),
+                    Point::new(kv.get_parsed(&k("max.x"))?, kv.get_parsed(&k("max.y"))?),
+                ),
+                at: kv.get_time(&k("at_ns"))?,
+                down_for: kv.get_duration(&k("down_for_ns"))?,
+            },
+            "frame_corruption" => FaultEvent::FrameCorruption {
+                prob: kv.get_parsed(&k("prob"))?,
+                from: kv.get_time(&k("from_ns"))?,
+                until: kv.get_time(&k("until_ns"))?,
+            },
+            "panic" => FaultEvent::Panic {
+                at: kv.get_time(&k("at_ns"))?,
+                only_seed: match kv.map.get(&k("only_seed")) {
+                    Some(_) => Some(kv.get_parsed(&k("only_seed"))?),
+                    None => None,
+                },
+            },
+            "event_storm" => FaultEvent::EventStorm { at: kv.get_time(&k("at_ns"))? },
+            other => return Err(bad(&kind_key, other)),
+        };
+        events.push(event);
+    }
+
+    Ok(ScenarioConfig {
+        seed: kv.get_parsed("seed")?,
+        dsr,
+        mac,
+        radio,
+        mobility,
+        traffic,
+        duration: kv.get_duration("duration_ns")?,
+        position_refresh: kv.get_duration("position_refresh_ns")?,
+        faults: FaultPlan { events },
+    })
+}
+
+// ----------------------------------------------------------------------
+// Error serialization
+// ----------------------------------------------------------------------
+
+fn push_error(kv: &mut KvBlock, error: &RunError) {
+    match error {
+        RunError::Panicked { seed, payload } => {
+            kv.push("error", "panicked");
+            kv.push("error.seed", seed);
+            kv.push("error.payload", escape(payload));
+        }
+        RunError::WatchdogTimeout { seed, at } => {
+            kv.push("error", "watchdog_timeout");
+            kv.push("error.seed", seed);
+            kv.push("error.at_ns", at.as_nanos());
+        }
+        RunError::EventBudgetExhausted { seed, at, events } => {
+            kv.push("error", "event_budget_exhausted");
+            kv.push("error.seed", seed);
+            kv.push("error.at_ns", at.as_nanos());
+            kv.push("error.events", events);
+        }
+        RunError::TimeRegression { seed, now, event_at } => {
+            kv.push("error", "time_regression");
+            kv.push("error.seed", seed);
+            kv.push("error.now_ns", now.as_nanos());
+            kv.push("error.event_at_ns", event_at.as_nanos());
+        }
+        RunError::ConservationViolation { seed, uid, detail } => {
+            kv.push("error", "conservation_violation");
+            kv.push("error.seed", seed);
+            kv.push("error.uid", uid);
+            kv.push("error.detail", escape(detail));
+        }
+    }
+}
+
+fn parse_error(kv: &KvBlock) -> Result<RunError, ForensicError> {
+    let seed = kv.get_parsed("error.seed")?;
+    Ok(match kv.get("error")? {
+        "panicked" => RunError::Panicked { seed, payload: kv.get_string("error.payload")? },
+        "watchdog_timeout" => RunError::WatchdogTimeout { seed, at: kv.get_time("error.at_ns")? },
+        "event_budget_exhausted" => RunError::EventBudgetExhausted {
+            seed,
+            at: kv.get_time("error.at_ns")?,
+            events: kv.get_parsed("error.events")?,
+        },
+        "time_regression" => RunError::TimeRegression {
+            seed,
+            now: kv.get_time("error.now_ns")?,
+            event_at: kv.get_time("error.event_at_ns")?,
+        },
+        "conservation_violation" => RunError::ConservationViolation {
+            seed,
+            uid: kv.get_parsed("error.uid")?,
+            detail: kv.get_string("error.detail")?,
+        },
+        other => {
+            return Err(ForensicError::BadValue {
+                key: "error".to_string(),
+                value: other.to_string(),
+            })
+        }
+    })
+}
+
+// ----------------------------------------------------------------------
+// Fingerprints
+// ----------------------------------------------------------------------
+
+/// FNV-1a over the serialized scenario *excluding the seed*: two configs
+/// share a fingerprint iff they describe the same experiment point.
+/// Campaign journals key on `(fingerprint, seed)`.
+pub fn config_fingerprint(cfg: &ScenarioConfig) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut kv = KvBlock::default();
+    push_scenario(&mut kv, cfg);
+    let mut hash = FNV_OFFSET;
+    for (key, value) in &kv.pairs {
+        if key == "seed" {
+            continue;
+        }
+        for byte in key.bytes().chain([b'=']).chain(value.bytes()).chain([b'\n']) {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+// ----------------------------------------------------------------------
+// The artifact
+// ----------------------------------------------------------------------
+
+/// Everything needed to reproduce one failed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForensicArtifact {
+    /// The campaign's run label (protocol variant).
+    pub label: String,
+    /// Whether the `repro` binary can rebuild the run from `config` alone
+    /// (true for DSR campaigns; false when the campaign supplied a custom
+    /// agent factory the artifact cannot capture).
+    pub replayable: bool,
+    /// The failing run's complete configuration (seed and faults
+    /// included).
+    pub config: ScenarioConfig,
+    /// What went wrong.
+    pub error: RunError,
+    /// The last rendered trace events before the failure (informational;
+    /// carried through verbatim).
+    pub trace: Vec<String>,
+}
+
+impl ForensicArtifact {
+    /// Renders the artifact in the versioned text format.
+    pub fn render(&self) -> String {
+        let mut kv = KvBlock::default();
+        kv.push("format", FORMAT_HEADER);
+        kv.push("label", escape(&self.label));
+        kv.push("replayable", self.replayable);
+        push_scenario(&mut kv, &self.config);
+        push_error(&mut kv, &self.error);
+        kv.push("trace.count", self.trace.len());
+        for (i, line) in self.trace.iter().enumerate() {
+            kv.push(format!("trace.{i}"), escape(line));
+        }
+        kv.render()
+    }
+
+    /// Parses an artifact rendered by [`ForensicArtifact::render`].
+    pub fn parse(text: &str) -> Result<ForensicArtifact, ForensicError> {
+        let kv = KvBlock::parse(text)?;
+        let header = kv.get("format").map_err(|_| {
+            ForensicError::BadHeader(text.lines().next().unwrap_or_default().to_string())
+        })?;
+        if header != FORMAT_HEADER {
+            return Err(ForensicError::BadHeader(header.to_string()));
+        }
+        let trace_count: usize = kv.get_parsed("trace.count")?;
+        let mut trace = Vec::with_capacity(trace_count);
+        for i in 0..trace_count {
+            trace.push(kv.get_string(&format!("trace.{i}"))?);
+        }
+        Ok(ForensicArtifact {
+            label: kv.get_string("label")?,
+            replayable: kv.get_parsed("replayable")?,
+            config: parse_scenario(&kv)?,
+            error: parse_error(&kv)?,
+            trace,
+        })
+    }
+
+    /// The artifact's canonical file name:
+    /// `<sanitized-label>_seed<seed>.txt`.
+    pub fn file_name(&self) -> String {
+        let sanitized: String = self
+            .label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' })
+            .collect();
+        format!("{}_seed{}.txt", sanitized, self.config.seed)
+    }
+
+    /// Writes the artifact under `dir` (created if absent) and returns the
+    /// full path. An existing artifact for the same label and seed is
+    /// overwritten (a retry's artifact supersedes the first attempt's).
+    pub fn write_to(&self, dir: &Path) -> Result<PathBuf, ForensicError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.render().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Loads an artifact written by [`ForensicArtifact::write_to`].
+    pub fn load(path: &Path) -> Result<ForensicArtifact, ForensicError> {
+        ForensicArtifact::parse(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsr::DsrConfig;
+
+    fn artifact(cfg: ScenarioConfig) -> ForensicArtifact {
+        ForensicArtifact {
+            label: cfg.dsr.label(),
+            replayable: true,
+            error: RunError::Panicked { seed: cfg.seed, payload: "boom at t=1".to_string() },
+            config: cfg,
+            trace: vec![
+                "s 1.000000 _n0_ MAC RTS 20B -> n1".to_string(),
+                "D 1.200000 _n1_ RTR NoRouteToSalvage uid 3".to_string(),
+            ],
+        }
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in ["", "plain", "a b\nc\\d\re", "\\", "trailing \\n literal"] {
+            assert_eq!(unescape(&escape(s)), s);
+            assert!(!escape(s).contains(' '), "escaped form must be whitespace-free");
+            assert!(!escape(s).contains('\n'));
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_every_config_flavor() {
+        let mut configs = vec![
+            ScenarioConfig::static_line(4, 200.0, 2.0, DsrConfig::combined(), 9),
+            ScenarioConfig::tiny(30.0, 4.0, DsrConfig::adaptive_expiry(), 3),
+            ScenarioConfig::quick(0.0, 3.0, DsrConfig::negative_cache(), 5),
+        ];
+        configs[0].faults = FaultPlan::none()
+            .node_down(NodeId::new(2), SimTime::from_secs(5.0), SimDuration::from_secs(2.0))
+            .link_blackout(
+                Region::new(Point::new(0.0, -5.0), Point::new(100.0, 5.0)),
+                SimTime::from_secs(1.0),
+                SimDuration::from_secs(3.0),
+            )
+            .frame_corruption(0.25, SimTime::from_secs(2.0), SimTime::from_secs(4.0));
+        configs[1].faults = FaultPlan {
+            events: vec![
+                FaultEvent::Panic { at: SimTime::from_secs(1.0), only_seed: Some(3) },
+                FaultEvent::Panic { at: SimTime::from_secs(2.0), only_seed: None },
+                FaultEvent::EventStorm { at: SimTime::from_secs(4.0) },
+            ],
+        };
+        for cfg in configs {
+            let a = artifact(cfg);
+            let round = ForensicArtifact::parse(&a.render()).expect("parse back");
+            assert_eq!(round, a);
+        }
+    }
+
+    #[test]
+    fn artifact_files_round_trip() {
+        let dir = std::env::temp_dir().join(format!("forensics-test-{}", std::process::id()));
+        let a = artifact(ScenarioConfig::static_line(3, 200.0, 2.0, DsrConfig::base(), 7));
+        let path = a.write_to(&dir).expect("write");
+        assert!(path.file_name().unwrap().to_string_lossy().ends_with("_seed7.txt"));
+        let loaded = ForensicArtifact::load(&path).expect("load");
+        assert_eq!(loaded, a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_error_kind_round_trips() {
+        let errors = [
+            RunError::Panicked { seed: 1, payload: "multi\nline \\ payload".into() },
+            RunError::WatchdogTimeout { seed: 2, at: SimTime::from_secs(1.5) },
+            RunError::EventBudgetExhausted { seed: 3, at: SimTime::from_secs(2.0), events: 999 },
+            RunError::TimeRegression {
+                seed: 4,
+                now: SimTime::from_secs(3.0),
+                event_at: SimTime::from_secs(1.0),
+            },
+            RunError::ConservationViolation { seed: 5, uid: 77, detail: "uid 77 vanished".into() },
+        ];
+        let base = ScenarioConfig::static_line(3, 200.0, 2.0, DsrConfig::base(), 1);
+        for error in errors {
+            let mut a = artifact(base.clone());
+            a.error = error.clone();
+            let round = ForensicArtifact::parse(&a.render()).expect("parse back");
+            assert_eq!(round.error, error);
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_seed_but_not_config() {
+        let a = ScenarioConfig::static_line(4, 200.0, 2.0, DsrConfig::base(), 1);
+        let b = ScenarioConfig { seed: 999, ..a.clone() };
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+        let c = ScenarioConfig::static_line(4, 200.0, 2.0, DsrConfig::wider_error(), 1);
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+        let mut d = a.clone();
+        d.traffic.rate_pps = 3.0;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&d));
+    }
+
+    #[test]
+    fn malformed_artifacts_fail_loudly() {
+        assert!(matches!(
+            ForensicArtifact::parse("not an artifact"),
+            Err(ForensicError::BadLine { .. })
+        ));
+        assert!(matches!(
+            ForensicArtifact::parse("format = something-else v9\n"),
+            Err(ForensicError::BadHeader(_))
+        ));
+        let good = artifact(ScenarioConfig::static_line(3, 200.0, 2.0, DsrConfig::base(), 1));
+        let truncated: String = good.render().lines().take(10).map(|l| format!("{l}\n")).collect();
+        assert!(matches!(ForensicArtifact::parse(&truncated), Err(ForensicError::MissingKey(_))));
+        let corrupt = good.render().replace("dsr.cache_capacity = ", "dsr.cache_capacity = x");
+        assert!(matches!(ForensicArtifact::parse(&corrupt), Err(ForensicError::BadValue { .. })));
+    }
+}

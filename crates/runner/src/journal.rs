@@ -1,0 +1,289 @@
+//! Append-only campaign journal for resumable runs.
+//!
+//! [`run_campaign`](crate::run_campaign) records each completed seed's
+//! [`Report`] as one line of an on-disk journal; a campaign restarted with
+//! the same journal skips every seed already recorded and re-runs only the
+//! missing ones, returning a [`CampaignResult`](crate::CampaignResult)
+//! identical to an uninterrupted run.
+//!
+//! Records are keyed by `(config fingerprint, seed)` — the fingerprint
+//! ([`crate::forensics::config_fingerprint`]) covers the whole scenario
+//! except the seed, so one journal file can serve an entire sweep of
+//! distinct experiment points without collisions. Failed runs are *not*
+//! journaled: a resume retries them.
+//!
+//! The format is line-oriented and hand-rolled (no serde): each record is
+//! `run <fingerprint-hex> <seed> <label> <32 metric values>` with floats
+//! in Rust's exact shortest round-trip form. The writer flushes after
+//! every record; a process killed mid-write leaves at most one partial
+//! trailing line, which the loader skips.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+use metrics::Report;
+
+/// The journal's per-record leading token.
+const RECORD_TAG: &str = "run";
+
+/// Completed runs loaded from a journal file, keyed by
+/// `(config fingerprint, seed)`.
+#[derive(Debug, Default)]
+pub struct Journal {
+    runs: HashMap<(u64, u64), Report>,
+}
+
+impl Journal {
+    /// Loads a journal. A missing file is an empty journal (first launch);
+    /// malformed or truncated lines (e.g. from a kill mid-write) are
+    /// skipped rather than failing the resume.
+    pub fn load(path: &Path) -> std::io::Result<Journal> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut runs = HashMap::new();
+        for line in text.lines() {
+            if let Some((key, report)) = parse_record(line) {
+                runs.insert(key, report);
+            }
+        }
+        Ok(Journal { runs })
+    }
+
+    /// The journaled report for `(fingerprint, seed)`, if that run
+    /// already completed.
+    pub fn get(&self, fingerprint: u64, seed: u64) -> Option<&Report> {
+        self.runs.get(&(fingerprint, seed))
+    }
+
+    /// Number of journaled runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the journal holds no completed runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+/// Appends completed runs to a journal file. Shared across campaign
+/// worker threads behind an internal mutex; every record is flushed so a
+/// crash loses at most the run in flight.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: Mutex<File>,
+}
+
+impl JournalWriter {
+    /// Opens (or creates) `path` for appending.
+    pub fn open(path: &Path) -> std::io::Result<JournalWriter> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JournalWriter { file: Mutex::new(file) })
+    }
+
+    /// Appends one completed run and flushes.
+    pub fn record(&self, fingerprint: u64, seed: u64, report: &Report) -> std::io::Result<()> {
+        let line = render_record(fingerprint, seed, report);
+        let mut file = self.file.lock().expect("journal writer poisoned");
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+}
+
+macro_rules! report_numeric_fields {
+    ($macro:ident) => {
+        $macro!(
+            duration_s: f64,
+            originated: u64,
+            delivered: u64,
+            delivery_fraction: f64,
+            throughput_kbps: f64,
+            avg_delay_s: f64,
+            delay_p50_s: f64,
+            delay_p95_s: f64,
+            avg_hops: f64,
+            normalized_overhead: f64,
+            routing_tx: u64,
+            mac_control_tx: u64,
+            data_tx: u64,
+            replies_received: u64,
+            good_reply_pct: f64,
+            cache_hits: u64,
+            invalid_cache_pct: f64,
+            origination_hits: u64,
+            salvage_hits: u64,
+            reply_hits: u64,
+            replies_originated: u64,
+            reply_from_cache_pct: f64,
+            discoveries: u64,
+            floods: u64,
+            link_breaks: u64,
+            errors_sent: u64,
+            error_rebroadcasts: u64,
+            ifq_drops: u64,
+            dsr_drops: u64,
+            faults_injected: u64,
+            frames_corrupted: u64,
+            arrivals_suppressed: u64
+        )
+    };
+}
+
+fn render_record(fingerprint: u64, seed: u64, report: &Report) -> String {
+    let mut line = format!(
+        "{RECORD_TAG} {fingerprint:016x} {seed} {}",
+        crate::forensics::escape(&report.label)
+    );
+    macro_rules! push_fields {
+        ($($field:ident : $ty:ident),*) => {
+            $(write!(line, " {:?}", report.$field).expect("write to String");)*
+        };
+    }
+    report_numeric_fields!(push_fields);
+    line.push('\n');
+    line
+}
+
+fn parse_record(line: &str) -> Option<((u64, u64), Report)> {
+    let mut tokens = line.split_whitespace();
+    if tokens.next()? != RECORD_TAG {
+        return None;
+    }
+    let fingerprint = u64::from_str_radix(tokens.next()?, 16).ok()?;
+    let seed: u64 = tokens.next()?.parse().ok()?;
+    let label = crate::forensics::unescape(tokens.next()?);
+    macro_rules! parse_fields {
+        ($($field:ident : $ty:ident),*) => {
+            Report {
+                label,
+                $($field: tokens.next()?.parse::<$ty>().ok()?,)*
+                series: None,
+            }
+        };
+    }
+    let report = report_numeric_fields!(parse_fields);
+    if tokens.next().is_some() {
+        return None; // trailing garbage: treat the record as corrupt
+    }
+    Some(((fingerprint, seed), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(seed: u64) -> Report {
+        Report {
+            label: "DSR-C neg cache".to_string(),
+            duration_s: 900.0,
+            originated: 1000 + seed,
+            delivered: 990,
+            delivery_fraction: 0.99,
+            throughput_kbps: 31.4159,
+            avg_delay_s: 0.0123,
+            delay_p50_s: 0.01,
+            delay_p95_s: 0.05,
+            avg_hops: 2.5,
+            normalized_overhead: f64::INFINITY,
+            routing_tx: 123,
+            mac_control_tx: 456,
+            data_tx: 789,
+            replies_received: 10,
+            good_reply_pct: 90.0,
+            cache_hits: 42,
+            invalid_cache_pct: 7.5,
+            origination_hits: 30,
+            salvage_hits: 2,
+            reply_hits: 10,
+            replies_originated: 11,
+            reply_from_cache_pct: 50.0,
+            discoveries: 5,
+            floods: 3,
+            link_breaks: 7,
+            errors_sent: 6,
+            error_rebroadcasts: 1,
+            ifq_drops: 0,
+            dsr_drops: 4,
+            faults_injected: 0,
+            frames_corrupted: 0,
+            arrivals_suppressed: 0,
+            series: None,
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("journal-test-{tag}-{}.txt", std::process::id()))
+    }
+
+    #[test]
+    fn records_round_trip_exactly() {
+        let report = sample_report(1);
+        let line = render_record(0xdead_beef, 7, &report);
+        let ((fp, seed), back) = parse_record(line.trim_end()).expect("parse back");
+        assert_eq!((fp, seed), (0xdead_beef, 7));
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn writer_appends_and_loader_reads_back() {
+        let path = temp_path("append");
+        let _ = std::fs::remove_file(&path);
+        let writer = JournalWriter::open(&path).expect("open");
+        writer.record(1, 10, &sample_report(10)).expect("record");
+        writer.record(1, 11, &sample_report(11)).expect("record");
+        writer.record(2, 10, &sample_report(12)).expect("record");
+        drop(writer);
+
+        let journal = Journal::load(&path).expect("load");
+        assert_eq!(journal.len(), 3);
+        assert_eq!(journal.get(1, 10), Some(&sample_report(10)));
+        assert_eq!(journal.get(1, 11), Some(&sample_report(11)));
+        assert_eq!(journal.get(2, 10), Some(&sample_report(12)));
+        assert_eq!(journal.get(2, 11), None, "fingerprints keep sweep points apart");
+
+        // Re-opening appends rather than truncating.
+        let writer = JournalWriter::open(&path).expect("reopen");
+        writer.record(2, 11, &sample_report(13)).expect("record");
+        drop(writer);
+        assert_eq!(Journal::load(&path).expect("reload").len(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_journal() {
+        let journal = Journal::load(Path::new("/nonexistent/journal.txt")).expect("load");
+        assert!(journal.is_empty());
+    }
+
+    #[test]
+    fn partial_trailing_line_is_skipped() {
+        let path = temp_path("partial");
+        let good = render_record(1, 10, &sample_report(10));
+        let partial = &good[..good.len() / 2];
+        std::fs::write(&path, format!("{good}{partial}")).expect("write");
+        let journal = Journal::load(&path).expect("load");
+        assert_eq!(journal.len(), 1, "the torn record must not load");
+        assert_eq!(journal.get(1, 10), Some(&sample_report(10)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_lines_are_ignored() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, "# comment\nnot-a-record at all\n").expect("write");
+        assert!(Journal::load(&path).expect("load").is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -16,17 +16,23 @@
 //! assert!(report.delivery_fraction > 0.9);
 //! ```
 
+pub mod audit;
 pub mod campaign;
 pub mod config;
+pub mod forensics;
+pub mod journal;
 pub mod proto;
 pub mod sim;
 pub mod trace;
 
+pub use audit::{AuditLevel, AuditSummary};
 pub use campaign::{
-    run_campaign, run_campaign_with, run_seeds, CampaignConfig, CampaignResult, RunError,
-    RunFailure, RunLimits,
+    replay_run, run_campaign, run_campaign_with, run_seeds, CampaignConfig, CampaignResult,
+    RunError, RunFailure, RunLimits,
 };
 pub use config::{FaultEvent, FaultPlan, MobilitySpec, Region, ScenarioConfig};
+pub use forensics::{config_fingerprint, ForensicArtifact, ForensicError};
+pub use journal::{Journal, JournalWriter};
 pub use proto::{AgentCommand, RoutingAgent};
 pub use sim::{run_scenario, run_scenario_with, Simulator};
 pub use trace::{TraceEvent, TraceKind, TraceSink};

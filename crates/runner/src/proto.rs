@@ -113,6 +113,32 @@ pub trait RoutingAgent: Send {
         timer: Self::Timer,
         now: SimTime,
     ) -> Vec<AgentCommand<Self::Packet, Self::Timer>>;
+
+    // ------------------------------------------------------------------
+    // Conservation-audit hooks (see `crate::audit`). Optional: protocols
+    // that consume or re-sequence deliveries internally (e.g. TCP over
+    // DSR) keep the defaults and opt out of per-uid accounting.
+    // ------------------------------------------------------------------
+
+    /// Whether `Deliver`/`Drop` commands account for every uid announced
+    /// via [`ProtocolEvent::DataOriginated`]. When `false`, a requested
+    /// [`AuditLevel::Full`](crate::AuditLevel) audit degrades to counters.
+    fn supports_conservation_audit(&self) -> bool {
+        false
+    }
+
+    /// The uids of data packets this agent still buffers (awaiting routes).
+    /// Consulted at run end so buffered packets are not reported lost.
+    fn buffered_uids(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Protocol-invariant self-check (e.g. DSR's negative-cache ↔ route-
+    /// cache mutual exclusion). Returns a description of the first
+    /// violation, or `None` when the invariant holds.
+    fn invariant_violation(&self, _now: SimTime) -> Option<String> {
+        None
+    }
 }
 
 fn translate(cmd: dsr::DsrCommand) -> AgentCommand<packet::Packet, dsr::DsrTimer> {
@@ -189,6 +215,18 @@ impl RoutingAgent for dsr::DsrNode {
         now: SimTime,
     ) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
         translate_all(dsr::DsrNode::on_timer(self, timer, now))
+    }
+
+    fn supports_conservation_audit(&self) -> bool {
+        true
+    }
+
+    fn buffered_uids(&self) -> Vec<u64> {
+        dsr::DsrNode::buffered_uids(self)
+    }
+
+    fn invariant_violation(&self, now: SimTime) -> Option<String> {
+        self.cache_exclusion_violation(now)
     }
 }
 

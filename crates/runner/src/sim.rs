@@ -17,18 +17,19 @@
 //! for a given [`ScenarioConfig`] (seeded RNG streams, FIFO tie-breaking in
 //! the event queue, fixed iteration order).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use dsr::DsrNode;
 use mac::{Dcf, MacCommand, MacFrame, MacTimer, Priority};
 use metrics::{Metrics, Report};
 use mobility::{LinkOracle, MobilityModel, Point, RandomWaypoint, StaticPositions};
-use packet::{DropReason, NetPacket, ProtocolEvent};
+use packet::{NetPacket, ProtocolEvent};
 use phy::{plan_arrivals_masked, ReceiverState, TxId, TxIdSource};
 use sim_core::{EventId, EventQueue, NodeId, RngFactory, SimDuration, SimRng, SimTime};
 use traffic::{generate_flows, CbrFlow};
 
+use crate::audit::{AuditLevel, Auditor};
 use crate::campaign::{RunError, RunLimits};
 use crate::config::{FaultEvent, MobilitySpec, ScenarioConfig};
 use crate::proto::{AgentCommand, RoutingAgent};
@@ -115,6 +116,8 @@ pub struct Simulator<A: RoutingAgent = DsrNode> {
     /// Dedicated RNG stream for corruption draws, independent of every
     /// protocol stream so adding faults never perturbs protocol behaviour.
     fault_rng: SimRng,
+    /// Packet-conservation ledger (see [`crate::audit`]); off by default.
+    audit: Auditor,
 }
 
 impl<A: RoutingAgent> std::fmt::Debug for Simulator<A> {
@@ -190,6 +193,7 @@ impl<A: RoutingAgent> Simulator<A> {
             fault_active: vec![false; num_faults],
             fault_fired: vec![false; num_faults],
             fault_rng: factory.stream("fault", 0),
+            audit: Auditor::default(),
             cfg,
         }
     }
@@ -197,6 +201,27 @@ impl<A: RoutingAgent> Simulator<A> {
     /// Overrides the watchdog limits enforced by [`Simulator::try_run`].
     pub fn set_limits(&mut self, limits: RunLimits) {
         self.limits = limits;
+    }
+
+    /// Enables conservation auditing at `level`. A requested
+    /// [`AuditLevel::Full`] degrades to [`AuditLevel::Counters`] when any
+    /// agent does not account for every uid it originates (e.g. TCP over
+    /// DSR, which consumes ACK deliveries internally).
+    pub fn set_audit(&mut self, level: AuditLevel) {
+        let effective = if level == AuditLevel::Full
+            && !self.agents.iter().all(|a| a.supports_conservation_audit())
+        {
+            AuditLevel::Counters
+        } else {
+            level
+        };
+        self.audit = Auditor::new(effective);
+    }
+
+    /// The level the conservation auditor actually runs at (after any
+    /// protocol-capability downgrade).
+    pub fn audit_level(&self) -> AuditLevel {
+        self.audit.level()
     }
 
     /// The ground-truth oracle (for external validation and tests).
@@ -274,12 +299,19 @@ impl<A: RoutingAgent> Simulator<A> {
         // simulated second began.
         let mut window_start = SimTime::ZERO;
         let mut window_base = self.queue.popped();
+        // The event that overruns the horizon is not dispatched, but any
+        // packet it carries is still in flight for conservation purposes.
+        let mut cutoff: Option<Ev<A::Packet, A::Timer>> = None;
         while let Some((at, ev)) = self.queue.pop() {
             if at > self.end {
+                cutoff = Some(ev);
                 break;
             }
             if at < self.now {
                 return Err(RunError::TimeRegression { seed, now: self.now, event_at: at });
+            }
+            if self.audit.enabled() {
+                self.audit.observe_event_time(at);
             }
             if let Some(budget) = self.limits.max_events_per_sim_second {
                 if at.saturating_since(window_start) >= one_second {
@@ -299,8 +331,45 @@ impl<A: RoutingAgent> Simulator<A> {
             self.now = at;
             self.dispatch(ev);
         }
+        if self.audit.enabled() {
+            if let Some(v) = self.close_audit(cutoff) {
+                return Err(RunError::ConservationViolation { seed, uid: v.uid, detail: v.detail });
+            }
+        }
         let duration = self.cfg.duration.as_secs();
         Ok(self.metrics.report(self.label.clone(), duration))
+    }
+
+    /// Closes the conservation ledger: collects every uid still buffered
+    /// (agents, MACs, undispatched events — including the event that broke
+    /// the main loop), runs the protocol-invariant sweep, and returns the
+    /// first violation, if any.
+    fn close_audit(
+        &mut self,
+        cutoff: Option<Ev<A::Packet, A::Timer>>,
+    ) -> Option<crate::audit::Violation> {
+        let mut in_flight: HashSet<u64> = HashSet::new();
+        if let Some(ev) = cutoff {
+            collect_ev_uid(&ev, &mut in_flight);
+        }
+        while let Some((_, ev)) = self.queue.pop() {
+            collect_ev_uid(&ev, &mut in_flight);
+        }
+        for agent in &self.agents {
+            in_flight.extend(agent.buffered_uids());
+        }
+        for mac in &self.macs {
+            in_flight.extend(mac.pending_payloads().map(|p| p.uid()));
+        }
+        if self.audit.level() == AuditLevel::Full {
+            for agent in &self.agents {
+                if let Some(detail) = agent.invariant_violation(self.now) {
+                    self.audit.on_invariant_violation(detail);
+                    break;
+                }
+            }
+        }
+        self.audit.finish(&in_flight)
     }
 
     fn dispatch(&mut self, ev: Ev<A::Packet, A::Timer>) {
@@ -570,8 +639,11 @@ impl<A: RoutingAgent> Simulator<A> {
                     self.apply_agent(node, cmds);
                 }
                 MacCommand::TxOk { .. } => {}
-                MacCommand::QueueDrop { .. } => {
+                MacCommand::QueueDrop { payload } => {
                     self.metrics.record_ifq_drop();
+                    if self.audit.enabled() {
+                        self.audit.on_ifq_dropped(payload.uid(), payload.is_routing_overhead());
+                    }
                 }
             }
         }
@@ -589,7 +661,10 @@ impl<A: RoutingAgent> Simulator<A> {
                     }
                 }
                 AgentCommand::Deliver { uid, src, sent_at, bytes, hops } => {
-                    self.metrics.record_delivery(uid, sent_at, bytes, hops, self.now);
+                    let fresh = self.metrics.record_delivery(uid, sent_at, bytes, hops, self.now);
+                    if self.audit.enabled() {
+                        self.audit.on_delivered(uid, fresh);
+                    }
                     if self.trace.is_some() {
                         self.emit_trace(node, TraceKind::Deliver { uid, bytes, src });
                     }
@@ -607,8 +682,11 @@ impl<A: RoutingAgent> Simulator<A> {
                 }
                 AgentCommand::Drop { uid, reason } => {
                     self.metrics.record_drop(reason);
+                    if self.audit.enabled() {
+                        self.audit.on_dropped(uid, reason);
+                    }
                     if self.trace.is_some() {
-                        self.emit_trace(node, TraceKind::Drop { uid, reason: drop_name(reason) });
+                        self.emit_trace(node, TraceKind::Drop { uid, reason });
                     }
                 }
                 AgentCommand::Event { event } => self.apply_event(node, event),
@@ -618,6 +696,11 @@ impl<A: RoutingAgent> Simulator<A> {
 
     fn apply_event(&mut self, node: u16, event: ProtocolEvent) {
         match event {
+            ProtocolEvent::DataOriginated { uid } => {
+                if self.audit.enabled() {
+                    self.audit.on_originated(uid);
+                }
+            }
             ProtocolEvent::DiscoveryStarted { flood, target } => {
                 self.metrics.record_discovery(flood);
                 if self.trace.is_some() {
@@ -676,17 +759,19 @@ fn frame_name(kind: mac::FrameKind) -> &'static str {
     }
 }
 
-fn drop_name(reason: DropReason) -> &'static str {
-    match reason {
-        DropReason::SendBufferFull => "SendBufferFull",
-        DropReason::SendBufferTimeout => "SendBufferTimeout",
-        DropReason::NoRouteToSalvage => "NoRouteToSalvage",
-        DropReason::SalvageLimit => "SalvageLimit",
-        DropReason::NegativeCacheHit => "NegativeCacheHit",
-        DropReason::ControlUndeliverable => "ControlUndeliverable",
-        DropReason::NotOnRoute => "NotOnRoute",
-        DropReason::NoForwardingEntry => "NoForwardingEntry",
-        DropReason::TtlExpired => "TtlExpired",
+/// The uid of any network packet an undispatched event still carries
+/// (conservation audits treat these as in flight, not lost).
+fn collect_ev_uid<P: NetPacket, T>(ev: &Ev<P, T>, out: &mut HashSet<u64>) {
+    match ev {
+        Ev::AgentSend { packet, .. } => {
+            out.insert(packet.uid());
+        }
+        Ev::ArrivalStart { frame, .. } | Ev::ArrivalEnd { frame, .. } => {
+            if let Some(p) = &frame.payload {
+                out.insert(p.uid());
+            }
+        }
+        _ => {}
     }
 }
 

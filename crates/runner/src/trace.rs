@@ -13,6 +13,7 @@
 
 use std::fmt;
 
+use packet::DropReason;
 use sim_core::{NodeId, SimTime};
 
 /// What happened.
@@ -42,8 +43,9 @@ pub enum TraceKind {
     Drop {
         /// Packet uid.
         uid: u64,
-        /// Human-readable reason.
-        reason: &'static str,
+        /// Why (the closed metrics taxonomy; `Display` gives the
+        /// historical trace spelling).
+        reason: DropReason,
     },
     /// Link-layer feedback declared the link to `to` broken.
     LinkBreak {
@@ -130,8 +132,8 @@ mod tests {
     fn other_kinds_render() {
         let d = ev(TraceKind::Deliver { uid: 9, bytes: 512, src: NodeId::new(1) });
         assert!(format!("{d}").contains("AGT DATA 512B uid 9"));
-        let drop = ev(TraceKind::Drop { uid: 3, reason: "NoRouteToSalvage" });
-        assert!(format!("{drop}").starts_with("D "));
+        let drop = ev(TraceKind::Drop { uid: 3, reason: DropReason::NoRouteToSalvage });
+        assert_eq!(format!("{drop}"), "D 12.500000 _n5_ RTR NoRouteToSalvage uid 3");
         let brk = ev(TraceKind::LinkBreak { to: NodeId::new(2) });
         assert!(format!("{brk}").contains("n5->n2 broken"));
         let q = ev(TraceKind::Discovery { target: NodeId::new(9), flood: true });

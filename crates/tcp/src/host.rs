@@ -128,11 +128,7 @@ impl TcpHost {
             bytes: packet.payload_bytes,
             hops: packet.route.hops(),
         };
-        let delivered = self
-            .receivers
-            .entry(peer)
-            .or_default()
-            .on_segment(packet.seq, meta);
+        let delivered = self.receivers.entry(peer).or_default().on_segment(packet.seq, meta);
         for m in delivered {
             out.push(Cmd::Deliver {
                 uid: m.uid,

@@ -48,9 +48,10 @@ pub mod prelude {
     pub use metrics::Report;
     pub use mobility::{Field, Point, WaypointConfig};
     pub use runner::{
-        run_campaign, run_campaign_with, run_scenario, run_scenario_with, run_seeds,
-        CampaignConfig, CampaignResult, FaultEvent, FaultPlan, MobilitySpec, Region, RunError,
-        RunFailure, RunLimits, ScenarioConfig, Simulator,
+        replay_run, run_campaign, run_campaign_with, run_scenario, run_scenario_with, run_seeds,
+        AuditLevel, CampaignConfig, CampaignResult, FaultEvent, FaultPlan, ForensicArtifact,
+        Journal, JournalWriter, MobilitySpec, Region, RunError, RunFailure, RunLimits,
+        ScenarioConfig, Simulator,
     };
     pub use sim_core::{NodeId, SimDuration, SimTime};
     pub use tcp::{TcpConfig, TcpHost};

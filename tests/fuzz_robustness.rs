@@ -182,6 +182,53 @@ proptest! {
         prop_assert!(result.all_ok(), "benign faults must not fail runs: {}", result.failure_summary());
     }
 
+    /// The packet-conservation ledger balances on arbitrary fault plans:
+    /// with the audit at `full`, every originated packet must be
+    /// delivered, dropped with a reason, or still buffered at run end —
+    /// no matter which crashes, blackouts, and corruption windows the
+    /// plan throws at the chain. An imbalance surfaces as
+    /// `RunError::ConservationViolation` and fails the assertion.
+    #[test]
+    fn conservation_ledger_balances_on_arbitrary_fault_plans(
+        seed in 0u64..100,
+        n_nodes in 2usize..7,
+        faults in proptest::collection::vec(arb_fault(), 0..6),
+    ) {
+        let mut cfg = ScenarioConfig::static_line(n_nodes, 180.0, 2.0, DsrConfig::combined(), seed);
+        cfg.duration = SimDuration::from_secs(8.0);
+        cfg.faults = FaultPlan { events: faults };
+        let campaign = CampaignConfig { audit: AuditLevel::Full, ..CampaignConfig::default() };
+        let result = run_campaign(&cfg, &[seed], &campaign);
+        prop_assert!(
+            result.all_ok(),
+            "ledger must balance under arbitrary faults: {}",
+            result.failure_summary()
+        );
+    }
+
+    /// Forensic artifacts round-trip any scenario the fuzzer can build:
+    /// parse(render(artifact)) reconstructs the identical configuration.
+    #[test]
+    fn forensic_artifacts_round_trip_arbitrary_scenarios(
+        seed in 0u64..1000,
+        n_nodes in 2usize..7,
+        spacing in 120.0f64..320.0,
+        rate in 0.5f64..6.0,
+        faults in proptest::collection::vec(arb_fault(), 0..6),
+    ) {
+        let mut cfg = ScenarioConfig::static_line(n_nodes, spacing, rate, DsrConfig::combined(), seed);
+        cfg.faults = FaultPlan { events: faults };
+        let artifact = ForensicArtifact {
+            label: cfg.dsr.label(),
+            replayable: true,
+            config: cfg,
+            error: RunError::Panicked { seed, payload: "fuzz payload with spaces\nand lines".into() },
+            trace: vec!["s 1.000000 _n0_ MAC RTS 20B".into()],
+        };
+        let parsed = ForensicArtifact::parse(&artifact.render());
+        prop_assert_eq!(parsed.expect("artifact must parse back"), artifact);
+    }
+
     /// Random clustered placements (possibly partitioned): no panic, sane
     /// accounting, regardless of connectivity.
     #[test]
