@@ -203,6 +203,11 @@ impl DsrNode {
         self.send_buffer.uids()
     }
 
+    /// Route discoveries currently in flight (observability gauge).
+    pub fn discoveries_in_flight(&self) -> usize {
+        self.requests.in_flight_count()
+    }
+
     /// Checks the paper's invariant that the route cache and the negative
     /// cache are mutually exclusive with respect to the links they hold.
     /// Returns a description of the first violation, or `None` when the

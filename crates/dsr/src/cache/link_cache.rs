@@ -186,6 +186,12 @@ impl RouteCache for LinkCache {
     fn len(&self) -> usize {
         self.links.len()
     }
+
+    fn snapshot_routes(&self) -> Vec<Route> {
+        // One two-node route per cached link; a link is "valid" exactly
+        // when its endpoints are in range, which is what the oracle checks.
+        self.links.keys().filter_map(|link| Route::new(vec![link.from, link.to]).ok()).collect()
+    }
 }
 
 #[cfg(test)]

@@ -55,4 +55,11 @@ pub trait RouteCache: Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Snapshot of the cached state as routes, for observability sampling:
+    /// a path cache yields its stored paths, a link cache one two-node
+    /// route per link. The sampler checks each against the mobility oracle
+    /// to compute the cache's currently-valid fraction; only aggregate
+    /// counts are reported, so iteration order does not matter.
+    fn snapshot_routes(&self) -> Vec<Route>;
 }

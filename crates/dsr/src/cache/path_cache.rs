@@ -327,6 +327,10 @@ impl crate::cache::RouteCache for PathCache {
     fn len(&self) -> usize {
         PathCache::len(self)
     }
+
+    fn snapshot_routes(&self) -> Vec<Route> {
+        self.entries.iter().map(|e| e.path.clone()).collect()
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,11 @@ impl RequestTable {
         self.in_flight.contains_key(&target)
     }
 
+    /// Number of discoveries currently outstanding (observability gauge).
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
     /// The outstanding discovery for `target`, if any.
     pub fn discovery(&self, target: NodeId) -> Option<&Discovery> {
         self.in_flight.get(&target)

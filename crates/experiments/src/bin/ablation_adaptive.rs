@@ -8,7 +8,7 @@
 //! why the paper includes it for bursty link-failure patterns.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ablation_adaptive [--quick|--full] [--resume <journal>] [--audit <level>]
+//! cargo run --release -p experiments --bin ablation_adaptive [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use dsr::{DsrConfig, ExpiryPolicy};
@@ -29,6 +29,8 @@ fn main() {
             "good_replies_pct",
             "runs_failed",
             "faults_injected",
+            "delay_p99_s",
+            "delay_jitter_s",
         ],
     );
 
@@ -44,6 +46,8 @@ fn main() {
             pct(r.good_reply_pct),
             r.runs_failed.to_string(),
             r.faults_injected.to_string(),
+            f3(r.delay_p99_s),
+            f3(r.delay_jitter_s),
         ]);
     }
 
@@ -66,6 +70,8 @@ fn main() {
         pct(r.good_reply_pct),
         r.runs_failed.to_string(),
         r.faults_injected.to_string(),
+        f3(r.delay_p99_s),
+        f3(r.delay_jitter_s),
     ]);
 
     println!("\nAblation: adaptive timeout (alpha sweep, quiet-term on/off)\n");

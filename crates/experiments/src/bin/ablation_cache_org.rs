@@ -9,7 +9,7 @@
 //! paper's correctness techniques recover much of the gap.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ablation_cache_org [--quick|--full] [--resume <journal>] [--audit <level>]
+//! cargo run --release -p experiments --bin ablation_cache_org [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use dsr::DsrConfig;
@@ -31,6 +31,8 @@ fn main() {
             "invalid_cache_pct",
             "runs_failed",
             "faults_injected",
+            "delay_p99_s",
+            "delay_jitter_s",
         ],
     );
 
@@ -50,6 +52,8 @@ fn main() {
             pct(r.invalid_cache_pct),
             r.runs_failed.to_string(),
             r.faults_injected.to_string(),
+            f3(r.delay_p99_s),
+            f3(r.delay_jitter_s),
         ]);
     }
 

@@ -11,7 +11,7 @@
 //! the broadcast cost.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ablation_wider_error [--quick|--full] [--resume <journal>] [--audit <level>]
+//! cargo run --release -p experiments --bin ablation_wider_error [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use dsr::{DsrConfig, WiderErrorRebroadcast};
@@ -33,6 +33,8 @@ fn main() {
             "error_rebroadcasts",
             "runs_failed",
             "faults_injected",
+            "delay_p99_s",
+            "delay_jitter_s",
         ],
     );
 
@@ -52,6 +54,8 @@ fn main() {
             r.error_rebroadcasts.to_string(),
             r.runs_failed.to_string(),
             r.faults_injected.to_string(),
+            f3(r.delay_p99_s),
+            f3(r.delay_jitter_s),
         ]);
     }
 

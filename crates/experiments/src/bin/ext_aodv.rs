@@ -13,7 +13,7 @@
 //! floods). Disabling intermediate replies costs latency and overhead.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ext_aodv [--quick|--full] [--resume <journal>] [--audit <level>]
+//! cargo run --release -p experiments --bin ext_aodv [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use aodv::{AodvConfig, AodvNode};
@@ -44,6 +44,8 @@ fn main() {
             "normalized_overhead",
             "runs_failed",
             "faults_injected",
+            "delay_p99_s",
+            "delay_jitter_s",
         ],
     );
 
@@ -60,6 +62,8 @@ fn main() {
                 f3(r.normalized_overhead),
                 r.runs_failed.to_string(),
                 r.faults_injected.to_string(),
+                f3(r.delay_p99_s),
+                f3(r.delay_jitter_s),
             ]);
         }
         // AODV with and without intermediate replies.
@@ -77,6 +81,8 @@ fn main() {
                 f3(r.normalized_overhead),
                 r.runs_failed.to_string(),
                 r.faults_injected.to_string(),
+                f3(r.delay_p99_s),
+                f3(r.delay_jitter_s),
             ]);
         }
     }

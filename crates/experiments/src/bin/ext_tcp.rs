@@ -13,7 +13,7 @@
 //! caches clean.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ext_tcp [--quick|--full] [--resume <journal>] [--audit <level>]
+//! cargo run --release -p experiments --bin ext_tcp [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use dsr::{DsrConfig, DsrNode};
@@ -45,6 +45,8 @@ fn main() {
             "normalized_overhead",
             "runs_failed",
             "faults_injected",
+            "delay_p99_s",
+            "delay_jitter_s",
         ],
     );
 
@@ -74,6 +76,8 @@ fn main() {
             f3(r.normalized_overhead),
             r.runs_failed.to_string(),
             r.faults_injected.to_string(),
+            f3(r.delay_p99_s),
+            f3(r.delay_jitter_s),
         ]);
     }
 

@@ -10,7 +10,7 @@
 //! well-chosen static value.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin fig1_timeout [--quick|--full] [--resume <journal>] [--audit <level>]
+//! cargo run --release -p experiments --bin fig1_timeout [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use dsr::DsrConfig;
@@ -33,6 +33,8 @@ fn main() {
             "normalized_overhead",
             "runs_failed",
             "faults_injected",
+            "delay_p99_s",
+            "delay_jitter_s",
         ],
     );
 
@@ -46,6 +48,8 @@ fn main() {
         f3(base.normalized_overhead),
         base.runs_failed.to_string(),
         base.faults_injected.to_string(),
+        f3(base.delay_p99_s),
+        f3(base.delay_jitter_s),
     ]);
     let adaptive =
         run_point(&mode.scenario(pause_s, rate_pps, DsrConfig::adaptive_expiry()), &args);
@@ -57,6 +61,8 @@ fn main() {
         f3(adaptive.normalized_overhead),
         adaptive.runs_failed.to_string(),
         adaptive.faults_injected.to_string(),
+        f3(adaptive.delay_p99_s),
+        f3(adaptive.delay_jitter_s),
     ]);
 
     for timeout_s in mode.timeout_sweep() {
@@ -70,6 +76,8 @@ fn main() {
             f3(r.normalized_overhead),
             r.runs_failed.to_string(),
             r.faults_injected.to_string(),
+            f3(r.delay_p99_s),
+            f3(r.delay_jitter_s),
         ]);
     }
 

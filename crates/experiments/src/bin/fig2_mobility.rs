@@ -11,7 +11,7 @@
 //! caches; all variants converge as the network becomes static.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin fig2_mobility [--quick|--full] [--resume <journal>] [--audit <level>]
+//! cargo run --release -p experiments --bin fig2_mobility [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use experiments::{f3, run_point, variants, ExpArgs, Table};
@@ -32,6 +32,8 @@ fn main() {
             "normalized_overhead",
             "runs_failed",
             "faults_injected",
+            "delay_p99_s",
+            "delay_jitter_s",
         ],
     );
 
@@ -47,6 +49,8 @@ fn main() {
                 f3(r.normalized_overhead),
                 r.runs_failed.to_string(),
                 r.faults_injected.to_string(),
+                f3(r.delay_p99_s),
+                f3(r.delay_jitter_s),
             ]);
         }
     }

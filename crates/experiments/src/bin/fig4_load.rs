@@ -10,7 +10,7 @@
 //! re-inserting stale routes).
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin fig4_load [--quick|--full] [--resume <journal>] [--audit <level>]
+//! cargo run --release -p experiments --bin fig4_load [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use experiments::{f3, run_point, variants, ExpArgs, Table};
@@ -33,6 +33,8 @@ fn main() {
             "normalized_overhead",
             "runs_failed",
             "faults_injected",
+            "delay_p99_s",
+            "delay_jitter_s",
         ],
     );
 
@@ -50,6 +52,8 @@ fn main() {
                 f3(r.normalized_overhead),
                 r.runs_failed.to_string(),
                 r.faults_injected.to_string(),
+                f3(r.delay_p99_s),
+                f3(r.delay_jitter_s),
             ]);
         }
     }

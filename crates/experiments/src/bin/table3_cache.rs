@@ -11,10 +11,10 @@
 //! by ~70% relative to base DSR.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin table3_cache [--quick|--full] [--resume <journal>] [--audit <level>]
+//! cargo run --release -p experiments --bin table3_cache [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
-use experiments::{pct, run_point, variants, ExpArgs, Table};
+use experiments::{f3, pct, run_point, variants, ExpArgs, Table};
 
 fn main() {
     let args = ExpArgs::from_env_or_exit("table3_cache");
@@ -33,6 +33,8 @@ fn main() {
             "cache_hits",
             "runs_failed",
             "faults_injected",
+            "delay_p99_s",
+            "delay_jitter_s",
         ],
     );
 
@@ -46,6 +48,8 @@ fn main() {
             r.cache_hits.to_string(),
             r.runs_failed.to_string(),
             r.faults_injected.to_string(),
+            f3(r.delay_p99_s),
+            f3(r.delay_jitter_s),
         ]);
     }
 

@@ -19,9 +19,11 @@
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use dsr::DsrConfig;
 use metrics::{Metrics, Report};
+use obs::{ObsConfig, ObsMode, Profile};
 use runner::{
     run_campaign, run_campaign_with, AuditLevel, CampaignConfig, RoutingAgent, ScenarioConfig,
 };
@@ -128,6 +130,14 @@ pub struct ExpArgs {
     pub resume: Option<PathBuf>,
     /// Packet-conservation audit level (`--audit off|counters|full`).
     pub audit: AuditLevel,
+    /// Observability mode (`--obs off|sample[:secs]`, default off). When
+    /// sampling, runs also emit per-run time-series files and the campaign
+    /// prints live heartbeat lines to stderr.
+    pub obs: ObsMode,
+    /// Where per-run `dsr-timeseries v1` files land
+    /// (`--timeseries-dir <dir>`, default `results/timeseries` while obs
+    /// is on).
+    pub timeseries_dir: Option<PathBuf>,
 }
 
 impl ExpArgs {
@@ -136,7 +146,13 @@ impl ExpArgs {
     where
         I: IntoIterator<Item = String>,
     {
-        let mut parsed = ExpArgs { mode: ExpMode::Quick, resume: None, audit: AuditLevel::Off };
+        let mut parsed = ExpArgs {
+            mode: ExpMode::Quick,
+            resume: None,
+            audit: AuditLevel::Off,
+            obs: ObsMode::Off,
+            timeseries_dir: None,
+        };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -151,6 +167,15 @@ impl ExpArgs {
                     parsed.audit = AuditLevel::parse(&value)
                         .ok_or(ArgError::BadValue { flag: "--audit", value })?;
                 }
+                "--obs" => {
+                    let value = args.next().ok_or(ArgError::MissingValue("--obs"))?;
+                    parsed.obs = ObsMode::parse(&value)
+                        .map_err(|_| ArgError::BadValue { flag: "--obs", value })?;
+                }
+                "--timeseries-dir" => {
+                    let path = args.next().ok_or(ArgError::MissingValue("--timeseries-dir"))?;
+                    parsed.timeseries_dir = Some(PathBuf::from(path));
+                }
                 _ => return Err(ArgError::Unknown(arg)),
             }
         }
@@ -159,7 +184,10 @@ impl ExpArgs {
 
     /// The usage line printed on parse errors.
     pub fn usage(bin: &str) -> String {
-        format!("usage: {bin} [--quick|--full] [--resume <journal>] [--audit off|counters|full]")
+        format!(
+            "usage: {bin} [--quick|--full] [--resume <journal>] [--audit off|counters|full] \
+             [--obs off|sample[:secs]] [--timeseries-dir <dir>]"
+        )
     }
 
     /// Parses the process arguments; on error prints the problem plus a
@@ -176,16 +204,52 @@ impl ExpArgs {
     }
 
     /// The campaign configuration these arguments describe: requested
-    /// audit level, the `--resume` journal (if any), and repro artifacts
-    /// under `results/forensics/`.
+    /// audit level, the `--resume` journal (if any), repro artifacts under
+    /// `results/forensics/`, and — when `--obs` enables sampling — per-run
+    /// time-series files plus the live stderr heartbeat.
     pub fn campaign(&self) -> CampaignConfig {
+        let obs = if self.obs.is_on() {
+            ObsConfig {
+                mode: self.obs,
+                timeseries_dir: Some(
+                    self.timeseries_dir
+                        .clone()
+                        .unwrap_or_else(|| PathBuf::from("results").join("timeseries")),
+                ),
+                heartbeat: true,
+            }
+        } else {
+            ObsConfig::off()
+        };
         CampaignConfig {
             audit: self.audit,
             journal: self.resume.clone(),
             forensics_dir: Some(PathBuf::from("results").join("forensics")),
+            obs,
             ..CampaignConfig::default()
         }
     }
+}
+
+/// Process-wide rollup of campaign profiles: every `run_point` campaign
+/// that ran with obs enabled merges its profile here, and `Table::finish`
+/// emits the total as `results/<name>.profile` plus
+/// `results/BENCH_<name>.json`. `None` until the first instrumented
+/// campaign completes.
+static PROFILE_ROLLUP: Mutex<Option<Profile>> = Mutex::new(None);
+
+fn record_profile(profile: &Profile) {
+    let mut slot = PROFILE_ROLLUP.lock().expect("profile rollup poisoned");
+    match slot.as_mut() {
+        Some(acc) => acc.merge(profile),
+        None => *slot = Some(profile.clone()),
+    }
+}
+
+/// The merged event-loop profile across every instrumented campaign this
+/// process has run, or `None` when obs never ran.
+pub fn profile_rollup() -> Option<Profile> {
+    PROFILE_ROLLUP.lock().expect("profile rollup poisoned").clone()
 }
 
 /// The five protocol variants every comparison figure plots.
@@ -238,6 +302,9 @@ pub fn run_point(base: &ScenarioConfig, args: &ExpArgs) -> Point {
     let seeds = args.mode.seeds();
     let started = std::time::Instant::now();
     let result = run_campaign(base, &seeds, &args.campaign());
+    if let Some(profile) = &result.profile {
+        record_profile(profile);
+    }
     if !result.all_ok() {
         eprintln!(
             "  [{}] WARNING: {}/{} runs failed: {}",
@@ -269,6 +336,9 @@ where
     let seeds = args.mode.seeds();
     let started = std::time::Instant::now();
     let result = run_campaign_with(base, &seeds, &args.campaign(), &label, make_agent);
+    if let Some(profile) = &result.profile {
+        record_profile(profile);
+    }
     if !result.all_ok() {
         eprintln!(
             "  [{label}] WARNING: {}/{} runs failed: {}",
@@ -359,6 +429,13 @@ impl Table {
             writeln!(f, "{}", row.join(","))?;
         }
         eprintln!("wrote {}", path.display());
+        if let Some(profile) = profile_rollup() {
+            let profile_path = PathBuf::from("results").join(format!("{}.profile", self.name));
+            std::fs::write(&profile_path, profile.render())?;
+            let bench_path = PathBuf::from("results").join(format!("BENCH_{}.json", self.name));
+            std::fs::write(&bench_path, profile.to_bench_json(&self.name))?;
+            eprintln!("wrote {} and {}", profile_path.display(), bench_path.display());
+        }
         Ok(path)
     }
 
@@ -422,6 +499,7 @@ mod tests {
                 error: runner::RunError::Panicked { seed: 7, payload: "boom".into() },
                 retried: false,
             }],
+            profile: None,
         };
         let p = Point::from_campaign(result, "DSR", 120.0);
         assert_eq!(p.runs_failed, 1);
@@ -445,11 +523,42 @@ mod tests {
         assert_eq!(a.mode, ExpMode::Full);
         assert_eq!(a.resume, Some(PathBuf::from("results/j.txt")));
         assert_eq!(a.audit, AuditLevel::Full);
+        assert_eq!(a.obs, ObsMode::Off);
 
         let campaign = a.campaign();
         assert_eq!(campaign.audit, AuditLevel::Full);
         assert_eq!(campaign.journal, Some(PathBuf::from("results/j.txt")));
         assert!(campaign.forensics_dir.is_some());
+        assert_eq!(campaign.obs, ObsConfig::off(), "no --obs leaves instrumentation off");
+    }
+
+    #[test]
+    fn obs_flags_map_onto_the_campaign_config() {
+        let a = to_args(&["--obs", "sample:2.5"]).expect("obs flag");
+        assert!(a.obs.is_on());
+        let campaign = a.campaign();
+        assert!(campaign.obs.is_on());
+        assert!(campaign.obs.heartbeat, "obs on implies the stderr heartbeat");
+        assert_eq!(
+            campaign.obs.timeseries_dir,
+            Some(PathBuf::from("results").join("timeseries")),
+            "default time-series directory"
+        );
+
+        let b = to_args(&["--obs", "sample", "--timeseries-dir", "/tmp/ts"]).expect("custom dir");
+        assert_eq!(b.campaign().obs.timeseries_dir, Some(PathBuf::from("/tmp/ts")));
+
+        // A dir without sampling is accepted but inert.
+        let c = to_args(&["--timeseries-dir", "/tmp/ts"]).expect("dir alone");
+        assert_eq!(c.campaign().obs, ObsConfig::off());
+
+        assert_eq!(
+            to_args(&["--obs", "loudly"]),
+            Err(ArgError::BadValue { flag: "--obs", value: "loudly".into() })
+        );
+        assert_eq!(to_args(&["--obs"]), Err(ArgError::MissingValue("--obs")));
+        assert_eq!(to_args(&["--timeseries-dir"]), Err(ArgError::MissingValue("--timeseries-dir")));
+        assert!(ExpArgs::usage("table3_cache").contains("--obs"));
     }
 
     #[test]

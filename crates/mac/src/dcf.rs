@@ -213,6 +213,12 @@ impl<P: Clone> Dcf<P> {
         self.queue.len()
     }
 
+    /// Interface-queue depth split by priority class, `(control, data)`,
+    /// excluding the packet in service — the sampler's per-layer gauge.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        self.queue.len_by_class()
+    }
+
     /// Whether the MAC has nothing in service and nothing queued.
     pub fn is_idle(&self) -> bool {
         self.state == MainState::Idle && self.current.is_none() && self.queue.is_empty()

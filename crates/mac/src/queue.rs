@@ -85,6 +85,13 @@ impl<P> IfQueue<P> {
         self.control.len() + self.data.len()
     }
 
+    /// Packets currently queued, split by class: `(control, data)`.
+    /// Observability gauges report the classes separately because control
+    /// backlog and data backlog indicate different pathologies.
+    pub fn len_by_class(&self) -> (usize, usize) {
+        (self.control.len(), self.data.len())
+    }
+
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.control.is_empty() && self.data.is_empty()
@@ -159,6 +166,17 @@ mod tests {
         let seen: Vec<u32> = q.iter().map(|p| p.payload).collect();
         assert_eq!(seen, vec![2, 1]);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn len_by_class_splits_counts() {
+        let mut q = IfQueue::new(5);
+        q.push(pkt(1), Priority::Data);
+        q.push(pkt(2), Priority::Data);
+        q.push(pkt(3), Priority::Control);
+        assert_eq!(q.len_by_class(), (1, 2));
+        q.pop(); // control first
+        assert_eq!(q.len_by_class(), (0, 2));
     }
 
     #[test]

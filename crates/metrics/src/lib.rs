@@ -241,6 +241,8 @@ impl Metrics {
             avg_delay_s: self.delays.mean().unwrap_or(0.0),
             delay_p50_s: self.delays.quantile(0.5).unwrap_or(0.0),
             delay_p95_s: self.delays.quantile(0.95).unwrap_or(0.0),
+            delay_p99_s: self.delays.quantile(0.99).unwrap_or(0.0),
+            delay_jitter_s: self.delays.mean_abs_delta().unwrap_or(0.0),
             avg_hops: self.hops.mean().unwrap_or(0.0),
             normalized_overhead: if self.delivered == 0 {
                 f64::INFINITY
@@ -297,6 +299,11 @@ pub struct Report {
     pub delay_p50_s: f64,
     /// 95th-percentile end-to-end delay in seconds.
     pub delay_p95_s: f64,
+    /// 99th-percentile end-to-end delay in seconds.
+    pub delay_p99_s: f64,
+    /// Delivery jitter: mean absolute difference between the end-to-end
+    /// delays of successively delivered packets, in seconds.
+    pub delay_jitter_s: f64,
     /// Mean links traversed per delivered packet (final route).
     pub avg_hops: f64,
     /// (routing + MAC control transmissions) / delivered packet.
@@ -384,6 +391,8 @@ impl Report {
             avg_delay_s: favg(&|r| r.avg_delay_s),
             delay_p50_s: favg(&|r| r.delay_p50_s),
             delay_p95_s: favg(&|r| r.delay_p95_s),
+            delay_p99_s: favg(&|r| r.delay_p99_s),
+            delay_jitter_s: favg(&|r| r.delay_jitter_s),
             avg_hops: favg(&|r| r.avg_hops),
             normalized_overhead: overhead,
             routing_tx: uavg(&|r| r.routing_tx),
@@ -419,7 +428,7 @@ impl std::fmt::Display for Report {
         writeln!(f, "{} ({}s simulated)", self.label, self.duration_s)?;
         writeln!(
             f,
-            "  delivery {:.1}% ({}/{}), throughput {:.1} kb/s, delay {:.3} s (p50 {:.3}, p95 {:.3}), {:.1} hops",
+            "  delivery {:.1}% ({}/{}), throughput {:.1} kb/s, delay {:.3} s (p50 {:.3}, p95 {:.3}, p99 {:.3}, jitter {:.3}), {:.1} hops",
             100.0 * self.delivery_fraction,
             self.delivered,
             self.originated,
@@ -427,6 +436,8 @@ impl std::fmt::Display for Report {
             self.avg_delay_s,
             self.delay_p50_s,
             self.delay_p95_s,
+            self.delay_p99_s,
+            self.delay_jitter_s,
             self.avg_hops
         )?;
         writeln!(
@@ -481,6 +492,25 @@ mod tests {
         assert!((r.avg_hops - 4.0).abs() < 1e-12);
         assert!((r.delay_p95_s - 1.5).abs() < 1e-12);
         assert!((r.throughput_kbps - 2.0 * 512.0 * 8.0 / 1_000.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_tail_and_jitter_flow_into_report() {
+        let mut m = Metrics::new();
+        for uid in 0..4 {
+            m.record_origination(t(0.0));
+            // Delays in delivery order: 1.0, 3.0, 2.0, 2.0 s.
+            let delay = [1.0, 3.0, 2.0, 2.0][uid as usize];
+            assert!(m.record_delivery(uid, t(0.0), 512, 2, t(delay)));
+        }
+        let r = m.report("x", 10.0);
+        assert!((r.delay_p99_s - 3.0).abs() < 1e-12, "nearest-rank p99 of 4 samples is the max");
+        // Consecutive deltas: |3-1|, |2-3|, |2-2| => mean 1.0.
+        assert!((r.delay_jitter_s - 1.0).abs() < 1e-12);
+        // Empty runs report zeros, like the other delay stats.
+        let empty = Metrics::new().report("x", 10.0);
+        assert_eq!(empty.delay_p99_s, 0.0);
+        assert_eq!(empty.delay_jitter_s, 0.0);
     }
 
     #[test]

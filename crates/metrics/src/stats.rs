@@ -65,6 +65,18 @@ impl Distribution {
     pub fn max(&self) -> Option<f64> {
         self.samples.iter().copied().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
+
+    /// Mean absolute difference between consecutive samples in insertion
+    /// order, or `None` with fewer than two samples. Over the end-to-end
+    /// delays of successively delivered packets this is the classic
+    /// delivery-jitter estimator (RFC 3550 flavored, without smoothing).
+    pub fn mean_abs_delta(&self) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let total: f64 = self.samples.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+        Some(total / (self.samples.len() - 1) as f64)
+    }
 }
 
 /// One point of the delivery time series.
@@ -157,6 +169,17 @@ mod tests {
         assert_eq!(d.quantile(1.0), Some(5.0));
         assert_eq!(d.quantile(0.0), Some(1.0));
         assert_eq!(d.max(), Some(5.0));
+    }
+
+    #[test]
+    fn mean_abs_delta_follows_insertion_order() {
+        let mut d = Distribution::new();
+        assert_eq!(d.mean_abs_delta(), None);
+        d.record(1.0);
+        assert_eq!(d.mean_abs_delta(), None, "one sample has no deltas");
+        d.record(3.0); // |3-1| = 2
+        d.record(2.0); // |2-3| = 1
+        assert_eq!(d.mean_abs_delta(), Some(1.5));
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! Zero-cost-when-off instrumentation for the DSR simulator.
+//!
+//! Three pillars, all gated by [`ObsConfig`] and provably inert when off
+//! (obs-on and obs-off runs produce byte-identical `Report`s — the same
+//! discipline as the conservation audit):
+//!
+//! 1. **Time-series sampler** ([`timeseries`]): at a configurable sim-time
+//!    interval, snapshot per-layer gauges (route-cache size and oracle-valid
+//!    fraction, negative-cache occupancy, send-buffer and MAC queue depths,
+//!    in-flight discoveries) into one `dsr-timeseries v1` file per run.
+//! 2. **Event-loop profiler** ([`profile`]): events and wall time per event
+//!    kind plus drop-reason/trace-kind tallies, merged per campaign into a
+//!    `dsr-profile v1` summary and a `BENCH_*.json` baseline.
+//! 3. **Query engine** ([`query`]): filtering and uid-following over trace
+//!    and time-series files, surfaced by the `trace_query` binary.
+//!
+//! Sampling happens inline in the runner's event loop at interval
+//! boundaries — no scheduled events, no RNG draws — so enabling it cannot
+//! perturb the simulation. Wall-clock measurement never feeds back into
+//! simulated time.
+
+pub mod profile;
+pub mod query;
+pub mod text;
+pub mod timeseries;
+
+pub use profile::{Profile, Tally, TallyMap};
+pub use query::{
+    follow_uid, parse_trace_line, read_file, Filter, FollowReport, ObsFile, TraceLine,
+};
+pub use text::ObsError;
+pub use timeseries::{SampleRow, Sampler, TimeSeries};
+
+use sim_core::{SimDuration, SimTime};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Whether and how densely to sample per-layer gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsMode {
+    /// No instrumentation; the hot path is untouched.
+    #[default]
+    Off,
+    /// Sample gauges every `interval` of simulated time.
+    Sample {
+        /// Simulated time between samples.
+        interval: SimDuration,
+    },
+}
+
+impl ObsMode {
+    /// Default sampling cadence: every 5 simulated seconds.
+    pub fn default_interval() -> SimDuration {
+        SimDuration::from_secs(5.0)
+    }
+
+    /// Parses a CLI value: `off`, `sample`, or `sample:<seconds>`.
+    pub fn parse(raw: &str) -> Result<ObsMode, String> {
+        match raw {
+            "off" => Ok(ObsMode::Off),
+            "sample" => Ok(ObsMode::Sample { interval: Self::default_interval() }),
+            other => {
+                let secs = other
+                    .strip_prefix("sample:")
+                    .ok_or_else(|| format!("bad obs mode `{other}`"))?
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad obs interval in `{other}`"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("obs interval must be positive, got `{other}`"));
+                }
+                Ok(ObsMode::Sample { interval: SimDuration::from_secs(secs) })
+            }
+        }
+    }
+
+    /// True when any instrumentation is enabled.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, ObsMode::Off)
+    }
+
+    /// The sampling interval, when sampling.
+    pub fn interval(&self) -> Option<SimDuration> {
+        match self {
+            ObsMode::Off => None,
+            ObsMode::Sample { interval } => Some(*interval),
+        }
+    }
+}
+
+/// Observability settings carried on `CampaignConfig`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsConfig {
+    /// Sampling mode; `Off` disables the sampler and profiler entirely.
+    pub mode: ObsMode,
+    /// Directory for per-run `dsr-timeseries v1` files; `None` keeps the
+    /// series in memory only (still merged into the campaign profile).
+    pub timeseries_dir: Option<PathBuf>,
+    /// Emit live stderr heartbeat lines while the campaign runs.
+    pub heartbeat: bool,
+}
+
+impl ObsConfig {
+    /// Shorthand for a fully disabled config.
+    pub fn off() -> Self {
+        ObsConfig::default()
+    }
+
+    /// True when the runner must instrument the event loop.
+    pub fn is_on(&self) -> bool {
+        self.mode.is_on()
+    }
+}
+
+/// A routing agent's self-reported gauges, polled by the sampler.
+///
+/// Returned by `RoutingAgent::observe`; agents that do not participate
+/// (AODV, TCP wrappers) return `None` and simply contribute zeros.
+#[derive(Debug, Clone, Default)]
+pub struct AgentObservation {
+    /// Snapshot of the node's cached routes (paths, or per-link stubs for a
+    /// link cache) for oracle validity checking.
+    pub routes: Vec<packet::Route>,
+    /// Live negative-cache entries.
+    pub negative_entries: usize,
+    /// Packets parked awaiting a route.
+    pub send_buffer: usize,
+    /// Route discoveries currently in flight.
+    pub discoveries: usize,
+}
+
+/// Everything one instrumented run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunObservation {
+    /// The run's sampled gauge series.
+    pub timeseries: TimeSeries,
+    /// The run's event-loop profile (`runs == 1`).
+    pub profile: Profile,
+}
+
+/// A progress pulse from inside a run's event loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeartbeatTick {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The run's simulated end time.
+    pub end: SimTime,
+    /// Events dispatched so far in this run.
+    pub events: u64,
+}
+
+/// Campaign-wide progress aggregation behind the stderr heartbeat.
+///
+/// Worker threads report finished runs via [`run_finished`]; the in-loop
+/// heartbeat calls [`heartbeat_line`], which returns a formatted status line
+/// at most once per throttle period (so concurrent runs don't flood
+/// stderr).
+///
+/// [`run_finished`]: CampaignProgress::run_finished
+/// [`heartbeat_line`]: CampaignProgress::heartbeat_line
+#[derive(Debug)]
+pub struct CampaignProgress {
+    total_runs: u64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    events_done: AtomicU64,
+    started: Instant,
+    last_print_ms: AtomicU64,
+    throttle_ms: u64,
+}
+
+impl CampaignProgress {
+    /// Creates a tracker for `total_runs` seeds with a 1 s print throttle.
+    pub fn new(total_runs: u64) -> Arc<Self> {
+        Self::with_throttle(total_runs, 1000)
+    }
+
+    /// Creates a tracker with a custom throttle (milliseconds); `0` prints
+    /// on every tick (used by tests).
+    pub fn with_throttle(total_runs: u64, throttle_ms: u64) -> Arc<Self> {
+        Arc::new(CampaignProgress {
+            total_runs,
+            done: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            events_done: AtomicU64::new(0),
+            started: Instant::now(),
+            last_print_ms: AtomicU64::new(0),
+            throttle_ms,
+        })
+    }
+
+    /// Records a finished run and the events it dispatched.
+    pub fn run_finished(&self, ok: bool, events: u64) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.events_done.fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// Formats a status line for a tick, or `None` while throttled.
+    ///
+    /// The line reads like
+    /// `[obs] 3/10 seeds done (1 failed), 1.2M events/s, ETA 42s`.
+    pub fn heartbeat_line(&self, tick: HeartbeatTick) -> Option<String> {
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        // Claim the print slot atomically so concurrent workers stay quiet.
+        let claimed = self
+            .last_print_ms
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |last| {
+                // First tick prints immediately; afterwards honor the
+                // throttle window.
+                if last == 0 || now_ms.saturating_sub(last) >= self.throttle_ms {
+                    Some(now_ms.max(1))
+                } else {
+                    None
+                }
+            })
+            .is_ok();
+        if !claimed {
+            return None;
+        }
+        Some(self.format_line(tick, now_ms))
+    }
+
+    fn format_line(&self, tick: HeartbeatTick, now_ms: u64) -> String {
+        let done = self.done.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let events = self.events_done.load(Ordering::Relaxed) + tick.events;
+        let elapsed_s = (now_ms as f64 / 1000.0).max(1e-3);
+        let rate = events as f64 / elapsed_s;
+        let run_progress = if tick.end > SimTime::ZERO {
+            (tick.now.as_secs() / tick.end.as_secs()).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let frac = ((done as f64 + run_progress) / self.total_runs.max(1) as f64).clamp(0.0, 1.0);
+        let eta = if frac > 1e-6 && frac < 1.0 {
+            let remaining = elapsed_s * (1.0 - frac) / frac;
+            format!("ETA {}s", remaining.round() as u64)
+        } else {
+            "ETA --".to_string()
+        };
+        format!(
+            "[obs] {done}/{total} seeds done ({failed} failed), {rate} events/s, {eta}",
+            total = self.total_runs,
+            rate = human_rate(rate),
+        )
+    }
+}
+
+fn human_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.1}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_mode_parses_cli_values() {
+        assert_eq!(ObsMode::parse("off").unwrap(), ObsMode::Off);
+        assert_eq!(
+            ObsMode::parse("sample").unwrap(),
+            ObsMode::Sample { interval: SimDuration::from_secs(5.0) }
+        );
+        assert_eq!(
+            ObsMode::parse("sample:0.5").unwrap(),
+            ObsMode::Sample { interval: SimDuration::from_secs(0.5) }
+        );
+        assert!(ObsMode::parse("on").is_err());
+        assert!(ObsMode::parse("sample:").is_err());
+        assert!(ObsMode::parse("sample:-1").is_err());
+        assert!(ObsMode::parse("sample:0").is_err());
+        assert!(ObsMode::parse("sample:nan").is_err());
+    }
+
+    #[test]
+    fn obs_config_defaults_off() {
+        let config = ObsConfig::default();
+        assert!(!config.is_on());
+        assert_eq!(config, ObsConfig::off());
+        assert!(ObsConfig { mode: ObsMode::parse("sample").unwrap(), ..ObsConfig::off() }.is_on());
+    }
+
+    #[test]
+    fn heartbeat_reports_progress_and_throttles() {
+        let progress = CampaignProgress::with_throttle(4, 0);
+        progress.run_finished(true, 1000);
+        progress.run_finished(false, 500);
+        let tick = HeartbeatTick {
+            now: SimTime::from_secs(60.0),
+            end: SimTime::from_secs(120.0),
+            events: 250,
+        };
+        let line = progress.heartbeat_line(tick).expect("zero throttle always prints");
+        assert!(line.contains("2/4 seeds done (1 failed)"), "line: {line}");
+        assert!(line.contains("events/s"), "line: {line}");
+        assert!(line.contains("ETA"), "line: {line}");
+
+        // A long throttle suppresses the second print.
+        let throttled = CampaignProgress::with_throttle(4, 3_600_000);
+        assert!(throttled.heartbeat_line(tick).is_some(), "first tick prints");
+        assert!(throttled.heartbeat_line(tick).is_none(), "second tick throttled");
+    }
+
+    #[test]
+    fn human_rate_scales_units() {
+        assert_eq!(human_rate(950.0), "950");
+        assert_eq!(human_rate(1500.0), "1.5k");
+        assert_eq!(human_rate(2_500_000.0), "2.5M");
+    }
+}

@@ -1,0 +1,363 @@
+//! The `dsr-profile v1` event-loop profile: events and wall-time per event
+//! kind, plus drop-reason and trace-kind tallies, merged across a campaign.
+//!
+//! Per-run profiles are collected by the runner's event loop (wall-clock
+//! timing never feeds back into simulated time, so profiling cannot perturb
+//! results) and merged into one campaign-level summary:
+//!
+//! ```text
+//! format = dsr-profile v1
+//! runs = 10
+//! runs_failed = 0
+//! sim_seconds = 1200.0
+//! wall_seconds = 45.183
+//! events = 18433204
+//! scheduled = 19001771
+//! kinds = 2
+//! kind.0 = agent_timer 9120411 21930114312
+//! kind.1 = mac_timer 8101233 1801238971
+//! drops = 1
+//! drop.0 = NoRoute 1203
+//! traces = 1
+//! trace.0 = mac_send 9121
+//! ```
+//!
+//! `kind.N` lines are `name count wall_ns`; `drop.N`/`trace.N` are
+//! `name count`. All three lists are sorted by name at render time so the
+//! summary is independent of merge order across campaign threads.
+
+use crate::text::{fmt_f64, json_escape, KvBlock, ObsError};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// First line of every profile file.
+pub const FORMAT_HEADER: &str = "dsr-profile v1";
+
+/// A named counter with optional accumulated wall time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tally {
+    pub name: String,
+    pub count: u64,
+    /// Wall nanoseconds attributed to this name (zero for drop/trace
+    /// tallies, which count occurrences only).
+    pub wall_ns: u64,
+}
+
+/// An event-loop profile for one run, or the merge of many.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Profile {
+    /// Runs merged into this profile (successful ones).
+    pub runs: u64,
+    /// Runs that failed and contributed no timing data.
+    pub runs_failed: u64,
+    /// Total simulated seconds across merged runs.
+    pub sim_seconds: f64,
+    /// Total wall-clock seconds spent inside `try_run` across merged runs.
+    pub wall_seconds: f64,
+    /// Events dispatched (sum of `EventQueue::popped`).
+    pub events: u64,
+    /// Events scheduled (sum of `EventQueue::scheduled`), including ones
+    /// later cancelled.
+    pub scheduled: u64,
+    /// Per-event-kind dispatch counts and wall time.
+    pub kinds: Vec<Tally>,
+    /// Per-drop-reason occurrence counts.
+    pub drops: Vec<Tally>,
+    /// Per-trace-kind emission counts (counted whether or not a trace sink
+    /// is attached).
+    pub traces: Vec<Tally>,
+}
+
+fn merge_tallies(into: &mut Vec<Tally>, from: &[Tally]) {
+    for tally in from {
+        match into.iter_mut().find(|t| t.name == tally.name) {
+            Some(existing) => {
+                existing.count += tally.count;
+                existing.wall_ns += tally.wall_ns;
+            }
+            None => into.push(tally.clone()),
+        }
+    }
+}
+
+fn sorted(mut tallies: Vec<Tally>) -> Vec<Tally> {
+    tallies.sort_by(|a, b| a.name.cmp(&b.name));
+    tallies
+}
+
+impl Profile {
+    /// Folds another profile (typically one run's) into this one.
+    pub fn merge(&mut self, other: &Profile) {
+        self.runs += other.runs;
+        self.runs_failed += other.runs_failed;
+        self.sim_seconds += other.sim_seconds;
+        self.wall_seconds += other.wall_seconds;
+        self.events += other.events;
+        self.scheduled += other.scheduled;
+        merge_tallies(&mut self.kinds, &other.kinds);
+        merge_tallies(&mut self.drops, &other.drops);
+        merge_tallies(&mut self.traces, &other.traces);
+    }
+
+    /// Events dispatched per wall second; `0.0` when no wall time was
+    /// recorded.
+    pub fn events_per_wall_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the `dsr-profile v1` text form; tally lists are name-sorted.
+    pub fn render(&self) -> String {
+        let mut block = KvBlock::new();
+        block.push("format", FORMAT_HEADER);
+        block.push("runs", self.runs.to_string());
+        block.push("runs_failed", self.runs_failed.to_string());
+        block.push("sim_seconds", fmt_f64(self.sim_seconds));
+        block.push("wall_seconds", fmt_f64(self.wall_seconds));
+        block.push("events", self.events.to_string());
+        block.push("scheduled", self.scheduled.to_string());
+        for (prefix, tallies) in
+            [("kind", &self.kinds), ("drop", &self.drops), ("trace", &self.traces)]
+        {
+            let tallies = sorted(tallies.clone());
+            block.push(format!("{prefix}s"), tallies.len().to_string());
+            for (i, t) in tallies.iter().enumerate() {
+                let line = if prefix == "kind" {
+                    format!("{} {} {}", t.name, t.count, t.wall_ns)
+                } else {
+                    format!("{} {}", t.name, t.count)
+                };
+                block.push(format!("{prefix}.{i}"), line);
+            }
+        }
+        block.render()
+    }
+
+    /// Parses a rendered profile.
+    pub fn parse(text: &str) -> Result<Profile, ObsError> {
+        let block = KvBlock::parse_with_rows(text, |line_no, line| {
+            Err(ObsError::BadRow { line_no, line: line.to_string() })
+        })?;
+        let format = block.require("format")?;
+        if format != FORMAT_HEADER {
+            return Err(ObsError::BadHeader { expected: FORMAT_HEADER, found: format.to_string() });
+        }
+        let parse_tallies = |prefix: &'static str,
+                             with_wall: bool|
+         -> Result<Vec<Tally>, ObsError> {
+            let count: usize = block.require_parsed(match prefix {
+                "kind" => "kinds",
+                "drop" => "drops",
+                _ => "traces",
+            })?;
+            let mut out = Vec::with_capacity(count);
+            for raw in block.indexed(prefix, count)? {
+                let bad = || ObsError::BadValue { key: prefix.to_string(), value: raw.to_string() };
+                let mut parts = raw.split_whitespace();
+                let name = parts.next().ok_or_else(bad)?.to_string();
+                let count: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let wall_ns: u64 = if with_wall {
+                    parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?
+                } else {
+                    0
+                };
+                if parts.next().is_some() {
+                    return Err(bad());
+                }
+                out.push(Tally { name, count, wall_ns });
+            }
+            Ok(out)
+        };
+        Ok(Profile {
+            runs: block.require_parsed("runs")?,
+            runs_failed: block.require_parsed("runs_failed")?,
+            sim_seconds: block.require_parsed("sim_seconds")?,
+            wall_seconds: block.require_parsed("wall_seconds")?,
+            events: block.require_parsed("events")?,
+            scheduled: block.require_parsed("scheduled")?,
+            kinds: parse_tallies("kind", true)?,
+            drops: parse_tallies("drop", false)?,
+            traces: parse_tallies("trace", false)?,
+        })
+    }
+
+    /// Loads and parses a profile from disk.
+    pub fn load(path: &Path) -> Result<Profile, ObsError> {
+        Profile::parse(&std::fs::read_to_string(path)?)
+    }
+
+    /// Renders the profile as a `BENCH_*.json` document (hand-rolled; the
+    /// workspace deliberately has no serde).
+    pub fn to_bench_json(&self, name: &str) -> String {
+        let tally_array = |tallies: &[Tally], with_wall: bool| -> String {
+            let items: Vec<String> = sorted(tallies.to_vec())
+                .iter()
+                .map(|t| {
+                    if with_wall {
+                        format!(
+                            "    {{\"name\": \"{}\", \"count\": {}, \"wall_ns\": {}}}",
+                            json_escape(&t.name),
+                            t.count,
+                            t.wall_ns
+                        )
+                    } else {
+                        format!(
+                            "    {{\"name\": \"{}\", \"count\": {}}}",
+                            json_escape(&t.name),
+                            t.count
+                        )
+                    }
+                })
+                .collect();
+            if items.is_empty() {
+                "[]".to_string()
+            } else {
+                format!("[\n{}\n  ]", items.join(",\n"))
+            }
+        };
+        format!(
+            "{{\n  \"schema\": \"{schema}\",\n  \"name\": \"{name}\",\n  \"runs\": {runs},\n  \
+             \"runs_failed\": {failed},\n  \"sim_seconds\": {sim},\n  \"wall_seconds\": {wall},\n  \
+             \"events\": {events},\n  \"scheduled\": {scheduled},\n  \
+             \"events_per_wall_second\": {rate},\n  \"kinds\": {kinds},\n  \"drops\": {drops},\n  \
+             \"traces\": {traces}\n}}\n",
+            schema = FORMAT_HEADER,
+            name = json_escape(name),
+            runs = self.runs,
+            failed = self.runs_failed,
+            sim = fmt_f64(self.sim_seconds),
+            wall = fmt_f64(self.wall_seconds),
+            events = self.events,
+            scheduled = self.scheduled,
+            rate = fmt_f64(self.events_per_wall_second()),
+            kinds = tally_array(&self.kinds, true),
+            drops = tally_array(&self.drops, false),
+            traces = tally_array(&self.traces, false),
+        )
+    }
+}
+
+/// Builds name-keyed tallies incrementally (used by the runner while the
+/// event loop executes, then converted into [`Profile`] lists).
+#[derive(Debug, Default)]
+pub struct TallyMap {
+    counts: BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl TallyMap {
+    pub fn new() -> Self {
+        TallyMap::default()
+    }
+
+    /// Adds one occurrence with optional wall time.
+    pub fn record(&mut self, name: &'static str, wall_ns: u64) {
+        let slot = self.counts.entry(name).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += wall_ns;
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Converts into sorted `Tally` entries (BTreeMap iteration is already
+    /// name-ordered).
+    pub fn into_tallies(self) -> Vec<Tally> {
+        self.counts
+            .into_iter()
+            .map(|(name, (count, wall_ns))| Tally { name: name.to_string(), count, wall_ns })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_run() -> Profile {
+        Profile {
+            runs: 1,
+            runs_failed: 0,
+            sim_seconds: 120.0,
+            wall_seconds: 1.5,
+            events: 1000,
+            scheduled: 1100,
+            kinds: vec![
+                Tally { name: "mac_timer".into(), count: 600, wall_ns: 900_000 },
+                Tally { name: "agent_timer".into(), count: 400, wall_ns: 600_000 },
+            ],
+            drops: vec![Tally { name: "NoRoute".into(), count: 3, wall_ns: 0 }],
+            traces: vec![Tally { name: "mac_send".into(), count: 600, wall_ns: 0 }],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let profile = one_run();
+        let text = profile.render();
+        let parsed = Profile::parse(&text).unwrap();
+        // Lists are name-sorted by render, so compare re-rendered forms.
+        assert_eq!(parsed.render(), text);
+        assert_eq!(parsed.events, 1000);
+        assert_eq!(parsed.kinds.len(), 2);
+        assert_eq!(parsed.kinds[0].name, "agent_timer");
+        assert_eq!(parsed.kinds[0].wall_ns, 600_000);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_unions_names() {
+        let mut total = Profile::default();
+        total.merge(&one_run());
+        let mut second = one_run();
+        second.drops = vec![Tally { name: "IfqFull".into(), count: 1, wall_ns: 0 }];
+        total.merge(&second);
+        assert_eq!(total.runs, 2);
+        assert_eq!(total.events, 2000);
+        assert_eq!(total.kinds.iter().find(|t| t.name == "mac_timer").unwrap().count, 1200);
+        assert_eq!(total.drops.len(), 2);
+    }
+
+    #[test]
+    fn events_per_wall_second_handles_zero_wall() {
+        assert_eq!(Profile::default().events_per_wall_second(), 0.0);
+        assert!((one_run().events_per_wall_second() - 1000.0 / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed_enough() {
+        let json = one_run().to_bench_json("table3_cache_quick");
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema\": \"dsr-profile v1\""));
+        assert!(json.contains("\"name\": \"table3_cache_quick\""));
+        assert!(json.contains("\"wall_ns\": 900000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_profiles() {
+        assert!(Profile::parse("format = dsr-timeseries v1\n").is_err());
+        let good = one_run().render();
+        assert!(Profile::parse(
+            &good.replace("kind.0 = agent_timer 400 600000", "kind.0 = broken")
+        )
+        .is_err());
+        assert!(Profile::parse(&good.replace("kinds = 2", "kinds = 3")).is_err());
+        assert!(Profile::parse("format = dsr-profile v1\nstray row\n").is_err());
+    }
+
+    #[test]
+    fn tally_map_accumulates_and_sorts() {
+        let mut map = TallyMap::new();
+        map.record("b", 10);
+        map.record("a", 5);
+        map.record("b", 2);
+        let tallies = map.into_tallies();
+        assert_eq!(tallies.len(), 2);
+        assert_eq!(tallies[0].name, "a");
+        assert_eq!(tallies[1], Tally { name: "b".into(), count: 2, wall_ns: 12 });
+    }
+}

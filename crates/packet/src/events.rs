@@ -49,11 +49,10 @@ impl DropReason {
         DropReason::NoForwardingEntry,
         DropReason::TtlExpired,
     ];
-}
 
-impl fmt::Display for DropReason {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// The reason's stable string spelling (trace lines, profiler tallies).
+    pub const fn name(self) -> &'static str {
+        match self {
             DropReason::SendBufferFull => "SendBufferFull",
             DropReason::SendBufferTimeout => "SendBufferTimeout",
             DropReason::NoRouteToSalvage => "NoRouteToSalvage",
@@ -63,8 +62,13 @@ impl fmt::Display for DropReason {
             DropReason::NotOnRoute => "NotOnRoute",
             DropReason::NoForwardingEntry => "NoForwardingEntry",
             DropReason::TtlExpired => "TtlExpired",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -28,6 +28,7 @@ use std::time::Duration;
 
 use dsr::DsrNode;
 use metrics::Report;
+use obs::{CampaignProgress, ObsConfig, Profile, RunObservation};
 use sim_core::{NodeId, SimRng, SimTime};
 
 use crate::audit::AuditLevel;
@@ -186,6 +187,10 @@ pub struct CampaignConfig {
     /// Directory for repro artifacts of failed runs (see
     /// [`crate::forensics`]). `None` disables artifact capture.
     pub forensics_dir: Option<PathBuf>,
+    /// Observability settings (see [`obs`]): gauge sampling, per-run time
+    /// series files, and the live stderr heartbeat. Defaults to fully off,
+    /// in which case the event loop carries zero instrumentation.
+    pub obs: ObsConfig,
 }
 
 impl Default for CampaignConfig {
@@ -197,6 +202,7 @@ impl Default for CampaignConfig {
             audit: AuditLevel::Off,
             journal: None,
             forensics_dir: None,
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -220,6 +226,10 @@ pub struct CampaignResult {
     pub reports: Vec<Report>,
     /// The failed runs, in seed order.
     pub failures: Vec<RunFailure>,
+    /// The merged event-loop profile across all runs, when
+    /// [`CampaignConfig::obs`] enabled instrumentation. Journal-resumed
+    /// seeds contribute nothing (they did not re-execute).
+    pub profile: Option<Profile>,
 }
 
 impl CampaignResult {
@@ -337,8 +347,51 @@ where
         }
     }
     let journal_writer = journal_writer.as_ref();
+
+    // Observability side state. The heartbeat tracker is shared by every
+    // worker (atomics inside); the campaign profile accumulates per-run
+    // profiles under a lock, so merge order varies with thread scheduling —
+    // `Profile::render` sorts tallies by name precisely so that the emitted
+    // summary does not.
+    let obs_on = campaign.obs.is_on();
+    let progress = campaign.obs.heartbeat.then(|| CampaignProgress::new(jobs.len() as u64));
+    let campaign_profile: Mutex<Profile> = Mutex::new(Profile::default());
+
     let run_one = |job: &ScenarioConfig| -> Result<Report, RunFailure> {
-        let outcome = attempt_with_retry(job, &label, &make_agent, campaign, replayable);
+        let attempt =
+            attempt_with_retry(job, &label, &make_agent, campaign, replayable, progress.as_ref());
+        let mut run_events = 0;
+        let outcome = match attempt {
+            Ok((report, observation)) => {
+                if let Some(observation) = observation {
+                    run_events = observation.profile.events;
+                    if let Some(dir) = &campaign.obs.timeseries_dir {
+                        if let Err(e) = observation.timeseries.write_to(dir) {
+                            eprintln!(
+                                "warning: could not write time series for seed {}: {e}",
+                                job.seed
+                            );
+                        }
+                    }
+                    campaign_profile
+                        .lock()
+                        .expect("campaign profile poisoned")
+                        .merge(&observation.profile);
+                }
+                Ok(report)
+            }
+            Err(failure) => {
+                if obs_on {
+                    let mut profile = campaign_profile.lock().expect("campaign profile poisoned");
+                    profile.runs += 1;
+                    profile.runs_failed += 1;
+                }
+                Err(failure)
+            }
+        };
+        if let Some(progress) = &progress {
+            progress.run_finished(outcome.is_ok(), run_events);
+        }
         if let (Ok(report), Some(writer)) = (&outcome, journal_writer) {
             if let Err(e) = writer.record(fingerprint, job.seed, report) {
                 eprintln!("warning: could not journal seed {}: {e}", job.seed);
@@ -381,7 +434,9 @@ where
             Err(failure) => failures.push(failure),
         }
     }
-    CampaignResult { reports, failures }
+    let profile =
+        obs_on.then(|| campaign_profile.lock().expect("campaign profile poisoned").clone());
+    CampaignResult { reports, failures, profile }
 }
 
 /// Re-runs one DSR scenario exactly as a campaign would (crash-isolated,
@@ -394,7 +449,7 @@ pub fn replay_run(cfg: &ScenarioConfig, audit: AuditLevel) -> Result<Report, Run
     let label = dsr.label();
     let campaign = CampaignConfig { audit, ..CampaignConfig::default() };
     let make_agent = move |node, rng| DsrNode::new(node, dsr.clone(), rng);
-    attempt_one(cfg.clone(), &label, &make_agent, &campaign, false).0
+    attempt_one(cfg.clone(), &label, &make_agent, &campaign, false, None).0
 }
 
 /// Preserved pre-campaign API: runs the same DSR scenario under several
@@ -419,25 +474,26 @@ fn attempt_with_retry<A, F>(
     make_agent: &F,
     campaign: &CampaignConfig,
     replayable: bool,
-) -> Result<Report, RunFailure>
+    progress: Option<&Arc<CampaignProgress>>,
+) -> Result<(Report, Option<RunObservation>), RunFailure>
 where
     A: RoutingAgent,
     F: Fn(NodeId, SimRng) -> A + Send + Sync,
 {
     let capture = campaign.forensics_dir.is_some();
     let (error, trace, retried) =
-        match attempt_one(cfg.clone(), label, make_agent, campaign, capture) {
-            (Ok(report), _) => return Ok(report),
-            (Err(error), trace) if campaign.retry_transient && error.is_transient() => {
-                match attempt_one(cfg.clone(), label, make_agent, campaign, capture) {
-                    (Ok(report), _) => return Ok(report),
-                    (Err(retry_error), retry_trace) => {
+        match attempt_one(cfg.clone(), label, make_agent, campaign, capture, progress) {
+            (Ok(report), _, observation) => return Ok((report, observation)),
+            (Err(error), trace, _) if campaign.retry_transient && error.is_transient() => {
+                match attempt_one(cfg.clone(), label, make_agent, campaign, capture, progress) {
+                    (Ok(report), _, observation) => return Ok((report, observation)),
+                    (Err(retry_error), retry_trace, _) => {
                         let _ = (error, trace); // the retry's artifact supersedes the first attempt's
                         (retry_error, retry_trace, true)
                     }
                 }
             }
-            (Err(error), trace) => (error, trace, false),
+            (Err(error), trace, _) => (error, trace, false),
         };
     if let Some(dir) = &campaign.forensics_dir {
         let artifact = ForensicArtifact {
@@ -459,21 +515,33 @@ where
 /// and audit level, and converts a panic anywhere in the stack into
 /// [`RunError::Panicked`]. When `capture_trace` is set, the last
 /// [`TRACE_TAIL_CAPACITY`] trace events are retained (even across a
-/// panic) and returned rendered, for forensic artifacts.
+/// panic) and returned rendered, for forensic artifacts; otherwise no
+/// trace ring exists and no sink is registered on the simulator at all.
+///
+/// Likewise when [`CampaignConfig::obs`] enables sampling, the run's
+/// [`RunObservation`] crosses the unwind boundary through a shared slot
+/// (the same pattern as the trace ring) — a run that panics or trips a
+/// watchdog leaves the slot empty.
 fn attempt_one<A, F>(
     cfg: ScenarioConfig,
     label: &str,
     make_agent: &F,
     campaign: &CampaignConfig,
     capture_trace: bool,
-) -> (Result<Report, RunError>, Vec<String>)
+    progress: Option<&Arc<CampaignProgress>>,
+) -> (Result<Report, RunError>, Vec<String>, Option<RunObservation>)
 where
     A: RoutingAgent,
     F: Fn(NodeId, SimRng) -> A + Send + Sync,
 {
     let seed = cfg.seed;
-    let ring: Arc<Mutex<VecDeque<TraceEvent>>> = Arc::new(Mutex::new(VecDeque::new()));
-    let sink_ring = Arc::clone(&ring);
+    let ring: Option<Arc<Mutex<VecDeque<TraceEvent>>>> =
+        capture_trace.then(|| Arc::new(Mutex::new(VecDeque::new())));
+    let sink_ring = ring.as_ref().map(Arc::clone);
+    let observation: Arc<Mutex<Option<RunObservation>>> = Arc::new(Mutex::new(None));
+    let obs_slot = Arc::clone(&observation);
+    let obs_interval = campaign.obs.mode.interval();
+    let heartbeat_progress = campaign.obs.heartbeat.then(|| progress.cloned()).flatten();
     let audit = campaign.audit;
     let limits = campaign.limits;
     // The simulator is consumed by the run and nothing borrowed crosses
@@ -483,7 +551,7 @@ where
         let mut sim = Simulator::with_agents(cfg, label, make_agent);
         sim.set_limits(limits);
         sim.set_audit(audit);
-        if capture_trace {
+        if let Some(sink_ring) = sink_ring {
             sim.set_trace(Box::new(move |ev| {
                 let mut ring = sink_ring.lock().expect("trace ring poisoned");
                 if ring.len() == TRACE_TAIL_CAPACITY {
@@ -492,14 +560,33 @@ where
                 ring.push_back(*ev);
             }));
         }
+        if let Some(interval) = obs_interval {
+            sim.set_obs(
+                interval,
+                Box::new(move |run_obs| {
+                    *obs_slot.lock().expect("obs slot poisoned") = Some(run_obs);
+                }),
+            );
+        }
+        if let Some(progress) = heartbeat_progress {
+            sim.set_heartbeat(Box::new(move |tick| {
+                if let Some(line) = progress.heartbeat_line(tick) {
+                    eprintln!("{line}");
+                }
+            }));
+        }
         sim.try_run()
     }));
     // A panic inside the sink would poison the ring; recover the data
     // anyway — the tail is exactly what the artifact is for.
-    let trace: Vec<String> = {
-        let ring = ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        ring.iter().map(|ev| ev.to_string()).collect()
+    let trace: Vec<String> = match &ring {
+        Some(ring) => {
+            let ring = ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            ring.iter().map(|ev| ev.to_string()).collect()
+        }
+        None => Vec::new(),
     };
+    let observation = observation.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
     let result = match caught {
         Ok(run_result) => run_result,
         Err(payload) => {
@@ -513,7 +600,7 @@ where
             Err(RunError::Panicked { seed, payload })
         }
     };
-    (result, trace)
+    (result, trace, observation)
 }
 
 #[cfg(test)]
@@ -584,6 +671,65 @@ mod tests {
         assert!(failure.retried, "transient failures are retried once");
         assert!(result.mean().is_none());
         assert!(result.failure_summary().contains("after retry"));
+    }
+
+    #[test]
+    fn no_forensics_capture_means_no_trace_ring() {
+        // Regression guard for the trace-ring gating: when a campaign has
+        // no forensics_dir, `attempt_one` must not allocate a ring or
+        // register a trace sink — the returned tail is empty even though
+        // the run emits plenty of traceable events.
+        let cfg = tiny_line(1);
+        let dsr = cfg.dsr.clone();
+        let make_agent = move |node, rng| DsrNode::new(node, dsr.clone(), rng);
+        let campaign = CampaignConfig::default();
+        let (result, trace, observation) =
+            attempt_one(cfg.clone(), "test", &make_agent, &campaign, false, None);
+        assert!(result.is_ok());
+        assert!(trace.is_empty(), "no capture => no ring, no sink");
+        assert!(observation.is_none(), "obs off => no observation");
+        let (result, trace, _) = attempt_one(cfg, "test", &make_agent, &campaign, true, None);
+        assert!(result.is_ok());
+        assert!(!trace.is_empty(), "capturing keeps the trace tail");
+    }
+
+    #[test]
+    fn obs_campaign_merges_profiles_and_writes_timeseries() {
+        let base = tiny_line(0);
+        let dir = std::env::temp_dir().join(format!("dsr_obs_campaign_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let campaign = CampaignConfig {
+            obs: ObsConfig {
+                mode: obs::ObsMode::Sample { interval: SimDuration::from_secs(1.0) },
+                timeseries_dir: Some(dir.clone()),
+                heartbeat: false,
+            },
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign(&base, &[1, 2], &campaign);
+        assert!(result.all_ok(), "{}", result.failure_summary());
+        let profile = result.profile.as_ref().expect("obs on yields a campaign profile");
+        assert_eq!(profile.runs, 2);
+        assert_eq!(profile.runs_failed, 0);
+        assert!(profile.events > 0, "profile counts dispatched events");
+        assert!(!profile.kinds.is_empty(), "profile tallies event kinds");
+        assert!((profile.sim_seconds - 10.0).abs() < 1e-9, "two 5 s runs");
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("timeseries dir exists")
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        files.sort();
+        assert_eq!(files.len(), 2, "one series file per seed: {files:?}");
+        for path in &files {
+            let series = obs::TimeSeries::load(path).expect("series parses");
+            assert!(!series.rows.is_empty(), "5 s run at 1 s cadence has rows");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Same campaign with obs off: no profile, byte-identical reports.
+        let off = run_campaign(&base, &[1, 2], &CampaignConfig::default());
+        assert!(off.profile.is_none(), "obs off yields no profile");
+        assert_eq!(off.reports, result.reports, "instrumentation must not change results");
     }
 
     #[test]

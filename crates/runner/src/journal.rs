@@ -136,7 +136,9 @@ macro_rules! report_numeric_fields {
             dsr_drops: u64,
             faults_injected: u64,
             frames_corrupted: u64,
-            arrivals_suppressed: u64
+            arrivals_suppressed: u64,
+            delay_p99_s: f64,
+            delay_jitter_s: f64
         )
     };
 }
@@ -195,6 +197,8 @@ mod tests {
             avg_delay_s: 0.0123,
             delay_p50_s: 0.01,
             delay_p95_s: 0.05,
+            delay_p99_s: 0.09,
+            delay_jitter_s: 0.004,
             avg_hops: 2.5,
             normalized_overhead: f64::INFINITY,
             routing_tx: 123,

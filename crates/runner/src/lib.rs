@@ -34,5 +34,5 @@ pub use config::{FaultEvent, FaultPlan, MobilitySpec, Region, ScenarioConfig};
 pub use forensics::{config_fingerprint, ForensicArtifact, ForensicError};
 pub use journal::{Journal, JournalWriter};
 pub use proto::{AgentCommand, RoutingAgent};
-pub use sim::{run_scenario, run_scenario_with, Simulator};
+pub use sim::{run_scenario, run_scenario_with, HeartbeatSink, ObsSink, Simulator};
 pub use trace::{TraceEvent, TraceKind, TraceSink};

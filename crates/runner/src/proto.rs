@@ -139,6 +139,20 @@ pub trait RoutingAgent: Send {
     fn invariant_violation(&self, _now: SimTime) -> Option<String> {
         None
     }
+
+    // ------------------------------------------------------------------
+    // Observability hook (see `obs`). Optional: protocols that do not
+    // expose cache/buffer gauges keep the default and contribute zeros to
+    // the sampled time series.
+    // ------------------------------------------------------------------
+
+    /// The agent's gauge snapshot for the time-series sampler: cached
+    /// routes (oracle-checked for validity by the driver), negative-cache
+    /// occupancy, send-buffer depth, and in-flight discoveries. Pure
+    /// observation — must not mutate the agent.
+    fn observe(&self, _now: SimTime) -> Option<obs::AgentObservation> {
+        None
+    }
 }
 
 fn translate(cmd: dsr::DsrCommand) -> AgentCommand<packet::Packet, dsr::DsrTimer> {
@@ -227,6 +241,15 @@ impl RoutingAgent for dsr::DsrNode {
 
     fn invariant_violation(&self, now: SimTime) -> Option<String> {
         self.cache_exclusion_violation(now)
+    }
+
+    fn observe(&self, now: SimTime) -> Option<obs::AgentObservation> {
+        Some(obs::AgentObservation {
+            routes: self.cache().snapshot_routes(),
+            negative_entries: self.negative_cache().map_or(0, |nc| nc.len(now)),
+            send_buffer: self.buffered(),
+            discoveries: self.discoveries_in_flight(),
+        })
     }
 }
 

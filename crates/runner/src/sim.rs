@@ -29,11 +29,62 @@ use phy::{plan_arrivals_masked, ReceiverState, TxId, TxIdSource};
 use sim_core::{EventId, EventQueue, NodeId, RngFactory, SimDuration, SimRng, SimTime};
 use traffic::{generate_flows, CbrFlow};
 
+use obs::{HeartbeatTick, Profile, RunObservation, SampleRow, Sampler, Tally, TallyMap};
+
 use crate::audit::{AuditLevel, Auditor};
 use crate::campaign::{RunError, RunLimits};
 use crate::config::{FaultEvent, MobilitySpec, ScenarioConfig};
 use crate::proto::{AgentCommand, RoutingAgent};
 use crate::trace::{TraceEvent, TraceKind, TraceSink};
+
+/// Receives the completed [`RunObservation`] of a successful instrumented
+/// run (campaigns use this to write the time-series file and merge the
+/// profile across the panic-isolation boundary).
+pub type ObsSink = Box<dyn FnMut(RunObservation) + Send>;
+
+/// Receives throttled progress pulses from inside the event loop (the
+/// campaign heartbeat).
+pub type HeartbeatSink = Box<dyn FnMut(HeartbeatTick) + Send>;
+
+/// How many dispatched events between heartbeat pulses. Coarse on purpose:
+/// the per-event cost when a heartbeat is installed is one counter mask.
+const HEARTBEAT_EVERY: u64 = 8192;
+
+/// Profiler names for [`Ev`] variants, indexed by [`ev_kind_index`].
+const EV_KIND_NAMES: [&str; 8] = [
+    "mac_timer",
+    "agent_timer",
+    "agent_send",
+    "arrival_start",
+    "arrival_end",
+    "traffic",
+    "fault_start",
+    "fault_end",
+];
+
+fn ev_kind_index<P, T>(ev: &Ev<P, T>) -> usize {
+    match ev {
+        Ev::MacTimer { .. } => 0,
+        Ev::AgentTimer { .. } => 1,
+        Ev::AgentSend { .. } => 2,
+        Ev::ArrivalStart { .. } => 3,
+        Ev::ArrivalEnd { .. } => 4,
+        Ev::Traffic { .. } => 5,
+        Ev::FaultStart { .. } => 6,
+        Ev::FaultEnd { .. } => 7,
+    }
+}
+
+/// In-flight instrumentation state; present only when obs is enabled, so
+/// the uninstrumented hot path pays a single `Option` check per event.
+struct ObsState {
+    sampler: Sampler,
+    sink: ObsSink,
+    kind_count: [u64; EV_KIND_NAMES.len()],
+    kind_wall_ns: [u64; EV_KIND_NAMES.len()],
+    drops: TallyMap,
+    traces: TallyMap,
+}
 
 /// Global simulation events.
 enum Ev<P, T> {
@@ -118,6 +169,11 @@ pub struct Simulator<A: RoutingAgent = DsrNode> {
     fault_rng: SimRng,
     /// Packet-conservation ledger (see [`crate::audit`]); off by default.
     audit: Auditor,
+    /// Time-series sampler + event-loop profiler (see [`obs`]); off by
+    /// default and provably inert when off.
+    obs: Option<Box<ObsState>>,
+    /// Campaign heartbeat sink; off by default.
+    heartbeat: Option<HeartbeatSink>,
 }
 
 impl<A: RoutingAgent> std::fmt::Debug for Simulator<A> {
@@ -194,6 +250,8 @@ impl<A: RoutingAgent> Simulator<A> {
             fault_fired: vec![false; num_faults],
             fault_rng: factory.stream("fault", 0),
             audit: Auditor::default(),
+            obs: None,
+            heartbeat: None,
             cfg,
         }
     }
@@ -248,6 +306,64 @@ impl<A: RoutingAgent> Simulator<A> {
     /// Enables the delivery-over-time series on the metrics collector.
     pub fn enable_series(&mut self, bucket_s: f64) {
         self.metrics.enable_series(bucket_s);
+    }
+
+    /// Enables the time-series sampler and event-loop profiler. Gauges are
+    /// sampled inline at every `interval` boundary of simulated time — no
+    /// events are scheduled and no RNG is drawn, so the `Report` of an
+    /// instrumented run is byte-identical to an uninstrumented one. `sink`
+    /// receives the completed [`RunObservation`] when the run succeeds.
+    pub fn set_obs(&mut self, interval: SimDuration, sink: ObsSink) {
+        let fingerprint = crate::forensics::config_fingerprint(&self.cfg);
+        self.obs = Some(Box::new(ObsState {
+            sampler: Sampler::new(self.label.clone(), self.cfg.seed, fingerprint, interval),
+            sink,
+            kind_count: [0; EV_KIND_NAMES.len()],
+            kind_wall_ns: [0; EV_KIND_NAMES.len()],
+            drops: TallyMap::new(),
+            traces: TallyMap::new(),
+        }));
+    }
+
+    /// Registers a heartbeat sink pulsed every [`HEARTBEAT_EVERY`]
+    /// dispatched events (live campaign progress).
+    pub fn set_heartbeat(&mut self, sink: HeartbeatSink) {
+        self.heartbeat = Some(sink);
+    }
+
+    /// Collects the per-layer gauges for a sample boundary at `t`. Pure
+    /// observation: agents report through `RoutingAgent::observe`, route
+    /// validity is judged by the mobility oracle at `t`, and only
+    /// node-order-independent aggregate counts are kept.
+    fn collect_gauges(&self, t: SimTime) -> SampleRow {
+        let mut row = SampleRow { events: self.queue.popped(), ..SampleRow::default() };
+        for agent in &self.agents {
+            if let Some(ob) = agent.observe(t) {
+                row.cache_entries += ob.routes.len() as u64;
+                row.cache_valid +=
+                    ob.routes.iter().filter(|r| self.oracle.route_valid(r.nodes(), t)).count()
+                        as u64;
+                row.negative_entries += ob.negative_entries as u64;
+                row.send_buffer += ob.send_buffer as u64;
+                row.discoveries += ob.discoveries as u64;
+            }
+        }
+        for mac in &self.macs {
+            let (control, data) = mac.queue_depths();
+            row.ifq_control += control as u64;
+            row.ifq_data += data as u64;
+        }
+        row
+    }
+
+    /// Samples every boundary due at or before `at` (several can elapse in
+    /// one idle gap; each gets a row with the then-current gauges).
+    fn sample_due(&mut self, at: SimTime) {
+        while self.obs.as_ref().is_some_and(|o| o.sampler.due(at)) {
+            let t = self.obs.as_ref().expect("checked above").sampler.boundary();
+            let row = self.collect_gauges(t);
+            self.obs.as_mut().expect("checked above").sampler.push(row);
+        }
     }
 
     fn emit_trace(&mut self, node: u16, kind: TraceKind) {
@@ -328,16 +444,73 @@ impl<A: RoutingAgent> Simulator<A> {
                     return Err(RunError::WatchdogTimeout { seed, at });
                 }
             }
+            if self.obs.is_some() {
+                // Sample every boundary the clock is about to step over,
+                // *before* dispatching the event at `at` — rows carry the
+                // boundary time, never the event time, so identical
+                // (config, seed) pairs produce byte-identical files.
+                self.sample_due(at);
+            }
+            if self.heartbeat.is_some() && self.queue.popped().is_multiple_of(HEARTBEAT_EVERY) {
+                let tick = HeartbeatTick { now: at, end: self.end, events: self.queue.popped() };
+                if let Some(hb) = &mut self.heartbeat {
+                    hb(tick);
+                }
+            }
+            let profiled_at = self.obs.as_ref().map(|_| std::time::Instant::now());
+            let kind = if profiled_at.is_some() { ev_kind_index(&ev) } else { 0 };
             self.now = at;
             self.dispatch(ev);
+            if let Some(started) = profiled_at {
+                // Wall time flows only *out* of the simulation, never back
+                // into simulated time, so profiling cannot perturb results.
+                let elapsed = started.elapsed().as_nanos() as u64;
+                if let Some(o) = self.obs.as_mut() {
+                    o.kind_count[kind] += 1;
+                    o.kind_wall_ns[kind] += elapsed;
+                }
+            }
         }
+        // Flush the sampler to the horizon and freeze the dispatch count
+        // before the audit drains the queue (draining bumps `popped`).
+        if self.obs.is_some() {
+            self.sample_due(self.end);
+        }
+        let events_dispatched = self.queue.popped();
         if self.audit.enabled() {
             if let Some(v) = self.close_audit(cutoff) {
                 return Err(RunError::ConservationViolation { seed, uid: v.uid, detail: v.detail });
             }
         }
         let duration = self.cfg.duration.as_secs();
-        Ok(self.metrics.report(self.label.clone(), duration))
+        let report = self.metrics.report(self.label.clone(), duration);
+        if let Some(obs_state) = self.obs.take() {
+            let ObsState { sampler, mut sink, kind_count, kind_wall_ns, drops, traces } =
+                *obs_state;
+            let mut kinds = Vec::new();
+            for (i, name) in EV_KIND_NAMES.iter().enumerate() {
+                if kind_count[i] > 0 {
+                    kinds.push(Tally {
+                        name: (*name).to_string(),
+                        count: kind_count[i],
+                        wall_ns: kind_wall_ns[i],
+                    });
+                }
+            }
+            let profile = Profile {
+                runs: 1,
+                runs_failed: 0,
+                sim_seconds: duration,
+                wall_seconds: wall_started.elapsed().as_secs_f64(),
+                events: events_dispatched,
+                scheduled: self.queue.scheduled(),
+                kinds,
+                drops: drops.into_tallies(),
+                traces: traces.into_tallies(),
+            };
+            sink(RunObservation { timeseries: sampler.finish(), profile });
+        }
+        Ok(report)
     }
 
     /// Closes the conservation ledger: collects every uid still buffered
@@ -564,6 +737,9 @@ impl<A: RoutingAgent> Simulator<A> {
                     }
                     let routing = frame.payload.as_ref().map(|p| p.is_routing_overhead());
                     self.metrics.record_mac_tx(frame.kind, routing);
+                    if let Some(o) = self.obs.as_mut() {
+                        o.traces.record("mac_send", 0);
+                    }
                     if self.trace.is_some() {
                         self.emit_trace(
                             node,
@@ -572,6 +748,7 @@ impl<A: RoutingAgent> Simulator<A> {
                                 payload: frame.payload.as_ref().map(|p| p.kind_str()),
                                 bytes: frame.bytes,
                                 dst: frame.dst,
+                                uid: frame.payload.as_ref().map(|p| p.uid()),
                             },
                         );
                     }
@@ -641,6 +818,9 @@ impl<A: RoutingAgent> Simulator<A> {
                 MacCommand::TxOk { .. } => {}
                 MacCommand::QueueDrop { payload } => {
                     self.metrics.record_ifq_drop();
+                    if let Some(o) = self.obs.as_mut() {
+                        o.drops.record("IfqOverflow", 0);
+                    }
                     if self.audit.enabled() {
                         self.audit.on_ifq_dropped(payload.uid(), payload.is_routing_overhead());
                     }
@@ -665,6 +845,9 @@ impl<A: RoutingAgent> Simulator<A> {
                     if self.audit.enabled() {
                         self.audit.on_delivered(uid, fresh);
                     }
+                    if let Some(o) = self.obs.as_mut() {
+                        o.traces.record("deliver", 0);
+                    }
                     if self.trace.is_some() {
                         self.emit_trace(node, TraceKind::Deliver { uid, bytes, src });
                     }
@@ -685,6 +868,10 @@ impl<A: RoutingAgent> Simulator<A> {
                     if self.audit.enabled() {
                         self.audit.on_dropped(uid, reason);
                     }
+                    if let Some(o) = self.obs.as_mut() {
+                        o.drops.record(reason.name(), 0);
+                        o.traces.record("drop", 0);
+                    }
                     if self.trace.is_some() {
                         self.emit_trace(node, TraceKind::Drop { uid, reason });
                     }
@@ -703,6 +890,9 @@ impl<A: RoutingAgent> Simulator<A> {
             }
             ProtocolEvent::DiscoveryStarted { flood, target } => {
                 self.metrics.record_discovery(flood);
+                if let Some(o) = self.obs.as_mut() {
+                    o.traces.record("discovery", 0);
+                }
                 if self.trace.is_some() {
                     self.emit_trace(node, TraceKind::Discovery { target, flood });
                 }
@@ -726,6 +916,9 @@ impl<A: RoutingAgent> Simulator<A> {
             ProtocolEvent::RouteErrorRebroadcast => self.metrics.record_error(true),
             ProtocolEvent::LinkBreakDetected { link } => {
                 self.metrics.record_link_break();
+                if let Some(o) = self.obs.as_mut() {
+                    o.traces.record("link_break", 0);
+                }
                 if self.trace.is_some() {
                     self.emit_trace(node, TraceKind::LinkBreak { to: link.to });
                 }

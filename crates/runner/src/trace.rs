@@ -29,6 +29,10 @@ pub enum TraceKind {
         bytes: usize,
         /// Addressee.
         dst: NodeId,
+        /// Uid of the network packet inside the frame, when it carries one
+        /// (control frames do not) — lets `trace_query` follow a packet's
+        /// lifecycle across MAC/RTR/AGT lines.
+        uid: Option<u64>,
     },
     /// A data packet reached its destination application.
     Deliver {
@@ -77,13 +81,17 @@ impl fmt::Display for TraceEvent {
         let t = self.at.as_secs();
         let n = self.node;
         match self.kind {
-            TraceKind::MacSend { frame, payload, bytes, dst } => {
+            TraceKind::MacSend { frame, payload, bytes, dst, uid } => {
                 let what = payload.unwrap_or(frame);
                 if dst.is_broadcast() {
-                    write!(f, "s {t:.6} _{n}_ MAC {what} {bytes}B -> *")
+                    write!(f, "s {t:.6} _{n}_ MAC {what} {bytes}B -> *")?;
                 } else {
-                    write!(f, "s {t:.6} _{n}_ MAC {what} {bytes}B -> {dst}")
+                    write!(f, "s {t:.6} _{n}_ MAC {what} {bytes}B -> {dst}")?;
                 }
+                if let Some(uid) = uid {
+                    write!(f, " uid {uid}")?;
+                }
+                Ok(())
             }
             TraceKind::Deliver { uid, bytes, src } => {
                 write!(f, "r {t:.6} _{n}_ AGT DATA {bytes}B uid {uid} src {src}")
@@ -116,16 +124,34 @@ mod tests {
 
     #[test]
     fn mac_send_renders_unicast_and_broadcast() {
-        let uni =
-            ev(TraceKind::MacSend { frame: "RTS", payload: None, bytes: 20, dst: NodeId::new(7) });
+        let uni = ev(TraceKind::MacSend {
+            frame: "RTS",
+            payload: None,
+            bytes: 20,
+            dst: NodeId::new(7),
+            uid: None,
+        });
         assert_eq!(format!("{uni}"), "s 12.500000 _n5_ MAC RTS 20B -> n7");
         let bc = ev(TraceKind::MacSend {
             frame: "DATA",
             payload: Some("RREQ"),
             bytes: 52,
             dst: NodeId::BROADCAST,
+            uid: None,
         });
         assert_eq!(format!("{bc}"), "s 12.500000 _n5_ MAC RREQ 52B -> *");
+    }
+
+    #[test]
+    fn mac_send_appends_uid_when_known() {
+        let with_uid = ev(TraceKind::MacSend {
+            frame: "DATA",
+            payload: Some("DATA"),
+            bytes: 584,
+            dst: NodeId::new(7),
+            uid: Some(42),
+        });
+        assert_eq!(format!("{with_uid}"), "s 12.500000 _n5_ MAC DATA 584B -> n7 uid 42");
     }
 
     #[test]

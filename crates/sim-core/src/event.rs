@@ -158,6 +158,13 @@ impl<E> EventQueue<E> {
     pub fn popped(&self) -> u64 {
         self.popped
     }
+
+    /// Total number of events ever scheduled on this queue, including ones
+    /// later cancelled. The profiler reports `scheduled - popped` pressure
+    /// (timers armed but never fired) alongside dispatch counts.
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +259,18 @@ mod tests {
         assert_eq!(q.popped(), 2, "cancelled entry is skipped, not counted");
         assert!(q.pop().is_none());
         assert_eq!(q.popped(), 2);
+    }
+
+    #[test]
+    fn scheduled_counts_every_schedule_call() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.scheduled(), 0);
+        let a = q.schedule(SimTime::from_secs(1.0), ());
+        q.schedule(SimTime::from_secs(2.0), ());
+        q.cancel(a);
+        assert_eq!(q.scheduled(), 2, "cancellation does not rewind the count");
+        q.pop();
+        assert_eq!(q.scheduled(), 2);
     }
 
     #[test]

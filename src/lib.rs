@@ -34,6 +34,7 @@ pub use dsr;
 pub use mac;
 pub use metrics;
 pub use mobility;
+pub use obs;
 pub use packet;
 pub use phy;
 pub use runner;

@@ -1,11 +1,29 @@
-//! The observation surfaces (packet trace, delivery series) must reflect
-//! what actually happened in a run.
+//! The observation surfaces (packet trace, delivery series, obs sampler)
+//! must reflect what actually happened in a run — and must not change it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use dsr_caching::obs::{self, ObsFile, RunObservation};
 use dsr_caching::prelude::*;
 use dsr_caching::runner::TraceKind;
+
+/// Runs `cfg` with the obs sampler on at `interval_s` and returns the
+/// run's report plus its observation.
+fn run_observed(cfg: ScenarioConfig, interval_s: f64) -> (Report, RunObservation) {
+    let mut sim = Simulator::new(cfg);
+    let slot: Arc<Mutex<Option<RunObservation>>> = Arc::new(Mutex::new(None));
+    let sink_slot = Arc::clone(&slot);
+    sim.set_obs(
+        SimDuration::from_secs(interval_s),
+        Box::new(move |run_obs| {
+            *sink_slot.lock().expect("obs slot") = Some(run_obs);
+        }),
+    );
+    let report = sim.run();
+    let observation = slot.lock().expect("obs slot").take().expect("sampler ran");
+    (report, observation)
+}
 
 #[test]
 fn trace_sees_every_delivery_the_metrics_count() {
@@ -44,6 +62,94 @@ fn series_totals_match_the_report() {
     let delivered: u64 = series.iter().map(|p| p.delivered).sum();
     assert_eq!(originated, report.originated);
     assert_eq!(delivered, report.delivered);
+}
+
+#[test]
+fn obs_sampling_is_inert_and_deterministic() {
+    let cfg = ScenarioConfig::tiny(0.0, 2.0, DsrConfig::combined(), 11);
+
+    // Purity: enabling the sampler must not change the report at all.
+    let baseline = run_scenario(cfg.clone());
+    let (observed_report, observation) = run_observed(cfg.clone(), 2.0);
+    assert_eq!(baseline, observed_report, "obs on vs off must be byte-identical");
+
+    // Determinism: same config + seed => byte-identical time-series file.
+    let (_, again) = run_observed(cfg.clone(), 2.0);
+    assert_eq!(
+        observation.timeseries.render(),
+        again.timeseries.render(),
+        "same seed must reproduce the exact series"
+    );
+    assert_eq!(observation.timeseries.file_name(), again.timeseries.file_name());
+
+    // The series covers the whole run at the requested cadence and the
+    // samples carry real data (the event counter is monotone non-zero by
+    // the end of a run with traffic).
+    let rows = &observation.timeseries.rows;
+    assert!(!rows.is_empty());
+    assert_eq!(rows[0].t_s, 0.0, "first boundary is t=0");
+    assert!(rows.last().expect("rows").events > 0);
+
+    // The run profile accounts the same run.
+    assert_eq!(observation.profile.runs, 1);
+    assert!(observation.profile.events > 0);
+    assert!(observation.profile.scheduled >= observation.profile.events);
+    assert!(!observation.profile.kinds.is_empty());
+
+    // Round trip through the on-disk format and the query engine.
+    let rendered = observation.timeseries.render();
+    match obs::read_file(&rendered).expect("series parses") {
+        ObsFile::TimeSeries(series) => assert_eq!(series.render(), rendered),
+        other => panic!("expected a time series, got {other:?}"),
+    }
+    // Rendering canonicalizes tally order (name-sorted), so compare the
+    // canonical forms: parse(render(p)).render() == render(p).
+    let profile_text = observation.profile.render();
+    match obs::read_file(&profile_text).expect("profile parses") {
+        ObsFile::Profile(profile) => assert_eq!(profile.render(), profile_text),
+        other => panic!("expected a profile, got {other:?}"),
+    }
+}
+
+#[test]
+fn trace_query_follows_a_real_packet_lifecycle() {
+    let cfg = ScenarioConfig::static_line(3, 200.0, 4.0, DsrConfig::base(), 2);
+    let mut sim = Simulator::new(cfg);
+    let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_lines = Arc::clone(&lines);
+    sim.set_trace(Box::new(move |ev| {
+        sink_lines.lock().expect("trace lines").push(ev.to_string());
+    }));
+    let report = sim.run();
+    assert!(report.delivered > 0, "need at least one delivery to follow");
+
+    let text = lines.lock().expect("trace lines").join("\n");
+    let parsed = match obs::read_file(&text).expect("trace parses") {
+        ObsFile::Trace(parsed) => parsed,
+        other => panic!("expected trace lines, got {other:?}"),
+    };
+    // Every rendered line must have parsed back.
+    assert_eq!(parsed.len(), text.lines().count(), "the query grammar covers every trace line");
+
+    // Follow the first delivered uid end to end: it must show MAC
+    // transmissions and end delivered.
+    let delivered_uid = parsed
+        .iter()
+        .find(|l| l.op == 'r')
+        .and_then(|l| l.uid)
+        .expect("a delivery line carries its uid");
+    let follow = obs::follow_uid(&parsed, delivered_uid).expect("uid present");
+    assert!(follow.lines.len() >= 2, "at least one MAC send plus the delivery");
+    assert!(follow.summary.contains("delivered at"), "summary: {}", follow.summary);
+    assert!(
+        follow.lines.iter().any(|l| l.contains("MAC")),
+        "lifecycle crosses the MAC layer: {follow:?}"
+    );
+
+    // Filters agree with a hand count.
+    let drops = parsed.iter().filter(|l| l.op == 'D').count();
+    let filter = obs::Filter { kind: Some("drop".into()), ..obs::Filter::default() };
+    assert_eq!(parsed.iter().filter(|l| filter.matches(l)).count(), drops);
 }
 
 #[test]

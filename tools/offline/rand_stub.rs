@@ -1,0 +1,190 @@
+//! Minimal offline stand-in for the `rand` 0.9 API surface this workspace
+//! uses, compiled by `tools/offline_check.sh` when the cargo registry is
+//! unreachable. It mirrors the real crate's behaviour closely enough for
+//! the test suite: `SmallRng` is xoshiro256++ seeded through SplitMix64,
+//! exactly like `rand::rngs::SmallRng::seed_from_u64` on 64-bit targets.
+//!
+//! This file is NOT part of the cargo workspace; `cargo build` uses the
+//! real `rand` from the lockfile.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// xoshiro256++, the algorithm behind `rand 0.9`'s 64-bit `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn next(&mut self) -> u64 {
+            let result =
+                self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl RngCore for rngs::SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn from_seed_bytes(seed: [u8; 32]) -> Self;
+
+    /// SplitMix64 expansion of a `u64` into the full seed, matching
+    /// `rand_core::SeedableRng::seed_from_u64`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        Self::from_seed_bytes(seed)
+    }
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(word);
+        }
+        // xoshiro forbids the all-zero state.
+        if s == [0, 0, 0, 0] {
+            s = [1, 2, 3, 4];
+        }
+        rngs::SmallRng { s }
+    }
+}
+
+/// A type samplable uniformly over its full domain (`rng.random()`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// A range samplable via `rng.random_range(range)`.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = f64::sample(rng);
+        let v = self.start + (self.end - self.start) * unit;
+        // Guard the half-open contract against floating-point rounding.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+fn widening_bounded<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    // Lemire-style multiply-shift; bias is negligible for simulation use.
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(widening_bounded(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-domain inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(widening_bounded(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+int_ranges!(u8, u16, u32, u64, usize, i32, i64);
+
+pub trait Rng: RngCore {
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
