@@ -1,0 +1,167 @@
+//! **bench_gate** — fail CI when campaign throughput regresses.
+//!
+//! Compares a freshly produced `BENCH_*.json` (see
+//! `obs::Profile::to_bench_json`) against the committed baseline and exits
+//! nonzero when `events_per_wall_second` dropped by more than the
+//! threshold. Intentional re-baselining (after a hardware change or an
+//! accepted slowdown) goes through `--update`, which copies the fresh
+//! file over the baseline so the change is an explicit, reviewable diff.
+//!
+//! ```sh
+//! cargo run --release -p experiments --bin bench_gate -- \
+//!     results/BENCH_table3_cache_quick.json fresh/BENCH_table3_cache_quick.json \
+//!     [--threshold 0.15] [--update]
+//! ```
+//!
+//! Exit status: 0 when the gate passes (or `--update` re-baselined),
+//! 1 on a regression beyond the threshold, 2 on unreadable or malformed
+//! input.
+
+use std::process::ExitCode;
+
+use experiments::bench::{gate, BenchSummary, GateOutcome};
+
+const USAGE: &str = "usage: bench_gate <baseline.json> <fresh.json> [--threshold FRAC] [--update]";
+
+/// Default regression threshold: fail beyond −15% events/s.
+const DEFAULT_THRESHOLD: f64 = 0.15;
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    threshold: f64,
+    update: bool,
+}
+
+fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Args, String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut update = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().ok_or("--threshold requires a value")?;
+                threshold = v.parse().map_err(|_| format!("invalid threshold '{v}'"))?;
+                if !(threshold.is_finite() && threshold >= 0.0) {
+                    return Err(format!("threshold must be a non-negative fraction, got '{v}'"));
+                }
+            }
+            "--update" => update = true,
+            _ if arg.starts_with("--") => return Err(format!("unknown flag '{arg}'")),
+            _ => positional.push(arg),
+        }
+    }
+    match <[String; 2]>::try_from(positional) {
+        Ok([baseline, fresh]) => Ok(Args { baseline, fresh, threshold, update }),
+        Err(_) => Err("expected exactly two files: <baseline.json> <fresh.json>".into()),
+    }
+}
+
+fn load(path: &str) -> Result<BenchSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchSummary::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let fresh = match load(&args.fresh) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.update {
+        // Validate the fresh file first (above), then promote it.
+        if let Err(e) = std::fs::copy(&args.fresh, &args.baseline) {
+            eprintln!("bench_gate: cannot update {}: {e}", args.baseline);
+            return ExitCode::from(2);
+        }
+        println!(
+            "bench_gate: baseline {} updated to {:.0} events/s ({} events in {:.1}s)",
+            args.baseline, fresh.events_per_wall_second, fresh.events, fresh.wall_seconds
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match load(&args.baseline) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if baseline.name != fresh.name {
+        eprintln!(
+            "bench_gate: comparing different campaigns: baseline '{}' vs fresh '{}'",
+            baseline.name, fresh.name
+        );
+        return ExitCode::from(2);
+    }
+    match gate(&baseline, &fresh, args.threshold) {
+        GateOutcome::Pass { change } => {
+            println!(
+                "bench_gate: PASS {} — {:.0} events/s vs baseline {:.0} ({:+.1}%)",
+                fresh.name,
+                fresh.events_per_wall_second,
+                baseline.events_per_wall_second,
+                change * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        GateOutcome::Regressed { change, threshold } => {
+            eprintln!(
+                "bench_gate: FAIL {} — {:.0} events/s vs baseline {:.0} ({:.1}% slower, \
+                 threshold {:.0}%)\n  re-baseline intentionally with: bench_gate {} {} --update",
+                fresh.name,
+                fresh.events_per_wall_second,
+                baseline.events_per_wall_second,
+                -change * 100.0,
+                threshold * 100.0,
+                args.baseline,
+                args.fresh
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = parse_args(
+            ["base.json", "fresh.json", "--threshold", "0.2", "--update"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(a.baseline, "base.json");
+        assert_eq!(a.fresh, "fresh.json");
+        assert_eq!(a.threshold, 0.2);
+        assert!(a.update);
+    }
+
+    #[test]
+    fn default_threshold_is_fifteen_percent() {
+        let a = parse_args(["a", "b"].into_iter().map(String::from)).unwrap();
+        assert_eq!(a.threshold, DEFAULT_THRESHOLD);
+        assert!(!a.update);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_args(["only-one"].into_iter().map(String::from)).is_err());
+        assert!(parse_args(["a", "b", "c"].into_iter().map(String::from)).is_err());
+        assert!(parse_args(["a", "b", "--nope"].into_iter().map(String::from)).is_err());
+        assert!(parse_args(["a", "b", "--threshold", "-1"].into_iter().map(String::from)).is_err());
+        assert!(parse_args(["a", "b", "--threshold"].into_iter().map(String::from)).is_err());
+    }
+}

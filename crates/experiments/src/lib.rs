@@ -16,6 +16,8 @@
 //!   emit partial CSVs instead of dying with the first bad seed;
 //! - [`Table`] — aligned stdout tables plus CSV files under `results/`.
 
+pub mod bench;
+
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::PathBuf;

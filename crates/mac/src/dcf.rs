@@ -56,6 +56,27 @@ pub enum MacTimer {
     TxEnd,
 }
 
+impl MacTimer {
+    /// Number of timer kinds — the driver keeps a fixed per-node array of
+    /// pending-timer slots indexed by [`MacTimer::index`] instead of a
+    /// hash map (timers are armed/cancelled tens of millions of times per
+    /// campaign).
+    pub const KINDS: usize = 7;
+
+    /// Dense index of this timer kind, in `0..KINDS`.
+    pub fn index(self) -> usize {
+        match self {
+            MacTimer::Recheck => 0,
+            MacTimer::Defer => 1,
+            MacTimer::SifsResponse => 2,
+            MacTimer::SifsData => 3,
+            MacTimer::CtsTimeout => 4,
+            MacTimer::AckTimeout => 5,
+            MacTimer::TxEnd => 6,
+        }
+    }
+}
+
 /// Effects the driver must apply after feeding the MAC an input.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MacCommand<P> {
@@ -251,76 +272,118 @@ impl<P: Clone> Dcf<P> {
         now: SimTime,
     ) -> Vec<MacCommand<P>> {
         let mut cmds = Vec::new();
+        self.enqueue_into(payload, dst, bytes, prio, now, &mut cmds);
+        cmds
+    }
+
+    /// Like [`Dcf::enqueue`], appending commands to a caller-owned buffer.
+    ///
+    /// The `_into` input variants exist because the driver feeds the MAC
+    /// on the hottest event paths; pooling the command buffers removes one
+    /// heap allocation per MAC input (hundreds of millions per campaign).
+    pub fn enqueue_into(
+        &mut self,
+        payload: P,
+        dst: NodeId,
+        bytes: usize,
+        prio: Priority,
+        now: SimTime,
+        cmds: &mut Vec<MacCommand<P>>,
+    ) {
         debug_assert!(dst != self.node, "MAC asked to transmit to itself");
         if let Some(rejected) = self.queue.push(QueuedPacket { payload, dst, bytes }, prio) {
             cmds.push(MacCommand::QueueDrop { payload: rejected.payload });
-            return cmds;
+            return;
         }
         if self.state == MainState::Idle {
-            self.start_service(now, &mut cmds);
+            self.start_service(now, cmds);
         }
-        cmds
     }
 
     /// The driver reports the physical carrier is busy until `busy_until`
     /// (from the PHY receiver state after an arrival started).
     pub fn on_channel_busy(&mut self, now: SimTime, busy_until: SimTime) -> Vec<MacCommand<P>> {
         let mut cmds = Vec::new();
+        self.on_channel_busy_into(now, busy_until, &mut cmds);
+        cmds
+    }
+
+    /// Like [`Dcf::on_channel_busy`], appending to a caller-owned buffer.
+    pub fn on_channel_busy_into(
+        &mut self,
+        now: SimTime,
+        busy_until: SimTime,
+        cmds: &mut Vec<MacCommand<P>>,
+    ) {
         self.phys_busy_until = self.phys_busy_until.max(busy_until);
         if self.state == MainState::Deferring {
-            self.freeze_backoff(now, &mut cmds);
-            self.wait_for_idle(now, &mut cmds);
+            self.freeze_backoff(now, cmds);
+            self.wait_for_idle(now, cmds);
         } else if self.state == MainState::WaitIdle {
             // Extend the recheck horizon.
-            self.wait_for_idle(now, &mut cmds);
+            self.wait_for_idle(now, cmds);
         }
-        cmds
     }
 
     /// An intact frame arrived at our radio.
     pub fn on_receive(&mut self, frame: MacFrame<P>, now: SimTime) -> Vec<MacCommand<P>> {
         let mut cmds = Vec::new();
+        self.on_receive_into(frame, now, &mut cmds);
+        cmds
+    }
+
+    /// Like [`Dcf::on_receive`], appending to a caller-owned buffer.
+    pub fn on_receive_into(
+        &mut self,
+        frame: MacFrame<P>,
+        now: SimTime,
+        cmds: &mut Vec<MacCommand<P>>,
+    ) {
         if frame.addressed_to(self.node) {
             match frame.kind {
-                FrameKind::Data => self.receive_data(frame, now, &mut cmds),
-                FrameKind::Rts => self.receive_rts(frame, now, &mut cmds),
-                FrameKind::Cts => self.receive_cts(frame, now, &mut cmds),
-                FrameKind::Ack => self.receive_ack(frame, now, &mut cmds),
+                FrameKind::Data => self.receive_data(frame, now, cmds),
+                FrameKind::Rts => self.receive_rts(frame, now, cmds),
+                FrameKind::Cts => self.receive_cts(frame, now, cmds),
+                FrameKind::Ack => self.receive_ack(frame, now, cmds),
             }
         } else {
             // Virtual carrier sense; `frame.nav` reserves the medium beyond
             // the frame's own end (which is `now`).
             self.nav_until = self.nav_until.max(now + frame.nav);
             if self.state == MainState::Deferring {
-                self.freeze_backoff(now, &mut cmds);
-                self.wait_for_idle(now, &mut cmds);
+                self.freeze_backoff(now, cmds);
+                self.wait_for_idle(now, cmds);
             } else if self.state == MainState::WaitIdle {
-                self.wait_for_idle(now, &mut cmds);
+                self.wait_for_idle(now, cmds);
             }
             if frame.kind == FrameKind::Data {
                 cmds.push(MacCommand::Snoop { frame });
             }
         }
-        cmds
     }
 
     /// A previously armed timer fired.
     pub fn on_timer(&mut self, timer: MacTimer, now: SimTime) -> Vec<MacCommand<P>> {
         let mut cmds = Vec::new();
+        self.on_timer_into(timer, now, &mut cmds);
+        cmds
+    }
+
+    /// Like [`Dcf::on_timer`], appending to a caller-owned buffer.
+    pub fn on_timer_into(&mut self, timer: MacTimer, now: SimTime, cmds: &mut Vec<MacCommand<P>>) {
         match timer {
             MacTimer::Recheck => {
                 if self.state == MainState::WaitIdle {
-                    self.wait_for_idle(now, &mut cmds);
+                    self.wait_for_idle(now, cmds);
                 }
             }
-            MacTimer::Defer => self.defer_expired(now, &mut cmds),
-            MacTimer::SifsResponse => self.send_response(now, &mut cmds),
-            MacTimer::SifsData => self.sifs_gap_expired(now, &mut cmds),
-            MacTimer::CtsTimeout => self.cts_timed_out(now, &mut cmds),
-            MacTimer::AckTimeout => self.ack_timed_out(now, &mut cmds),
-            MacTimer::TxEnd => self.tx_ended(now, &mut cmds),
+            MacTimer::Defer => self.defer_expired(now, cmds),
+            MacTimer::SifsResponse => self.send_response(now, cmds),
+            MacTimer::SifsData => self.sifs_gap_expired(now, cmds),
+            MacTimer::CtsTimeout => self.cts_timed_out(now, cmds),
+            MacTimer::AckTimeout => self.ack_timed_out(now, cmds),
+            MacTimer::TxEnd => self.tx_ended(now, cmds),
         }
-        cmds
     }
 
     // ------------------------------------------------------------------
@@ -1171,5 +1234,38 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn mac_timer_indices_are_dense_and_distinct() {
+        let all = [
+            MacTimer::Recheck,
+            MacTimer::Defer,
+            MacTimer::SifsResponse,
+            MacTimer::SifsData,
+            MacTimer::CtsTimeout,
+            MacTimer::AckTimeout,
+            MacTimer::TxEnd,
+        ];
+        assert_eq!(all.len(), MacTimer::KINDS);
+        let mut seen = [false; MacTimer::KINDS];
+        for timer in all {
+            let idx = timer.index();
+            assert!(idx < MacTimer::KINDS);
+            assert!(!seen[idx], "duplicate index {idx}");
+            seen[idx] = true;
+        }
+    }
+
+    #[test]
+    fn into_variants_append_to_existing_buffer() {
+        let mut mac = mk(0);
+        // Seed the buffer to prove `_into` appends rather than clears: the
+        // driver drains between inputs, but the contract is append-only.
+        let mut cmds = mac.enqueue(77u32, NodeId::new(1), 512, Priority::Data, t(0.0));
+        let seeded = cmds.clone();
+        assert!(!seeded.is_empty(), "enqueue on idle MAC must emit commands");
+        mac.on_channel_busy_into(t(0.001), t(0.002), &mut cmds);
+        assert_eq!(cmds[..seeded.len()], seeded, "earlier commands must survive");
     }
 }

@@ -18,11 +18,9 @@
 //! - *percentage of invalid cached routes* — cache hits whose route was
 //!   already physically broken when pulled from the cache.
 
-use std::collections::{HashMap, HashSet};
-
 use mac::FrameKind;
 use packet::{CacheHitKind, DropReason};
-use sim_core::SimTime;
+use sim_core::{SimTime, U64HashMap, U64HashSet};
 
 pub mod stats;
 
@@ -32,7 +30,11 @@ pub use stats::{DeliverySeries, Distribution, SeriesPoint};
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
     originated: u64,
-    delivered_uids: HashSet<u64>,
+    // U64-hashed sets/maps here: these are touched once per delivered
+    // packet / drop / cache hit (millions of times per campaign), where
+    // SipHash showed up in the event-loop profile. Lookups are by key
+    // only, so iteration order never reaches a Report.
+    delivered_uids: U64HashSet<u64>,
     delivered: u64,
     bytes_delivered: u64,
     delays: Distribution,
@@ -49,7 +51,7 @@ pub struct Metrics {
     good_replies: u64,
     cache_hits: u64,
     invalid_cache_hits: u64,
-    hits_by_kind: HashMap<CacheHitKind, (u64, u64)>, // (hits, invalid)
+    hits_by_kind: U64HashMap<CacheHitKind, (u64, u64)>, // (hits, invalid)
     replies_originated: u64,
     replies_from_cache: u64,
 
@@ -59,7 +61,7 @@ pub struct Metrics {
     errors_sent: u64,
     error_rebroadcasts: u64,
 
-    drops: HashMap<DropReason, u64>,
+    drops: U64HashMap<DropReason, u64>,
     ifq_drops: u64,
 
     faults_injected: u64,

@@ -24,11 +24,13 @@
 //! ```
 
 pub mod geom;
+pub mod grid;
 pub mod model;
 pub mod oracle;
 pub mod waypoint;
 
 pub use geom::{Field, Point};
+pub use grid::NeighborGrid;
 pub use model::{MobilityModel, StaticPositions};
 pub use oracle::{sample_link_stats, LinkOracle, LinkStats};
 pub use waypoint::{RandomWaypoint, WaypointConfig};

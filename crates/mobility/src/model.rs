@@ -26,7 +26,19 @@ pub trait MobilityModel: Send + Sync {
 
     /// Positions of all nodes at instant `t`, in node-index order.
     fn snapshot(&self, t: SimTime) -> Vec<Point> {
-        (0..self.num_nodes()).map(|i| self.position(NodeId::new(i as u16), t)).collect()
+        let mut out = Vec::new();
+        self.snapshot_into(t, &mut out);
+        out
+    }
+
+    /// Like [`MobilityModel::snapshot`], but reuses `out` (cleared first).
+    ///
+    /// The driver refreshes its cached positions on a fixed cadence for
+    /// the whole run; the buffering variant keeps that refresh
+    /// allocation-free.
+    fn snapshot_into(&self, t: SimTime, out: &mut Vec<Point>) {
+        out.clear();
+        out.extend((0..self.num_nodes()).map(|i| self.position(NodeId::new(i as u16), t)));
     }
 }
 

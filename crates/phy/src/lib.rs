@@ -25,6 +25,9 @@ pub mod medium;
 pub mod propagation;
 pub mod receiver;
 
-pub use medium::{plan_arrivals, plan_arrivals_masked, Arrival, PlannedArrivals, TxIdSource};
+pub use medium::{
+    plan_arrivals, plan_arrivals_indexed_into, plan_arrivals_into, plan_arrivals_masked, Arrival,
+    PlannedArrivals, TxIdSource,
+};
 pub use propagation::{RadioConfig, SPEED_OF_LIGHT};
 pub use receiver::{ArrivalVerdict, ReceiverState, TxId};

@@ -66,30 +66,102 @@ pub fn plan_arrivals_masked(
     now: SimTime,
     duration: SimDuration,
     cfg: &RadioConfig,
-    mut suppress: impl FnMut(NodeId) -> bool,
+    suppress: impl FnMut(NodeId) -> bool,
 ) -> PlannedArrivals {
-    let tx_pos = positions[tx.index()];
     let mut arrivals = Vec::new();
+    let suppressed = plan_arrivals_into(tx, positions, now, duration, cfg, suppress, &mut arrivals);
+    PlannedArrivals { arrivals, suppressed }
+}
+
+/// Allocation-free variant of [`plan_arrivals_masked`]: pushes arrivals
+/// into `out` (cleared first) and returns the suppressed count, so the
+/// driver can reuse one buffer across the entire run.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_arrivals_into(
+    tx: NodeId,
+    positions: &[Point],
+    now: SimTime,
+    duration: SimDuration,
+    cfg: &RadioConfig,
+    mut suppress: impl FnMut(NodeId) -> bool,
+    out: &mut Vec<Arrival>,
+) -> u64 {
+    out.clear();
+    let tx_pos = positions[tx.index()];
     let mut suppressed = 0u64;
     for (i, &pos) in positions.iter().enumerate() {
         if i == tx.index() {
             continue;
         }
-        let dist = tx_pos.distance(pos);
-        let power = cfg.rx_power_w(dist);
-        if power < cfg.cs_threshold_w {
-            continue;
-        }
-        let receiver = NodeId::new(i as u16);
-        if suppress(receiver) {
-            suppressed += 1;
-            continue;
-        }
-        let delay = SimDuration::from_secs(cfg.propagation_delay_s(dist));
-        let start = now + delay;
-        arrivals.push(Arrival { receiver, power_w: power, start, end: start + duration });
+        consider(tx_pos, i, pos, now, duration, cfg, &mut suppress, &mut suppressed, out);
     }
-    PlannedArrivals { arrivals, suppressed }
+    suppressed
+}
+
+/// Grid-indexed variant of [`plan_arrivals_into`]: instead of scanning all
+/// of `positions`, only the node indices in `candidates` are considered.
+///
+/// `candidates` must be sorted ascending and must cover every node within
+/// carrier-sense range of the transmitter (a 3×3 neighborhood query on a
+/// `mobility::NeighborGrid` with cell size ≥ the carrier-sense range
+/// guarantees both — see that type's docs). Under those conditions the
+/// result is exactly the linear scan's: same arrivals, same order, same
+/// suppressed count. Candidates outside range (or the transmitter itself,
+/// which is skipped) are harmless.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_arrivals_indexed_into(
+    tx: NodeId,
+    candidates: &[u16],
+    positions: &[Point],
+    now: SimTime,
+    duration: SimDuration,
+    cfg: &RadioConfig,
+    mut suppress: impl FnMut(NodeId) -> bool,
+    out: &mut Vec<Arrival>,
+) -> u64 {
+    out.clear();
+    debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]), "candidates must be ascending");
+    let tx_pos = positions[tx.index()];
+    let mut suppressed = 0u64;
+    for &i in candidates {
+        let i = usize::from(i);
+        if i == tx.index() {
+            continue;
+        }
+        consider(tx_pos, i, positions[i], now, duration, cfg, &mut suppress, &mut suppressed, out);
+    }
+    suppressed
+}
+
+/// The shared per-receiver decision: threshold the received power, apply
+/// the suppression mask, emit the arrival. Kept in one place so the linear
+/// and grid-indexed planners cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn consider(
+    tx_pos: Point,
+    i: usize,
+    pos: Point,
+    now: SimTime,
+    duration: SimDuration,
+    cfg: &RadioConfig,
+    suppress: &mut impl FnMut(NodeId) -> bool,
+    suppressed: &mut u64,
+    out: &mut Vec<Arrival>,
+) {
+    let dist = tx_pos.distance(pos);
+    let power = cfg.rx_power_w(dist);
+    if power < cfg.cs_threshold_w {
+        return;
+    }
+    let receiver = NodeId::new(i as u16);
+    if suppress(receiver) {
+        *suppressed += 1;
+        return;
+    }
+    let delay = SimDuration::from_secs(cfg.propagation_delay_s(dist));
+    let start = now + delay;
+    out.push(Arrival { receiver, power_w: power, start, end: start + duration });
 }
 
 /// Monotonically increasing transmission-id source.
@@ -209,5 +281,92 @@ mod tests {
         let a = src.next_id();
         let b = src.next_id();
         assert!(b > a);
+    }
+
+    #[test]
+    fn into_variant_reuses_buffer_and_matches() {
+        let cfg = RadioConfig::wavelan();
+        let pos = line_positions(5, 180.0);
+        let reference = plan_arrivals_masked(
+            NodeId::new(2),
+            &pos,
+            SimTime::ZERO,
+            SimDuration::from_millis(1.0),
+            &cfg,
+            |rx| rx == NodeId::new(3),
+        );
+        let mut buf = vec![
+            // Pre-existing garbage must be cleared, not appended to.
+            Arrival {
+                receiver: NodeId::new(9),
+                power_w: 0.0,
+                start: SimTime::ZERO,
+                end: SimTime::ZERO,
+            };
+            7
+        ];
+        let suppressed = plan_arrivals_into(
+            NodeId::new(2),
+            &pos,
+            SimTime::ZERO,
+            SimDuration::from_millis(1.0),
+            &cfg,
+            |rx| rx == NodeId::new(3),
+            &mut buf,
+        );
+        assert_eq!(buf, reference.arrivals);
+        assert_eq!(suppressed, reference.suppressed);
+    }
+
+    #[test]
+    fn indexed_variant_matches_linear_given_superset_candidates() {
+        let cfg = RadioConfig::wavelan();
+        let pos = line_positions(8, 190.0);
+        let tx = NodeId::new(3);
+        let mask = |rx: NodeId| rx == NodeId::new(4);
+        let reference = plan_arrivals_masked(
+            tx,
+            &pos,
+            SimTime::ZERO,
+            SimDuration::from_millis(1.0),
+            &cfg,
+            mask,
+        );
+        // All node indices (ascending, including tx and out-of-range ones)
+        // form a valid candidate superset.
+        let candidates: Vec<u16> = (0..pos.len() as u16).collect();
+        let mut buf = Vec::new();
+        let suppressed = plan_arrivals_indexed_into(
+            tx,
+            &candidates,
+            &pos,
+            SimTime::ZERO,
+            SimDuration::from_millis(1.0),
+            &cfg,
+            mask,
+            &mut buf,
+        );
+        assert_eq!(buf, reference.arrivals);
+        assert_eq!(suppressed, reference.suppressed);
+    }
+
+    #[test]
+    fn indexed_variant_skips_out_of_candidate_nodes() {
+        let cfg = RadioConfig::wavelan();
+        let pos = line_positions(3, 100.0);
+        // Only node 2 offered: node 1 (also in range) must not appear.
+        let mut buf = Vec::new();
+        plan_arrivals_indexed_into(
+            NodeId::new(0),
+            &[2],
+            &pos,
+            SimTime::ZERO,
+            SimDuration::from_millis(1.0),
+            &cfg,
+            |_| false,
+            &mut buf,
+        );
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].receiver, NodeId::new(2));
     }
 }

@@ -23,9 +23,11 @@ use std::sync::Arc;
 use dsr::DsrNode;
 use mac::{Dcf, MacCommand, MacFrame, MacTimer, Priority};
 use metrics::{Metrics, Report};
-use mobility::{LinkOracle, MobilityModel, Point, RandomWaypoint, StaticPositions};
+use mobility::{LinkOracle, MobilityModel, NeighborGrid, Point, RandomWaypoint, StaticPositions};
 use packet::{NetPacket, ProtocolEvent};
-use phy::{plan_arrivals_masked, ReceiverState, TxId, TxIdSource};
+use phy::{
+    plan_arrivals_indexed_into, plan_arrivals_into, Arrival, ReceiverState, TxId, TxIdSource,
+};
 use sim_core::{EventId, EventQueue, NodeId, RngFactory, SimDuration, SimRng, SimTime};
 use traffic::{generate_flows, CbrFlow};
 
@@ -107,7 +109,10 @@ enum Ev<P, T> {
         tx_id: TxId,
         power_w: f64,
         end: SimTime,
-        frame: MacFrame<P>,
+        /// Shared between every receiver's arrival pair: one broadcast
+        /// reaches up to n-1 nodes, and cloning the frame (payload routes
+        /// and all) per copy dominated the profiler's arrival cost.
+        frame: Arc<MacFrame<P>>,
         /// A fault-injection window destroyed this copy in flight: its
         /// energy still occupies the medium, but it never decodes.
         corrupted: bool,
@@ -115,7 +120,7 @@ enum Ev<P, T> {
     ArrivalEnd {
         rx: u16,
         tx_id: TxId,
-        frame: MacFrame<P>,
+        frame: Arc<MacFrame<P>>,
         corrupted: bool,
     },
     Traffic {
@@ -146,13 +151,31 @@ pub struct Simulator<A: RoutingAgent = DsrNode> {
     mobility: Arc<dyn MobilityModel>,
     oracle: LinkOracle,
     metrics: Metrics,
-    mac_timers: Vec<HashMap<MacTimer, EventId>>,
+    /// Pending MAC timer per (node, timer kind) — a dense array because
+    /// `MacTimer` has few kinds and timers are re-armed tens of millions
+    /// of times per run (a per-node `HashMap` was measurable).
+    mac_timers: Vec<[Option<EventId>; MacTimer::KINDS]>,
     agent_timers: Vec<HashMap<A::Timer, EventId>>,
     tx_ids: TxIdSource,
     flows: Vec<CbrFlow>,
     /// Cached node positions (refreshed every `position_refresh`).
     positions: Vec<Point>,
     positions_at: SimTime,
+    /// Spatial index over `positions`, rebuilt on every refresh; restricts
+    /// arrival planning to the transmitter's 3×3 cell neighborhood.
+    grid: NeighborGrid,
+    /// Test/benchmark knob: `false` forces the linear full-scan planner
+    /// (results must be byte-identical either way).
+    grid_enabled: bool,
+    /// Scratch: candidate node ids from the grid (reused per transmission).
+    cand_buf: Vec<u16>,
+    /// Scratch: planned arrivals (reused per transmission).
+    arrival_buf: Vec<Arrival>,
+    /// Pool of MAC command buffers. MAC inputs fire on every arrival and
+    /// timer event; pooling removes one heap allocation per input. A pool
+    /// (not a single buffer) because command application re-enters the MAC
+    /// (deliver → route → enqueue) while outer buffers are still draining.
+    mac_cmd_pool: Vec<Vec<MacCommand<A::Packet>>>,
     trace: Option<TraceSink>,
     /// Watchdog limits enforced by [`Simulator::try_run`].
     limits: RunLimits,
@@ -223,6 +246,12 @@ impl<A: RoutingAgent> Simulator<A> {
             .collect();
         let flows = generate_flows(n, &cfg.traffic, factory);
         let positions = mobility.snapshot(SimTime::ZERO);
+        // Cell size must be at least the carrier-sense range for the 3×3
+        // neighborhood to cover every possible receiver (see
+        // `NeighborGrid`); the 0.1% margin absorbs the range solver's
+        // bisection tolerance at zero practical cost.
+        let mut grid = NeighborGrid::new(cfg.radio.carrier_sense_range_m() * 1.001);
+        grid.rebuild(&positions);
         let end = SimTime::ZERO + cfg.duration;
         let num_faults = cfg.faults.events.len();
         Simulator {
@@ -236,12 +265,17 @@ impl<A: RoutingAgent> Simulator<A> {
             mobility,
             oracle,
             metrics: Metrics::new(),
-            mac_timers: (0..n).map(|_| HashMap::new()).collect(),
+            mac_timers: vec![[None; MacTimer::KINDS]; n],
             agent_timers: (0..n).map(|_| HashMap::new()).collect(),
             tx_ids: TxIdSource::new(),
             flows,
             positions,
             positions_at: SimTime::ZERO,
+            grid,
+            grid_enabled: true,
+            cand_buf: Vec::new(),
+            arrival_buf: Vec::new(),
+            mac_cmd_pool: Vec::new(),
             trace: None,
             limits: RunLimits::default(),
             node_down: vec![false; n],
@@ -259,6 +293,18 @@ impl<A: RoutingAgent> Simulator<A> {
     /// Overrides the watchdog limits enforced by [`Simulator::try_run`].
     pub fn set_limits(&mut self, limits: RunLimits) {
         self.limits = limits;
+    }
+
+    /// Forces the linear full-position-scan medium planner instead of the
+    /// spatial grid index. The two planners are required to produce
+    /// byte-identical results (same arrivals, same order, same RNG draws);
+    /// this knob exists so tests and benchmarks can prove it.
+    pub fn set_linear_medium(&mut self, linear: bool) {
+        self.grid_enabled = !linear;
+        if self.grid_enabled {
+            // Rebuilds are skipped while the grid is off; catch up.
+            self.grid.rebuild(&self.positions);
+        }
     }
 
     /// Enables conservation auditing at `level`. A requested
@@ -325,7 +371,7 @@ impl<A: RoutingAgent> Simulator<A> {
         }));
     }
 
-    /// Registers a heartbeat sink pulsed every [`HEARTBEAT_EVERY`]
+    /// Registers a heartbeat sink pulsed every `HEARTBEAT_EVERY` (8192)
     /// dispatched events (live campaign progress).
     pub fn set_heartbeat(&mut self, sink: HeartbeatSink) {
         self.heartbeat = Some(sink);
@@ -552,12 +598,12 @@ impl<A: RoutingAgent> Simulator<A> {
                     // Suspended while the node is down: fires on wake-up.
                     let at = self.node_up_at[node as usize];
                     let id = self.queue.schedule(at, Ev::MacTimer { node, timer });
-                    self.mac_timers[node as usize].insert(timer, id);
+                    self.mac_timers[node as usize][timer.index()] = Some(id);
                     return;
                 }
-                self.mac_timers[node as usize].remove(&timer);
-                let cmds = self.macs[node as usize].on_timer(timer, self.now);
-                self.apply_mac(node, cmds);
+                self.mac_timers[node as usize][timer.index()] = None;
+                let now = self.now;
+                self.mac_input(node, |mac, cmds| mac.on_timer_into(timer, now, cmds));
             }
             Ev::AgentTimer { node, timer } => {
                 if self.node_down[node as usize] {
@@ -588,8 +634,8 @@ impl<A: RoutingAgent> Simulator<A> {
                 let state = &mut self.rx_states[rx as usize];
                 state.arrival_start(tx_id, power_w, self.now, end, &self.cfg.radio);
                 if let Some(horizon) = state.busy_until(self.now) {
-                    let cmds = self.macs[rx as usize].on_channel_busy(self.now, horizon);
-                    self.apply_mac(rx, cmds);
+                    let now = self.now;
+                    self.mac_input(rx, |mac, cmds| mac.on_channel_busy_into(now, horizon, cmds));
                 }
                 self.queue.schedule(end, Ev::ArrivalEnd { rx, tx_id, frame, corrupted });
             }
@@ -599,8 +645,12 @@ impl<A: RoutingAgent> Simulator<A> {
                 // receiver, or an active blackout suppress the decode.
                 let intact = self.rx_states[rx as usize].arrival_end(tx_id, self.now);
                 if intact && !corrupted && !self.node_down[rx as usize] && !self.in_blackout(rx) {
-                    let cmds = self.macs[rx as usize].on_receive(frame, self.now);
-                    self.apply_mac(rx, cmds);
+                    // Most arrival pairs are the frame's last copy by the
+                    // time the end event fires, so the unwrap usually
+                    // avoids the clone entirely.
+                    let frame = Arc::try_unwrap(frame).unwrap_or_else(|shared| (*shared).clone());
+                    let now = self.now;
+                    self.mac_input(rx, |mac, cmds| mac.on_receive_into(frame, now, cmds));
                 }
             }
             Ev::Traffic { flow, k } => {
@@ -727,8 +777,25 @@ impl<A: RoutingAgent> Simulator<A> {
     // Command application
     // ------------------------------------------------------------------
 
-    fn apply_mac(&mut self, node: u16, cmds: Vec<MacCommand<A::Packet>>) {
-        for cmd in cmds {
+    /// Feeds one MAC input through a pooled command buffer: `fill` pushes
+    /// the MAC's commands into a buffer drawn from the pool, the commands
+    /// are applied, and the (now empty) buffer returns to the pool. The
+    /// pool's depth tracks the deepest deliver→route→enqueue re-entrance
+    /// seen, so steady state allocates nothing.
+    fn mac_input(
+        &mut self,
+        node: u16,
+        fill: impl FnOnce(&mut Dcf<A::Packet>, &mut Vec<MacCommand<A::Packet>>),
+    ) {
+        let mut cmds = self.mac_cmd_pool.pop().unwrap_or_default();
+        fill(&mut self.macs[node as usize], &mut cmds);
+        self.apply_mac(node, &mut cmds);
+        debug_assert!(cmds.is_empty(), "apply_mac drains the buffer");
+        self.mac_cmd_pool.push(cmds);
+    }
+
+    fn apply_mac(&mut self, node: u16, cmds: &mut Vec<MacCommand<A::Packet>>) {
+        for cmd in cmds.drain(..) {
             match cmd {
                 MacCommand::StartTx { frame, duration } => {
                     if self.node_down[node as usize] {
@@ -757,18 +824,42 @@ impl<A: RoutingAgent> Simulator<A> {
                     self.refresh_positions();
                     let tx_id = self.tx_ids.next_id();
                     let p_corrupt = self.corruption_prob();
-                    let planned = plan_arrivals_masked(
-                        NodeId::new(node),
-                        &self.positions,
-                        self.now,
-                        duration,
-                        &self.cfg.radio,
-                        |rx| self.node_down[rx.index()] || self.in_blackout(rx.index() as u16),
-                    );
-                    if planned.suppressed > 0 {
-                        self.metrics.record_arrivals_suppressed(planned.suppressed);
+                    // The scratch buffers are moved out of `self` so the
+                    // suppression closure can borrow the fault state while
+                    // the planner fills them.
+                    let mut arrivals = std::mem::take(&mut self.arrival_buf);
+                    let mut cands = std::mem::take(&mut self.cand_buf);
+                    let suppress = |rx: NodeId| {
+                        self.node_down[rx.index()] || self.in_blackout(rx.index() as u16)
+                    };
+                    let suppressed = if self.grid_enabled {
+                        self.grid.candidates_into(self.positions[node as usize], &mut cands);
+                        plan_arrivals_indexed_into(
+                            NodeId::new(node),
+                            &cands,
+                            &self.positions,
+                            self.now,
+                            duration,
+                            &self.cfg.radio,
+                            suppress,
+                            &mut arrivals,
+                        )
+                    } else {
+                        plan_arrivals_into(
+                            NodeId::new(node),
+                            &self.positions,
+                            self.now,
+                            duration,
+                            &self.cfg.radio,
+                            suppress,
+                            &mut arrivals,
+                        )
+                    };
+                    if suppressed > 0 {
+                        self.metrics.record_arrivals_suppressed(suppressed);
                     }
-                    for a in planned.arrivals {
+                    let frame = Arc::new(frame);
+                    for a in arrivals.drain(..) {
                         // Drawing only inside corruption windows keeps
                         // fault-free runs byte-identical to the legacy path.
                         let corrupted = p_corrupt > 0.0
@@ -783,20 +874,22 @@ impl<A: RoutingAgent> Simulator<A> {
                                 tx_id,
                                 power_w: a.power_w,
                                 end: a.end,
-                                frame: frame.clone(),
+                                frame: Arc::clone(&frame),
                                 corrupted,
                             },
                         );
                     }
+                    self.arrival_buf = arrivals;
+                    self.cand_buf = cands;
                 }
                 MacCommand::SetTimer { timer, at } => {
                     let id = self.queue.schedule(at, Ev::MacTimer { node, timer });
-                    if let Some(old) = self.mac_timers[node as usize].insert(timer, id) {
+                    if let Some(old) = self.mac_timers[node as usize][timer.index()].replace(id) {
                         self.queue.cancel(old);
                     }
                 }
                 MacCommand::CancelTimer { timer } => {
-                    if let Some(old) = self.mac_timers[node as usize].remove(&timer) {
+                    if let Some(old) = self.mac_timers[node as usize][timer.index()].take() {
                         self.queue.cancel(old);
                     }
                 }
@@ -929,16 +1022,21 @@ impl<A: RoutingAgent> Simulator<A> {
     fn hand_to_mac(&mut self, node: u16, packet: A::Packet, next_hop: NodeId) {
         let prio = if packet.is_routing_overhead() { Priority::Control } else { Priority::Data };
         let bytes = packet.wire_size();
-        let cmds = self.macs[node as usize].enqueue(packet, next_hop, bytes, prio, self.now);
-        self.apply_mac(node, cmds);
+        let now = self.now;
+        self.mac_input(node, |mac, cmds| {
+            mac.enqueue_into(packet, next_hop, bytes, prio, now, cmds)
+        });
     }
 
     fn refresh_positions(&mut self) {
         if self.now.saturating_since(self.positions_at) >= self.cfg.position_refresh
             || self.positions_at == SimTime::ZERO && self.now > SimTime::ZERO
         {
-            self.positions = self.mobility.snapshot(self.now);
+            self.mobility.snapshot_into(self.now, &mut self.positions);
             self.positions_at = self.now;
+            if self.grid_enabled {
+                self.grid.rebuild(&self.positions);
+            }
         }
     }
 }

@@ -11,8 +11,9 @@
 //! retransmission timers, route-request timeouts, ...).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
+use crate::hash::U64HashSet;
 use crate::time::SimTime;
 
 /// A handle identifying a scheduled event, usable to cancel it later.
@@ -64,8 +65,10 @@ impl<E> PartialOrd for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
-    pending: HashSet<EventId>,
+    // Touched on every schedule/pop/cancel; keyed by the fast integer
+    // hasher because ids are dense sequence numbers (see [`crate::hash`]).
+    cancelled: U64HashSet<EventId>,
+    pending: U64HashSet<EventId>,
     next_seq: u64,
     popped: u64,
 }
@@ -81,8 +84,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            pending: HashSet::new(),
+            cancelled: U64HashSet::default(),
+            pending: U64HashSet::default(),
             next_seq: 0,
             popped: 0,
         }

@@ -28,11 +28,13 @@
 //! ```
 
 pub mod event;
+pub mod hash;
 pub mod node;
 pub mod rng;
 pub mod time;
 
 pub use event::{EventId, EventQueue};
+pub use hash::{U64HashMap, U64HashSet, U64Hasher};
 pub use node::NodeId;
 pub use rng::{RngFactory, SimRng};
 pub use time::{SimDuration, SimTime};

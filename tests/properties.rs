@@ -4,8 +4,11 @@
 use proptest::prelude::*;
 
 use dsr_caching::dsr::{NegativeCache, NegativeCacheConfig, PathCache};
-use dsr_caching::mobility::{Field, MobilityModel, RandomWaypoint, WaypointConfig};
+use dsr_caching::mobility::{
+    Field, MobilityModel, NeighborGrid, Point, RandomWaypoint, WaypointConfig,
+};
 use dsr_caching::packet::{Link, Route};
+use dsr_caching::phy::{plan_arrivals_indexed_into, plan_arrivals_masked, RadioConfig};
 use dsr_caching::sim_core::{EventQueue, NodeId, RngFactory, SimDuration, SimTime};
 
 /// Strategy: a loop-free node sequence of 2..=8 nodes drawn from 0..16.
@@ -276,5 +279,45 @@ proptest! {
             let p = m.position(NodeId::new(node), SimTime::from_secs(query_s));
             prop_assert!(cfg.field.contains(p), "node {node} at {p} left {}", cfg.field);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Medium invariants: grid-indexed planning == linear scan
+    // ------------------------------------------------------------------
+
+    /// The spatial neighbor grid must be a pure index: planning arrivals
+    /// from its 3x3-cell candidate set yields exactly the same arrivals
+    /// (same order, same values) and the same suppressed count as the
+    /// linear full-position scan, for any positions and any suppress mask.
+    /// This is what keeps the grid-accelerated simulator byte-identical
+    /// to the linear one.
+    #[test]
+    fn grid_indexed_planning_matches_linear_scan(
+        coords in proptest::collection::vec((0.0f64..2200.0, 0.0f64..600.0), 2..48),
+        tx_pick in 0usize..1024,
+        mask in proptest::collection::vec(any::<bool>(), 2..48),
+    ) {
+        let positions: Vec<Point> =
+            coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let tx = NodeId::new((tx_pick % positions.len()) as u16);
+        let radio = RadioConfig::wavelan();
+        let now = SimTime::from_secs(10.0);
+        let airtime = SimDuration::from_millis(1.5);
+        let suppress =
+            |rx: NodeId| mask[rx.index() % mask.len()];
+
+        let linear = plan_arrivals_masked(tx, &positions, now, airtime, &radio, suppress);
+
+        let mut grid = NeighborGrid::new(radio.carrier_sense_range_m() * 1.001);
+        grid.rebuild(&positions);
+        let mut cands = Vec::new();
+        grid.candidates_into(positions[tx.index()], &mut cands);
+        let mut indexed = Vec::new();
+        let suppressed = plan_arrivals_indexed_into(
+            tx, &cands, &positions, now, airtime, &radio, suppress, &mut indexed,
+        );
+
+        prop_assert_eq!(indexed, linear.arrivals);
+        prop_assert_eq!(suppressed, linear.suppressed);
     }
 }

@@ -145,4 +145,20 @@ for b in crates/experiments/src/bin/*.rs; do
   build_bin "$(basename "$b" .rs)" "$b" "${exp_deps[@]}"
 done
 
+# bench_gate carries its own arg-parsing unit tests; bins are otherwise
+# only compiled, so run this one's tests explicitly.
+unit_test bench_gate crates/experiments/src/bin/bench_gate.rs "${exp_deps[@]}"
+
+# --- criterion benches (compile check against a criterion stub) -------------
+# CI's clippy runs --all-targets, so bench targets must keep compiling even
+# though the real criterion crate is unreachable here. The stub also
+# smoke-runs each benchmark body a few times when the binary is executed.
+note "stub criterion"
+"${RUSTC[@]}" --crate-type rlib --crate-name criterion \
+  -o "$out/libcriterion.rlib" tools/offline/criterion_stub.rs
+bench_deps=(sim-core mobility phy packet mac dsr runner rand criterion)
+for b in crates/bench/benches/*.rs; do
+  build_bin "bench_$(basename "$b" .rs)" "$b" "${bench_deps[@]}"
+done
+
 note "OK"
