@@ -8,7 +8,7 @@
 //! why the paper includes it for bursty link-failure patterns.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ablation_adaptive [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
+//! cargo run --release -p experiments --bin ablation_adaptive [--quick|--full] [--jobs <n>] [--seed-timeout <secs>] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use dsr::{DsrConfig, ExpiryPolicy};

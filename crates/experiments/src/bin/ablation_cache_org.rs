@@ -9,7 +9,7 @@
 //! paper's correctness techniques recover much of the gap.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ablation_cache_org [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
+//! cargo run --release -p experiments --bin ablation_cache_org [--quick|--full] [--jobs <n>] [--seed-timeout <secs>] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use dsr::DsrConfig;

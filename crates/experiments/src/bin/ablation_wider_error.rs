@@ -11,7 +11,7 @@
 //! the broadcast cost.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ablation_wider_error [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
+//! cargo run --release -p experiments --bin ablation_wider_error [--quick|--full] [--jobs <n>] [--seed-timeout <secs>] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use dsr::{DsrConfig, WiderErrorRebroadcast};

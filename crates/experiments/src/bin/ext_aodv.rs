@@ -13,7 +13,7 @@
 //! floods). Disabling intermediate replies costs latency and overhead.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ext_aodv [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
+//! cargo run --release -p experiments --bin ext_aodv [--quick|--full] [--jobs <n>] [--seed-timeout <secs>] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use aodv::{AodvConfig, AodvNode};

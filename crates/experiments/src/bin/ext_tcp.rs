@@ -13,7 +13,7 @@
 //! caches clean.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin ext_tcp [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
+//! cargo run --release -p experiments --bin ext_tcp [--quick|--full] [--jobs <n>] [--seed-timeout <secs>] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use dsr::{DsrConfig, DsrNode};

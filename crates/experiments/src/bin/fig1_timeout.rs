@@ -10,7 +10,7 @@
 //! well-chosen static value.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin fig1_timeout [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
+//! cargo run --release -p experiments --bin fig1_timeout [--quick|--full] [--jobs <n>] [--seed-timeout <secs>] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use dsr::DsrConfig;

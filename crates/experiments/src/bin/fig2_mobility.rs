@@ -11,7 +11,7 @@
 //! caches; all variants converge as the network becomes static.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin fig2_mobility [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
+//! cargo run --release -p experiments --bin fig2_mobility [--quick|--full] [--jobs <n>] [--seed-timeout <secs>] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use experiments::{f3, run_point, variants, ExpArgs, Table};

@@ -10,7 +10,7 @@
 //! re-inserting stale routes).
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin fig4_load [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
+//! cargo run --release -p experiments --bin fig4_load [--quick|--full] [--jobs <n>] [--seed-timeout <secs>] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use experiments::{f3, run_point, variants, ExpArgs, Table};

@@ -11,7 +11,7 @@
 //! by ~70% relative to base DSR.
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin table3_cache [--quick|--full] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
+//! cargo run --release -p experiments --bin table3_cache [--quick|--full] [--jobs <n>] [--seed-timeout <secs>] [--resume <journal>] [--audit <level>] [--obs <mode>] [--timeseries-dir <dir>]
 //! ```
 
 use experiments::{f3, pct, run_point, variants, ExpArgs, Table};

@@ -23,11 +23,14 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
+use std::time::Duration;
+
 use dsr::DsrConfig;
 use metrics::{Metrics, Report};
 use obs::{ObsConfig, ObsMode, Profile};
 use runner::{
-    run_campaign, run_campaign_with, AuditLevel, CampaignConfig, RoutingAgent, ScenarioConfig,
+    run_campaign, run_campaign_with, AuditLevel, CampaignConfig, RoutingAgent, RunLimits,
+    ScenarioConfig,
 };
 use sim_core::{NodeId, SimRng};
 
@@ -140,6 +143,20 @@ pub struct ExpArgs {
     /// (`--timeseries-dir <dir>`, default `results/timeseries` while obs
     /// is on).
     pub timeseries_dir: Option<PathBuf>,
+    /// Campaign worker threads (`--jobs N`, default 1 = sequential).
+    /// Output is byte-identical at every job count.
+    pub jobs: usize,
+    /// Per-seed wall-clock deadline (`--seed-timeout <secs>`): a run
+    /// exceeding it is cancelled, classified transient, and retried with
+    /// backoff before failing.
+    pub seed_timeout: Option<Duration>,
+    /// Per-run wall-clock watchdog (`--max-wall <secs>`, default off):
+    /// unlike the executor-level seed deadline this aborts from *inside*
+    /// the event loop as [`runner::RunError::WatchdogTimeout`].
+    pub max_wall: Option<Duration>,
+    /// Per-run events-per-simulated-second watchdog budget
+    /// (`--event-budget <n|off>`, default 100000000).
+    pub event_budget: Option<u64>,
 }
 
 impl ExpArgs {
@@ -154,6 +171,17 @@ impl ExpArgs {
             audit: AuditLevel::Off,
             obs: ObsMode::Off,
             timeseries_dir: None,
+            jobs: 1,
+            seed_timeout: None,
+            max_wall: None,
+            event_budget: RunLimits::default().max_events_per_sim_second,
+        };
+        // A wall-clock-seconds flag value: positive, finite.
+        let parse_secs = |flag: &'static str, value: String| -> Result<Duration, ArgError> {
+            match value.parse::<f64>() {
+                Ok(secs) if secs.is_finite() && secs > 0.0 => Ok(Duration::from_secs_f64(secs)),
+                _ => Err(ArgError::BadValue { flag, value }),
+            }
         };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -178,6 +206,32 @@ impl ExpArgs {
                     let path = args.next().ok_or(ArgError::MissingValue("--timeseries-dir"))?;
                     parsed.timeseries_dir = Some(PathBuf::from(path));
                 }
+                "--jobs" => {
+                    let value = args.next().ok_or(ArgError::MissingValue("--jobs"))?;
+                    parsed.jobs = match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => return Err(ArgError::BadValue { flag: "--jobs", value }),
+                    };
+                }
+                "--seed-timeout" => {
+                    let value = args.next().ok_or(ArgError::MissingValue("--seed-timeout"))?;
+                    parsed.seed_timeout = Some(parse_secs("--seed-timeout", value)?);
+                }
+                "--max-wall" => {
+                    let value = args.next().ok_or(ArgError::MissingValue("--max-wall"))?;
+                    parsed.max_wall = Some(parse_secs("--max-wall", value)?);
+                }
+                "--event-budget" => {
+                    let value = args.next().ok_or(ArgError::MissingValue("--event-budget"))?;
+                    parsed.event_budget = if value == "off" {
+                        None
+                    } else {
+                        match value.parse::<u64>() {
+                            Ok(n) if n >= 1 => Some(n),
+                            _ => return Err(ArgError::BadValue { flag: "--event-budget", value }),
+                        }
+                    };
+                }
                 _ => return Err(ArgError::Unknown(arg)),
             }
         }
@@ -187,8 +241,9 @@ impl ExpArgs {
     /// The usage line printed on parse errors.
     pub fn usage(bin: &str) -> String {
         format!(
-            "usage: {bin} [--quick|--full] [--resume <journal>] [--audit off|counters|full] \
-             [--obs off|sample[:secs]] [--timeseries-dir <dir>]"
+            "usage: {bin} [--quick|--full] [--jobs <n>] [--seed-timeout <secs>] \
+             [--resume <journal>] [--audit off|counters|full] [--obs off|sample[:secs]] \
+             [--timeseries-dir <dir>] [--max-wall <secs>] [--event-budget <n|off>]"
         )
     }
 
@@ -228,6 +283,12 @@ impl ExpArgs {
             journal: self.resume.clone(),
             forensics_dir: Some(PathBuf::from("results").join("forensics")),
             obs,
+            jobs: self.jobs,
+            seed_deadline: self.seed_timeout,
+            limits: RunLimits {
+                wall_clock: self.max_wall,
+                max_events_per_sim_second: self.event_budget,
+            },
             ..CampaignConfig::default()
         }
     }
@@ -561,6 +622,65 @@ mod tests {
         assert_eq!(to_args(&["--obs"]), Err(ArgError::MissingValue("--obs")));
         assert_eq!(to_args(&["--timeseries-dir"]), Err(ArgError::MissingValue("--timeseries-dir")));
         assert!(ExpArgs::usage("table3_cache").contains("--obs"));
+    }
+
+    #[test]
+    fn executor_flags_map_onto_the_campaign_config() {
+        let d = to_args(&[]).expect("defaults");
+        assert_eq!(d.jobs, 1, "sequential by default");
+        assert_eq!(d.seed_timeout, None);
+        assert_eq!(d.max_wall, None);
+        assert_eq!(d.event_budget, Some(100_000_000), "PR-1 default budget");
+        let campaign = d.campaign();
+        assert_eq!(campaign.jobs, 1);
+        assert_eq!(campaign.limits, RunLimits::default());
+
+        let a = to_args(&[
+            "--jobs",
+            "4",
+            "--seed-timeout",
+            "2.5",
+            "--max-wall",
+            "30",
+            "--event-budget",
+            "5000",
+        ])
+        .expect("all executor flags");
+        let campaign = a.campaign();
+        assert_eq!(campaign.jobs, 4);
+        assert_eq!(campaign.seed_deadline, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(campaign.limits.wall_clock, Some(Duration::from_secs(30)));
+        assert_eq!(campaign.limits.max_events_per_sim_second, Some(5000));
+
+        let off = to_args(&["--event-budget", "off"]).expect("budget off");
+        assert_eq!(off.campaign().limits.max_events_per_sim_second, None);
+
+        for usage_flag in ["--jobs", "--seed-timeout", "--max-wall", "--event-budget"] {
+            assert!(ExpArgs::usage("table3_cache").contains(usage_flag), "{usage_flag}");
+        }
+    }
+
+    #[test]
+    fn executor_flags_reject_nonsense_values() {
+        for bad in [
+            vec!["--jobs", "0"],
+            vec!["--jobs", "-2"],
+            vec!["--jobs", "four"],
+            vec!["--seed-timeout", "0"],
+            vec!["--seed-timeout", "-1"],
+            vec!["--seed-timeout", "inf"],
+            vec!["--seed-timeout", "nan"],
+            vec!["--max-wall", "0"],
+            vec!["--max-wall", "soon"],
+            vec!["--event-budget", "0"],
+            vec!["--event-budget", "-5"],
+            vec!["--event-budget", "lots"],
+        ] {
+            assert!(matches!(to_args(&bad), Err(ArgError::BadValue { .. })), "must reject {bad:?}");
+        }
+        for flag in ["--jobs", "--seed-timeout", "--max-wall", "--event-budget"] {
+            assert_eq!(to_args(&[flag]), Err(ArgError::MissingValue(flag)));
+        }
     }
 
     #[test]

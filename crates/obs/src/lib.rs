@@ -34,7 +34,7 @@ pub use timeseries::{SampleRow, Sampler, TimeSeries};
 use sim_core::{SimDuration, SimTime};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Whether and how densely to sample per-layer gauges.
@@ -150,15 +150,48 @@ pub struct HeartbeatTick {
     pub events: u64,
 }
 
+/// One campaign worker's live state, as aggregated into the heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerState {
+    /// Waiting for work (or done).
+    #[default]
+    Idle,
+    /// Executing this seed.
+    Running {
+        /// The in-flight run's seed.
+        seed: u64,
+    },
+    /// Holding a transient failure of this seed through its backoff delay.
+    Backoff {
+        /// The seed waiting to be retried.
+        seed: u64,
+    },
+    /// The worker thread died and will not come back.
+    Dead,
+}
+
+/// One worker's slice of the pool-wide aggregation.
+#[derive(Debug, Default)]
+struct WorkerCell {
+    state: Mutex<WorkerState>,
+    /// Events dispatched so far by the worker's *current* run (folded into
+    /// the pool-wide events/s alongside the completed-run total).
+    inflight_events: AtomicU64,
+    /// The current run's progress through simulated time, in thousandths.
+    progress_milli: AtomicU64,
+}
+
 /// Campaign-wide progress aggregation behind the stderr heartbeat.
 ///
-/// Worker threads report finished runs via [`run_finished`]; the in-loop
-/// heartbeat calls [`heartbeat_line`], which returns a formatted status line
-/// at most once per throttle period (so concurrent runs don't flood
-/// stderr).
+/// Worker threads report finished runs via [`run_finished`] and publish
+/// their live state via [`set_worker`]; each run's in-loop heartbeat calls
+/// [`heartbeat_line_for`], which folds every worker's in-flight events and
+/// run progress into one pool-wide status line, printed at most once per
+/// throttle period (so concurrent runs don't flood stderr).
 ///
 /// [`run_finished`]: CampaignProgress::run_finished
-/// [`heartbeat_line`]: CampaignProgress::heartbeat_line
+/// [`set_worker`]: CampaignProgress::set_worker
+/// [`heartbeat_line_for`]: CampaignProgress::heartbeat_line_for
 #[derive(Debug)]
 pub struct CampaignProgress {
     total_runs: u64,
@@ -168,6 +201,7 @@ pub struct CampaignProgress {
     started: Instant,
     last_print_ms: AtomicU64,
     throttle_ms: u64,
+    workers: Vec<WorkerCell>,
 }
 
 impl CampaignProgress {
@@ -179,6 +213,22 @@ impl CampaignProgress {
     /// Creates a tracker with a custom throttle (milliseconds); `0` prints
     /// on every tick (used by tests).
     pub fn with_throttle(total_runs: u64, throttle_ms: u64) -> Arc<Self> {
+        Self::with_workers_and_throttle(total_runs, 1, throttle_ms)
+    }
+
+    /// Creates a tracker aggregating `workers` concurrent workers with a
+    /// 1 s print throttle.
+    pub fn with_workers(total_runs: u64, workers: usize) -> Arc<Self> {
+        Self::with_workers_and_throttle(total_runs, workers, 1000)
+    }
+
+    /// Creates a tracker aggregating `workers` concurrent workers with a
+    /// custom throttle (milliseconds); `0` prints on every tick.
+    pub fn with_workers_and_throttle(
+        total_runs: u64,
+        workers: usize,
+        throttle_ms: u64,
+    ) -> Arc<Self> {
         Arc::new(CampaignProgress {
             total_runs,
             done: AtomicU64::new(0),
@@ -187,6 +237,30 @@ impl CampaignProgress {
             started: Instant::now(),
             last_print_ms: AtomicU64::new(0),
             throttle_ms,
+            workers: (0..workers.max(1)).map(|_| WorkerCell::default()).collect(),
+        })
+    }
+
+    /// Number of worker cells this tracker aggregates.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Publishes worker `worker`'s state. Leaving a run (`Idle`, `Dead`)
+    /// clears the worker's in-flight contribution.
+    pub fn set_worker(&self, worker: usize, state: WorkerState) {
+        let Some(cell) = self.workers.get(worker) else { return };
+        *cell.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = state;
+        if !matches!(state, WorkerState::Running { .. }) {
+            cell.inflight_events.store(0, Ordering::Relaxed);
+            cell.progress_milli.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Worker `worker`'s last published state.
+    pub fn worker_state(&self, worker: usize) -> WorkerState {
+        self.workers.get(worker).map_or(WorkerState::Idle, |cell| {
+            *cell.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
         })
     }
 
@@ -199,11 +273,32 @@ impl CampaignProgress {
         self.events_done.fetch_add(events, Ordering::Relaxed);
     }
 
-    /// Formats a status line for a tick, or `None` while throttled.
+    /// Formats a status line for a single-worker campaign's tick, or
+    /// `None` while throttled. Equivalent to [`heartbeat_line_for`] on
+    /// worker 0.
+    ///
+    /// [`heartbeat_line_for`]: CampaignProgress::heartbeat_line_for
+    pub fn heartbeat_line(&self, tick: HeartbeatTick) -> Option<String> {
+        self.heartbeat_line_for(0, tick)
+    }
+
+    /// Publishes worker `worker`'s tick and formats a pool-wide status
+    /// line, or `None` while throttled.
     ///
     /// The line reads like
-    /// `[obs] 3/10 seeds done (1 failed), 1.2M events/s, ETA 42s`.
-    pub fn heartbeat_line(&self, tick: HeartbeatTick) -> Option<String> {
+    /// `[obs] 3/10 seeds done (1 failed), 1.2M events/s, ETA 42s`, with a
+    /// `W running / X backoff / Y idle / Z dead` segment when the pool has
+    /// more than one worker.
+    pub fn heartbeat_line_for(&self, worker: usize, tick: HeartbeatTick) -> Option<String> {
+        if let Some(cell) = self.workers.get(worker) {
+            cell.inflight_events.store(tick.events, Ordering::Relaxed);
+            let milli = if tick.end > SimTime::ZERO {
+                ((tick.now.as_secs() / tick.end.as_secs()).clamp(0.0, 1.0) * 1000.0) as u64
+            } else {
+                0
+            };
+            cell.progress_milli.store(milli, Ordering::Relaxed);
+        }
         let now_ms = self.started.elapsed().as_millis() as u64;
         // Claim the print slot atomically so concurrent workers stay quiet.
         let claimed = self
@@ -221,29 +316,45 @@ impl CampaignProgress {
         if !claimed {
             return None;
         }
-        Some(self.format_line(tick, now_ms))
+        Some(self.format_line(now_ms))
     }
 
-    fn format_line(&self, tick: HeartbeatTick, now_ms: u64) -> String {
+    fn format_line(&self, now_ms: u64) -> String {
         let done = self.done.load(Ordering::Relaxed);
         let failed = self.failed.load(Ordering::Relaxed);
-        let events = self.events_done.load(Ordering::Relaxed) + tick.events;
+        let mut events = self.events_done.load(Ordering::Relaxed);
+        let mut inflight_progress = 0.0;
+        let mut running = 0usize;
+        let mut backoff = 0usize;
+        let mut idle = 0usize;
+        let mut dead = 0usize;
+        for cell in &self.workers {
+            events += cell.inflight_events.load(Ordering::Relaxed);
+            inflight_progress += cell.progress_milli.load(Ordering::Relaxed) as f64 / 1000.0;
+            match *cell.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner) {
+                WorkerState::Idle => idle += 1,
+                WorkerState::Running { .. } => running += 1,
+                WorkerState::Backoff { .. } => backoff += 1,
+                WorkerState::Dead => dead += 1,
+            }
+        }
         let elapsed_s = (now_ms as f64 / 1000.0).max(1e-3);
         let rate = events as f64 / elapsed_s;
-        let run_progress = if tick.end > SimTime::ZERO {
-            (tick.now.as_secs() / tick.end.as_secs()).clamp(0.0, 1.0)
-        } else {
-            0.0
-        };
-        let frac = ((done as f64 + run_progress) / self.total_runs.max(1) as f64).clamp(0.0, 1.0);
+        let frac =
+            ((done as f64 + inflight_progress) / self.total_runs.max(1) as f64).clamp(0.0, 1.0);
         let eta = if frac > 1e-6 && frac < 1.0 {
             let remaining = elapsed_s * (1.0 - frac) / frac;
             format!("ETA {}s", remaining.round() as u64)
         } else {
             "ETA --".to_string()
         };
+        let workers = if self.workers.len() > 1 {
+            format!(" {running} running / {backoff} backoff / {idle} idle / {dead} dead,")
+        } else {
+            String::new()
+        };
         format!(
-            "[obs] {done}/{total} seeds done ({failed} failed), {rate} events/s, {eta}",
+            "[obs] {done}/{total} seeds done ({failed} failed),{workers} {rate} events/s, {eta}",
             total = self.total_runs,
             rate = human_rate(rate),
         )
@@ -309,6 +420,47 @@ mod tests {
         let throttled = CampaignProgress::with_throttle(4, 3_600_000);
         assert!(throttled.heartbeat_line(tick).is_some(), "first tick prints");
         assert!(throttled.heartbeat_line(tick).is_none(), "second tick throttled");
+    }
+
+    #[test]
+    fn pool_heartbeat_aggregates_worker_states_and_inflight_events() {
+        let progress = CampaignProgress::with_workers_and_throttle(8, 4, 0);
+        assert_eq!(progress.workers(), 4);
+        progress.run_finished(true, 10_000);
+        progress.set_worker(0, WorkerState::Running { seed: 3 });
+        progress.set_worker(1, WorkerState::Backoff { seed: 5 });
+        progress.set_worker(2, WorkerState::Dead);
+        assert_eq!(progress.worker_state(0), WorkerState::Running { seed: 3 });
+        assert_eq!(progress.worker_state(3), WorkerState::Idle);
+        // Out-of-range workers are ignored, not a panic.
+        progress.set_worker(99, WorkerState::Dead);
+        assert_eq!(progress.worker_state(99), WorkerState::Idle);
+
+        let tick = HeartbeatTick {
+            now: SimTime::from_secs(30.0),
+            end: SimTime::from_secs(120.0),
+            events: 2_000,
+        };
+        let line = progress.heartbeat_line_for(0, tick).expect("zero throttle always prints");
+        assert!(line.contains("1/8 seeds done (0 failed)"), "line: {line}");
+        assert!(line.contains("1 running / 1 backoff / 1 idle / 1 dead"), "line: {line}");
+        assert!(line.contains("events/s"), "line: {line}");
+
+        // Leaving the run clears the worker's in-flight contribution.
+        progress.set_worker(0, WorkerState::Idle);
+        let cleared = progress.heartbeat_line_for(
+            1,
+            HeartbeatTick { now: SimTime::ZERO, end: SimTime::from_secs(120.0), events: 0 },
+        );
+        assert!(cleared.expect("prints").contains("2 idle"), "worker 0 went idle");
+    }
+
+    #[test]
+    fn single_worker_heartbeat_keeps_the_compact_format() {
+        let progress = CampaignProgress::with_throttle(4, 0);
+        let tick = HeartbeatTick { now: SimTime::ZERO, end: SimTime::from_secs(1.0), events: 0 };
+        let line = progress.heartbeat_line(tick).expect("prints");
+        assert!(!line.contains("running /"), "no worker segment for a pool of one: {line}");
     }
 
     #[test]

@@ -6,8 +6,14 @@
 //! cycle would spin forever. This module isolates each run behind
 //! [`std::panic::catch_unwind`], enforces per-run watchdogs
 //! ([`RunLimits`]), classifies what went wrong ([`RunError`]), retries
-//! transient failures once, and returns everything that *did* work in a
-//! [`CampaignResult`] so callers degrade gracefully.
+//! transient failures with capped exponential backoff ([`RetryBackoff`]),
+//! and returns everything that *did* work in a [`CampaignResult`] so
+//! callers degrade gracefully.
+//!
+//! Execution itself — fanning seeds across [`CampaignConfig::jobs`] worker
+//! threads, per-seed deadlines, worker-death recovery, and the
+//! deterministic seed-order merge that keeps every output byte identical
+//! to a serial run — lives in [`crate::executor`].
 //!
 //! ```
 //! use runner::{run_campaign, CampaignConfig, ScenarioConfig};
@@ -22,21 +28,21 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use dsr::DsrNode;
 use metrics::Report;
-use obs::{CampaignProgress, ObsConfig, Profile, RunObservation};
+use obs::{ObsConfig, Profile, RunObservation};
 use sim_core::{NodeId, SimRng, SimTime};
 
 use crate::audit::AuditLevel;
 use crate::config::ScenarioConfig;
-use crate::forensics::{config_fingerprint, ForensicArtifact, TRACE_TAIL_CAPACITY};
-use crate::journal::{Journal, JournalWriter};
+use crate::executor::{self, ExecutorChaos};
+use crate::forensics::TRACE_TAIL_CAPACITY;
 use crate::proto::RoutingAgent;
-use crate::sim::Simulator;
+use crate::sim::{HeartbeatSink, Simulator};
 use crate::trace::TraceEvent;
 
 /// Per-run watchdog limits enforced by
@@ -121,6 +127,24 @@ pub enum RunError {
         /// The auditor's ledger line for the violation.
         detail: String,
     },
+    /// The campaign supervisor cancelled the run because it exceeded
+    /// [`CampaignConfig::seed_deadline`]; honored at the next event
+    /// boundary (a single stuck event cannot be preempted).
+    DeadlineExceeded {
+        /// The failing run's seed.
+        seed: u64,
+        /// Simulated instant reached when the cancellation landed.
+        at: SimTime,
+    },
+    /// The worker thread executing the run died outside the run's own
+    /// panic isolation (executor machinery failure) and the seed could not
+    /// be redistributed to a surviving worker.
+    WorkerLost {
+        /// The failing run's seed.
+        seed: u64,
+        /// What killed the worker (panic payload or queue state).
+        detail: String,
+    },
 }
 
 impl RunError {
@@ -131,16 +155,18 @@ impl RunError {
             | RunError::WatchdogTimeout { seed, .. }
             | RunError::EventBudgetExhausted { seed, .. }
             | RunError::TimeRegression { seed, .. }
-            | RunError::ConservationViolation { seed, .. } => seed,
+            | RunError::ConservationViolation { seed, .. }
+            | RunError::DeadlineExceeded { seed, .. }
+            | RunError::WorkerLost { seed, .. } => seed,
         }
     }
 
-    /// Whether retrying the run could plausibly succeed. Only the
-    /// wall-clock watchdog qualifies (a loaded machine); panics, event
-    /// storms, time regressions, and conservation violations are
-    /// deterministic for a given seed.
+    /// Whether retrying the run could plausibly succeed. The wall-clock
+    /// watchdog and the supervisor deadline qualify (a loaded machine);
+    /// panics, event storms, time regressions, conservation violations,
+    /// and lost workers are not retried.
     pub fn is_transient(&self) -> bool {
-        matches!(self, RunError::WatchdogTimeout { .. })
+        matches!(self, RunError::WatchdogTimeout { .. } | RunError::DeadlineExceeded { .. })
     }
 }
 
@@ -162,20 +188,73 @@ impl std::fmt::Display for RunError {
             RunError::ConservationViolation { seed, uid, detail } => {
                 write!(f, "seed {seed}: packet conservation violated for uid {uid}: {detail}")
             }
+            RunError::DeadlineExceeded { seed, at } => {
+                write!(f, "seed {seed}: seed deadline exceeded, cancelled at simulated {at}")
+            }
+            RunError::WorkerLost { seed, detail } => {
+                write!(f, "seed {seed}: worker died: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for RunError {}
 
+/// Capped exponential backoff applied between retries of transient run
+/// failures. Retries wait on the executor's dedicated retry lane, so a
+/// flaky seed never stalls the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBackoff {
+    /// Retry attempts after the first run (0 disables retries even when
+    /// [`CampaignConfig::retry_transient`] is set).
+    pub max_retries: u32,
+    /// Delay before the first retry; each further retry doubles it.
+    pub initial: Duration,
+    /// Upper bound on any single delay (the doubling stops here).
+    pub cap: Duration,
+}
+
+impl Default for RetryBackoff {
+    /// One immediate retry — the behaviour campaigns have always had.
+    fn default() -> Self {
+        RetryBackoff { max_retries: 1, initial: Duration::ZERO, cap: Duration::from_secs(5) }
+    }
+}
+
+impl RetryBackoff {
+    /// The delay before retry number `retry` (1-based):
+    /// `initial * 2^(retry-1)`, capped at `cap`.
+    pub fn delay(&self, retry: u32) -> Duration {
+        if self.initial.is_zero() {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        self.initial.saturating_mul(factor).min(self.cap)
+    }
+}
+
 /// How a campaign executes its runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignConfig {
-    /// Worker threads (1 = strict serial execution).
-    pub threads: usize,
+    /// Worker threads fanning the seeds out (1 = one worker). Every
+    /// output — reports, journal, forensics, CSV downstream — is
+    /// byte-identical for every value: results are buffered and merged in
+    /// seed order by the executor's supervisor.
+    pub jobs: usize,
+    /// Per-seed wall-clock deadline enforced by the executor's supervisor:
+    /// a run past it is cancelled at its next event boundary and fails as
+    /// [`RunError::DeadlineExceeded`] (transient, so the retry policy
+    /// applies). Unlike [`RunLimits::wall_clock`], which each run checks
+    /// against its own start, this one catches runs too hung to check
+    /// anything. `None` disables it.
+    pub seed_deadline: Option<Duration>,
+    /// Backoff between transient-failure retries (gated on
+    /// `retry_transient`).
+    pub retry_backoff: RetryBackoff,
     /// Watchdogs applied to every run.
     pub limits: RunLimits,
-    /// Retry runs whose failure is [`RunError::is_transient`] once.
+    /// Retry runs whose failure is [`RunError::is_transient`], up to
+    /// [`RetryBackoff::max_retries`] times.
     pub retry_transient: bool,
     /// Packet-conservation audit level applied to every run (see
     /// [`crate::audit`]). Defaults to [`AuditLevel::Off`].
@@ -191,18 +270,24 @@ pub struct CampaignConfig {
     /// series files, and the live stderr heartbeat. Defaults to fully off,
     /// in which case the event loop carries zero instrumentation.
     pub obs: ObsConfig,
+    /// Test-only executor fault hooks; inert by default.
+    #[doc(hidden)]
+    pub chaos: ExecutorChaos,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
-            threads: 1,
+            jobs: 1,
+            seed_deadline: None,
+            retry_backoff: RetryBackoff::default(),
             limits: RunLimits::default(),
             retry_transient: true,
             audit: AuditLevel::Off,
             journal: None,
             forensics_dir: None,
             obs: ObsConfig::off(),
+            chaos: ExecutorChaos::default(),
         }
     }
 }
@@ -313,130 +398,8 @@ where
     A: RoutingAgent,
     F: Fn(NodeId, SimRng) -> A + Send + Sync,
 {
-    assert!(campaign.threads > 0, "need at least one worker thread");
-    let jobs: Vec<ScenarioConfig> =
-        seeds.iter().map(|&seed| ScenarioConfig { seed, ..base.clone() }).collect();
-    let mut outcomes: Vec<Option<Result<Report, RunFailure>>> =
-        (0..jobs.len()).map(|_| None).collect();
-
-    // Resume support: pre-fill outcomes for seeds already journaled for
-    // this exact scenario (fingerprint excludes the seed), then append
-    // every fresh success so the *next* restart can skip it too. Journal
-    // I/O problems degrade to a plain, un-resumable campaign rather than
-    // failing runs that would otherwise succeed.
-    let fingerprint = config_fingerprint(base);
-    let mut journal_writer = None;
-    if let Some(path) = &campaign.journal {
-        match Journal::load(path) {
-            Ok(journal) => {
-                for (slot, job) in outcomes.iter_mut().zip(&jobs) {
-                    if let Some(report) = journal.get(fingerprint, job.seed) {
-                        *slot = Some(Ok(report.clone()));
-                    }
-                }
-            }
-            Err(e) => {
-                eprintln!("warning: could not load campaign journal {}: {e}", path.display())
-            }
-        }
-        match JournalWriter::open(path) {
-            Ok(writer) => journal_writer = Some(writer),
-            Err(e) => {
-                eprintln!("warning: could not open campaign journal {}: {e}", path.display())
-            }
-        }
-    }
-    let journal_writer = journal_writer.as_ref();
-
-    // Observability side state. The heartbeat tracker is shared by every
-    // worker (atomics inside); the campaign profile accumulates per-run
-    // profiles under a lock, so merge order varies with thread scheduling —
-    // `Profile::render` sorts tallies by name precisely so that the emitted
-    // summary does not.
-    let obs_on = campaign.obs.is_on();
-    let progress = campaign.obs.heartbeat.then(|| CampaignProgress::new(jobs.len() as u64));
-    let campaign_profile: Mutex<Profile> = Mutex::new(Profile::default());
-
-    let run_one = |job: &ScenarioConfig| -> Result<Report, RunFailure> {
-        let attempt =
-            attempt_with_retry(job, &label, &make_agent, campaign, replayable, progress.as_ref());
-        let mut run_events = 0;
-        let outcome = match attempt {
-            Ok((report, observation)) => {
-                if let Some(observation) = observation {
-                    run_events = observation.profile.events;
-                    if let Some(dir) = &campaign.obs.timeseries_dir {
-                        if let Err(e) = observation.timeseries.write_to(dir) {
-                            eprintln!(
-                                "warning: could not write time series for seed {}: {e}",
-                                job.seed
-                            );
-                        }
-                    }
-                    campaign_profile
-                        .lock()
-                        .expect("campaign profile poisoned")
-                        .merge(&observation.profile);
-                }
-                Ok(report)
-            }
-            Err(failure) => {
-                if obs_on {
-                    let mut profile = campaign_profile.lock().expect("campaign profile poisoned");
-                    profile.runs += 1;
-                    profile.runs_failed += 1;
-                }
-                Err(failure)
-            }
-        };
-        if let Some(progress) = &progress {
-            progress.run_finished(outcome.is_ok(), run_events);
-        }
-        if let (Ok(report), Some(writer)) = (&outcome, journal_writer) {
-            if let Err(e) = writer.record(fingerprint, job.seed, report) {
-                eprintln!("warning: could not journal seed {}: {e}", job.seed);
-            }
-        }
-        outcome
-    };
-
-    if campaign.threads == 1 || jobs.len() <= 1 {
-        for (slot, job) in outcomes.iter_mut().zip(&jobs) {
-            if slot.is_none() {
-                *slot = Some(run_one(job));
-            }
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        let done: Vec<bool> = outcomes.iter().map(Option::is_some).collect();
-        let slots = Mutex::new(&mut outcomes);
-        std::thread::scope(|scope| {
-            for _ in 0..campaign.threads.min(jobs.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    if done[i] {
-                        continue;
-                    }
-                    let outcome = run_one(&jobs[i]);
-                    slots.lock().expect("poisoned results lock")[i] = Some(outcome);
-                });
-            }
-        });
-    }
-    let mut reports = Vec::new();
-    let mut failures = Vec::new();
-    for outcome in outcomes {
-        match outcome.expect("every job ran") {
-            Ok(report) => reports.push(report),
-            Err(failure) => failures.push(failure),
-        }
-    }
-    let profile =
-        obs_on.then(|| campaign_profile.lock().expect("campaign profile poisoned").clone());
-    CampaignResult { reports, failures, profile }
+    assert!(campaign.jobs > 0, "need at least one worker thread");
+    executor::execute(base, seeds, campaign, &label, replayable, &make_agent)
 }
 
 /// Re-runs one DSR scenario exactly as a campaign would (crash-isolated,
@@ -449,7 +412,7 @@ pub fn replay_run(cfg: &ScenarioConfig, audit: AuditLevel) -> Result<Report, Run
     let label = dsr.label();
     let campaign = CampaignConfig { audit, ..CampaignConfig::default() };
     let make_agent = move |node, rng| DsrNode::new(node, dsr.clone(), rng);
-    attempt_one(cfg.clone(), &label, &make_agent, &campaign, false, None).0
+    attempt_one(cfg.clone(), &label, &make_agent, &campaign, AttemptHooks::default()).0
 }
 
 /// Preserved pre-campaign API: runs the same DSR scenario under several
@@ -462,58 +425,30 @@ pub fn replay_run(cfg: &ScenarioConfig, audit: AuditLevel) -> Result<Report, Run
 /// Panics if any run fails; callers that need partial results should use
 /// [`run_campaign`] instead.
 pub fn run_seeds(base: &ScenarioConfig, seeds: &[u64], threads: usize) -> Vec<Report> {
-    let campaign = CampaignConfig { threads, ..CampaignConfig::default() };
+    let campaign = CampaignConfig { jobs: threads, ..CampaignConfig::default() };
     let result = run_campaign(base, seeds, &campaign);
     assert!(result.all_ok(), "campaign failed: {}", result.failure_summary());
     result.reports
 }
 
-fn attempt_with_retry<A, F>(
-    cfg: &ScenarioConfig,
-    label: &str,
-    make_agent: &F,
-    campaign: &CampaignConfig,
-    replayable: bool,
-    progress: Option<&Arc<CampaignProgress>>,
-) -> Result<(Report, Option<RunObservation>), RunFailure>
-where
-    A: RoutingAgent,
-    F: Fn(NodeId, SimRng) -> A + Send + Sync,
-{
-    let capture = campaign.forensics_dir.is_some();
-    let (error, trace, retried) =
-        match attempt_one(cfg.clone(), label, make_agent, campaign, capture, progress) {
-            (Ok(report), _, observation) => return Ok((report, observation)),
-            (Err(error), trace, _) if campaign.retry_transient && error.is_transient() => {
-                match attempt_one(cfg.clone(), label, make_agent, campaign, capture, progress) {
-                    (Ok(report), _, observation) => return Ok((report, observation)),
-                    (Err(retry_error), retry_trace, _) => {
-                        let _ = (error, trace); // the retry's artifact supersedes the first attempt's
-                        (retry_error, retry_trace, true)
-                    }
-                }
-            }
-            (Err(error), trace, _) => (error, trace, false),
-        };
-    if let Some(dir) = &campaign.forensics_dir {
-        let artifact = ForensicArtifact {
-            label: label.to_string(),
-            replayable,
-            config: cfg.clone(),
-            error: error.clone(),
-            trace,
-        };
-        match artifact.write_to(dir) {
-            Ok(path) => eprintln!("forensic artifact written: {}", path.display()),
-            Err(e) => eprintln!("warning: could not write forensic artifact: {e}"),
-        }
-    }
-    Err(RunFailure { seed: cfg.seed, error, retried })
+/// Per-attempt hooks the executor threads into a run: trace capture for
+/// forensic artifacts, the campaign heartbeat, and the supervisor's
+/// cancellation token. The default (no hooks) is what [`replay_run`]
+/// uses.
+#[derive(Default)]
+pub(crate) struct AttemptHooks {
+    /// Retain the last [`TRACE_TAIL_CAPACITY`] trace events (even across a
+    /// panic) for forensic artifacts.
+    pub capture_trace: bool,
+    /// Heartbeat sink installed on the simulator.
+    pub heartbeat: Option<HeartbeatSink>,
+    /// Deadline-cancellation token checked between events.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 /// One isolated run: builds the simulator, applies the watchdog limits
 /// and audit level, and converts a panic anywhere in the stack into
-/// [`RunError::Panicked`]. When `capture_trace` is set, the last
+/// [`RunError::Panicked`]. When `hooks.capture_trace` is set, the last
 /// [`TRACE_TAIL_CAPACITY`] trace events are retained (even across a
 /// panic) and returned rendered, for forensic artifacts; otherwise no
 /// trace ring exists and no sink is registered on the simulator at all.
@@ -522,26 +457,25 @@ where
 /// [`RunObservation`] crosses the unwind boundary through a shared slot
 /// (the same pattern as the trace ring) — a run that panics or trips a
 /// watchdog leaves the slot empty.
-fn attempt_one<A, F>(
+pub(crate) fn attempt_one<A, F>(
     cfg: ScenarioConfig,
     label: &str,
     make_agent: &F,
     campaign: &CampaignConfig,
-    capture_trace: bool,
-    progress: Option<&Arc<CampaignProgress>>,
+    hooks: AttemptHooks,
 ) -> (Result<Report, RunError>, Vec<String>, Option<RunObservation>)
 where
     A: RoutingAgent,
     F: Fn(NodeId, SimRng) -> A + Send + Sync,
 {
     let seed = cfg.seed;
+    let AttemptHooks { capture_trace, heartbeat, cancel } = hooks;
     let ring: Option<Arc<Mutex<VecDeque<TraceEvent>>>> =
         capture_trace.then(|| Arc::new(Mutex::new(VecDeque::new())));
     let sink_ring = ring.as_ref().map(Arc::clone);
     let observation: Arc<Mutex<Option<RunObservation>>> = Arc::new(Mutex::new(None));
     let obs_slot = Arc::clone(&observation);
     let obs_interval = campaign.obs.mode.interval();
-    let heartbeat_progress = campaign.obs.heartbeat.then(|| progress.cloned()).flatten();
     let audit = campaign.audit;
     let limits = campaign.limits;
     // The simulator is consumed by the run and nothing borrowed crosses
@@ -568,12 +502,11 @@ where
                 }),
             );
         }
-        if let Some(progress) = heartbeat_progress {
-            sim.set_heartbeat(Box::new(move |tick| {
-                if let Some(line) = progress.heartbeat_line(tick) {
-                    eprintln!("{line}");
-                }
-            }));
+        if let Some(sink) = heartbeat {
+            sim.set_heartbeat(sink);
+        }
+        if let Some(token) = cancel {
+            sim.set_cancel(token);
         }
         sim.try_run()
     }));
@@ -628,17 +561,41 @@ mod tests {
         };
         let c =
             RunError::ConservationViolation { seed: 7, uid: 42, detail: "uid 42 vanished".into() };
+        let d = RunError::DeadlineExceeded { seed: 8, at: SimTime::from_secs(4.0) };
+        let l = RunError::WorkerLost { seed: 9, detail: "worker 2 panicked".into() };
         assert_eq!(p.seed(), 3);
         assert_eq!(t.seed(), 6);
         assert_eq!(c.seed(), 7);
+        assert_eq!(d.seed(), 8);
+        assert_eq!(l.seed(), 9);
         assert!(!p.is_transient());
         assert!(w.is_transient());
         assert!(!b.is_transient());
         assert!(!c.is_transient(), "conservation violations are deterministic");
+        assert!(d.is_transient(), "a deadline miss may succeed on an idle machine");
+        assert!(!l.is_transient(), "lost workers already got a redispatch");
         assert!(format!("{p}").contains("boom"));
         assert!(format!("{b}").contains("budget"));
         assert!(format!("{t}").contains("backwards"));
         assert!(format!("{c}").contains("uid 42"));
+        assert!(format!("{d}").contains("deadline"));
+        assert!(format!("{l}").contains("worker died"));
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let b = RetryBackoff {
+            max_retries: 5,
+            initial: Duration::from_millis(100),
+            cap: Duration::from_millis(350),
+        };
+        assert_eq!(b.delay(1), Duration::from_millis(100));
+        assert_eq!(b.delay(2), Duration::from_millis(200));
+        assert_eq!(b.delay(3), Duration::from_millis(350), "doubling stops at the cap");
+        assert_eq!(b.delay(60), Duration::from_millis(350), "shift amount saturates");
+        let immediate = RetryBackoff::default();
+        assert_eq!(immediate.max_retries, 1);
+        assert_eq!(immediate.delay(1), Duration::ZERO, "default retries immediately");
     }
 
     #[test]
@@ -650,7 +607,7 @@ mod tests {
         let parallel = run_campaign(
             &base,
             &[1, 2, 3],
-            &CampaignConfig { threads: 3, ..CampaignConfig::default() },
+            &CampaignConfig { jobs: 3, ..CampaignConfig::default() },
         );
         assert_eq!(parallel.reports, serial.reports, "thread count must not change results");
         assert!(serial.mean().is_some());
@@ -684,11 +641,12 @@ mod tests {
         let make_agent = move |node, rng| DsrNode::new(node, dsr.clone(), rng);
         let campaign = CampaignConfig::default();
         let (result, trace, observation) =
-            attempt_one(cfg.clone(), "test", &make_agent, &campaign, false, None);
+            attempt_one(cfg.clone(), "test", &make_agent, &campaign, AttemptHooks::default());
         assert!(result.is_ok());
         assert!(trace.is_empty(), "no capture => no ring, no sink");
         assert!(observation.is_none(), "obs off => no observation");
-        let (result, trace, _) = attempt_one(cfg, "test", &make_agent, &campaign, true, None);
+        let hooks = AttemptHooks { capture_trace: true, ..AttemptHooks::default() };
+        let (result, trace, _) = attempt_one(cfg, "test", &make_agent, &campaign, hooks);
         assert!(result.is_ok());
         assert!(!trace.is_empty(), "capturing keeps the trace tail");
     }

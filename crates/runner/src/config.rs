@@ -98,10 +98,14 @@ pub enum FaultEvent {
         only_seed: Option<u64>,
     },
     /// Chaos hook: from `at` on, perpetually reschedule a zero-progress
-    /// event at the current instant. Exercises the event-budget watchdog.
+    /// event at the current instant. Exercises the event-budget watchdog
+    /// (and, with the budget disabled, the executor's per-seed deadline);
+    /// `only_seed` restricts the storm to one seed of a campaign.
     EventStorm {
         /// Storm start.
         at: SimTime,
+        /// Storm only when the run's seed matches (always when `None`).
+        only_seed: Option<u64>,
     },
 }
 
@@ -112,7 +116,7 @@ impl FaultEvent {
             FaultEvent::NodeDown { at, .. }
             | FaultEvent::LinkBlackout { at, .. }
             | FaultEvent::Panic { at, .. }
-            | FaultEvent::EventStorm { at } => at,
+            | FaultEvent::EventStorm { at, .. } => at,
             FaultEvent::FrameCorruption { from, .. } => from,
         }
     }

@@ -367,9 +367,12 @@ fn push_scenario(kv: &mut KvBlock, cfg: &ScenarioConfig) {
                     kv.push(k("only_seed"), seed);
                 }
             }
-            FaultEvent::EventStorm { at } => {
+            FaultEvent::EventStorm { at, only_seed } => {
                 kv.push(format!("fault.{i}"), "event_storm");
                 kv.push(k("at_ns"), at.as_nanos());
+                if let Some(seed) = only_seed {
+                    kv.push(k("only_seed"), seed);
+                }
             }
         }
     }
@@ -523,7 +526,13 @@ fn parse_scenario(kv: &KvBlock) -> Result<ScenarioConfig, ForensicError> {
                     None => None,
                 },
             },
-            "event_storm" => FaultEvent::EventStorm { at: kv.get_time(&k("at_ns"))? },
+            "event_storm" => FaultEvent::EventStorm {
+                at: kv.get_time(&k("at_ns"))?,
+                only_seed: match kv.map.get(&k("only_seed")) {
+                    Some(_) => Some(kv.get_parsed(&k("only_seed"))?),
+                    None => None,
+                },
+            },
             other => return Err(bad(&kind_key, other)),
         };
         events.push(event);
@@ -576,6 +585,16 @@ fn push_error(kv: &mut KvBlock, error: &RunError) {
             kv.push("error.uid", uid);
             kv.push("error.detail", escape(detail));
         }
+        RunError::DeadlineExceeded { seed, at } => {
+            kv.push("error", "deadline_exceeded");
+            kv.push("error.seed", seed);
+            kv.push("error.at_ns", at.as_nanos());
+        }
+        RunError::WorkerLost { seed, detail } => {
+            kv.push("error", "worker_lost");
+            kv.push("error.seed", seed);
+            kv.push("error.detail", escape(detail));
+        }
     }
 }
 
@@ -599,6 +618,8 @@ fn parse_error(kv: &KvBlock) -> Result<RunError, ForensicError> {
             uid: kv.get_parsed("error.uid")?,
             detail: kv.get_string("error.detail")?,
         },
+        "deadline_exceeded" => RunError::DeadlineExceeded { seed, at: kv.get_time("error.at_ns")? },
+        "worker_lost" => RunError::WorkerLost { seed, detail: kv.get_string("error.detail")? },
         other => {
             return Err(ForensicError::BadValue {
                 key: "error".to_string(),
@@ -612,25 +633,36 @@ fn parse_error(kv: &KvBlock) -> Result<RunError, ForensicError> {
 // Fingerprints
 // ----------------------------------------------------------------------
 
+/// FNV-1a over a byte slice. Shared by [`config_fingerprint`] and the
+/// journal's per-record checksums ([`crate::journal`]).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// FNV-1a over the serialized scenario *excluding the seed*: two configs
 /// share a fingerprint iff they describe the same experiment point.
 /// Campaign journals key on `(fingerprint, seed)`.
 pub fn config_fingerprint(cfg: &ScenarioConfig) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut kv = KvBlock::default();
     push_scenario(&mut kv, cfg);
-    let mut hash = FNV_OFFSET;
+    let mut buf = Vec::new();
     for (key, value) in &kv.pairs {
         if key == "seed" {
             continue;
         }
-        for byte in key.bytes().chain([b'=']).chain(value.bytes()).chain([b'\n']) {
-            hash ^= byte as u64;
-            hash = hash.wrapping_mul(FNV_PRIME);
-        }
+        buf.extend_from_slice(key.as_bytes());
+        buf.push(b'=');
+        buf.extend_from_slice(value.as_bytes());
+        buf.push(b'\n');
     }
-    hash
+    fnv1a(&buf)
 }
 
 // ----------------------------------------------------------------------
@@ -696,24 +728,49 @@ impl ForensicArtifact {
     }
 
     /// The artifact's canonical file name:
-    /// `<sanitized-label>_seed<seed>.txt`.
+    /// `<sanitized-label>_<fingerprint>_seed<seed>.txt`. The config
+    /// fingerprint keeps two scenario points sharing a label and seed
+    /// (e.g. two cells of a parameter sweep) from clobbering each other.
     pub fn file_name(&self) -> String {
         let sanitized: String = self
             .label
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' })
             .collect();
-        format!("{}_seed{}.txt", sanitized, self.config.seed)
+        format!(
+            "{}_{:016x}_seed{}.txt",
+            sanitized,
+            config_fingerprint(&self.config),
+            self.config.seed
+        )
     }
 
     /// Writes the artifact under `dir` (created if absent) and returns the
-    /// full path. An existing artifact for the same label and seed is
-    /// overwritten (a retry's artifact supersedes the first attempt's).
+    /// full path. The content lands in a uniquely named temp file first
+    /// and is renamed into place, so a concurrent writer (another campaign
+    /// worker, another process) can never interleave with or tear this
+    /// artifact — the rename atomically replaces whole files only. An
+    /// existing artifact for the same (label, fingerprint, seed) is
+    /// superseded (a retry's artifact replaces the first attempt's).
     pub fn write_to(&self, dir: &Path) -> Result<PathBuf, ForensicError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
         std::fs::create_dir_all(dir)?;
         let path = dir.join(self.file_name());
-        let mut file = std::fs::File::create(&path)?;
+        let tmp = dir.join(format!(
+            ".{}.tmp.{}.{}",
+            self.file_name(),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        let mut file = std::fs::File::create(&tmp)?;
         file.write_all(self.render().as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
         Ok(path)
     }
 
@@ -769,7 +826,8 @@ mod tests {
             events: vec![
                 FaultEvent::Panic { at: SimTime::from_secs(1.0), only_seed: Some(3) },
                 FaultEvent::Panic { at: SimTime::from_secs(2.0), only_seed: None },
-                FaultEvent::EventStorm { at: SimTime::from_secs(4.0) },
+                FaultEvent::EventStorm { at: SimTime::from_secs(4.0), only_seed: None },
+                FaultEvent::EventStorm { at: SimTime::from_secs(5.0), only_seed: Some(3) },
             ],
         };
         for cfg in configs {
@@ -787,7 +845,24 @@ mod tests {
         assert!(path.file_name().unwrap().to_string_lossy().ends_with("_seed7.txt"));
         let loaded = ForensicArtifact::load(&path).expect("load");
         assert_eq!(loaded, a);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive a write: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_names_are_unique_per_scenario_point() {
+        let a = artifact(ScenarioConfig::static_line(3, 200.0, 2.0, DsrConfig::base(), 7));
+        let mut other_cfg = a.config.clone();
+        other_cfg.traffic.rate_pps += 1.0;
+        let b = ForensicArtifact { config: other_cfg, ..a.clone() };
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.config.seed, b.config.seed);
+        assert_ne!(a.file_name(), b.file_name(), "same label+seed, different scenario point");
     }
 
     #[test]
@@ -802,6 +877,8 @@ mod tests {
                 event_at: SimTime::from_secs(1.0),
             },
             RunError::ConservationViolation { seed: 5, uid: 77, detail: "uid 77 vanished".into() },
+            RunError::DeadlineExceeded { seed: 6, at: SimTime::from_secs(4.5) },
+            RunError::WorkerLost { seed: 7, detail: "worker 2 died: boom \\ bang".into() },
         ];
         let base = ScenarioConfig::static_line(3, 200.0, 2.0, DsrConfig::base(), 1);
         for error in errors {

@@ -13,19 +13,31 @@
 //! journaled: a resume retries them.
 //!
 //! The format is line-oriented and hand-rolled (no serde): each record is
-//! `run <fingerprint-hex> <seed> <label> <32 metric values>` with floats
-//! in Rust's exact shortest round-trip form. The writer flushes after
-//! every record; a process killed mid-write leaves at most one partial
-//! trailing line, which the loader skips.
+//! `run <payload-len> <fnv1a-hex> <payload>` where the payload is
+//! `<fingerprint-hex> <seed> <label> <32 metric values>` with floats in
+//! Rust's exact shortest round-trip form. The length and FNV-1a checksum
+//! cover the payload bytes, so a record is accepted only if it is exactly
+//! as long as the writer said *and* hashes to the same value — a torn or
+//! bit-flipped line cannot masquerade as a (subtly wrong) completed run.
+//!
+//! Crash safety: the writer flushes after every record, so a kill
+//! mid-write corrupts at most the final line. [`JournalWriter::open`]
+//! scans the tail on startup and atomically truncates the file back to
+//! the last valid record boundary, so a resumed campaign appends from a
+//! clean edge instead of growing garbage (the loader additionally skips
+//! any invalid line, belt and braces). Foreign lines (comments, other
+//! tools' output) are preserved.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use metrics::Report;
+
+use crate::forensics::fnv1a;
 
 /// The journal's per-record leading token.
 const RECORD_TAG: &str = "run";
@@ -82,23 +94,59 @@ pub struct JournalWriter {
 }
 
 impl JournalWriter {
-    /// Opens (or creates) `path` for appending.
+    /// Opens (or creates) `path` for appending, first truncating any torn
+    /// or corrupt tail left by a crash mid-write so new records append
+    /// from the last valid record boundary.
     pub fn open(path: &Path) -> std::io::Result<JournalWriter> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let file = OpenOptions::new().create(true).read(true).append(true).open(path)?;
+        let bytes = std::fs::read(path)?;
+        let keep = valid_prefix_len(&bytes);
+        if keep < bytes.len() {
+            file.set_len(keep as u64)?;
+        }
         Ok(JournalWriter { file: Mutex::new(file) })
     }
 
     /// Appends one completed run and flushes.
     pub fn record(&self, fingerprint: u64, seed: u64, report: &Report) -> std::io::Result<()> {
         let line = render_record(fingerprint, seed, report);
-        let mut file = self.file.lock().expect("journal writer poisoned");
+        let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
         file.write_all(line.as_bytes())?;
         file.flush()
+    }
+}
+
+/// Length of the journal's valid prefix: everything up to (and including)
+/// the last trailing line that is either a checksum-valid record or a
+/// foreign (non-`run`) line. Damage from a kill mid-write is contiguous
+/// at the tail, so scanning stops at the first healthy line from the end.
+fn valid_prefix_len(bytes: &[u8]) -> usize {
+    let mut end = bytes.len();
+    loop {
+        if end == 0 {
+            return 0;
+        }
+        if bytes[end - 1] != b'\n' {
+            // Unterminated tail: the write was cut off mid-line.
+            end = bytes[..end].iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+            continue;
+        }
+        let line_start = bytes[..end - 1].iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        let healthy = match std::str::from_utf8(&bytes[line_start..end - 1]) {
+            Ok(line) => {
+                line.split_whitespace().next() != Some(RECORD_TAG) || parse_record(line).is_some()
+            }
+            Err(_) => false,
+        };
+        if healthy {
+            return end;
+        }
+        end = line_start;
     }
 }
 
@@ -144,25 +192,29 @@ macro_rules! report_numeric_fields {
 }
 
 fn render_record(fingerprint: u64, seed: u64, report: &Report) -> String {
-    let mut line = format!(
-        "{RECORD_TAG} {fingerprint:016x} {seed} {}",
-        crate::forensics::escape(&report.label)
-    );
+    let mut payload =
+        format!("{fingerprint:016x} {seed} {}", crate::forensics::escape(&report.label));
     macro_rules! push_fields {
         ($($field:ident : $ty:ident),*) => {
-            $(write!(line, " {:?}", report.$field).expect("write to String");)*
+            $(write!(payload, " {:?}", report.$field).expect("write to String");)*
         };
     }
     report_numeric_fields!(push_fields);
-    line.push('\n');
-    line
+    format!("{RECORD_TAG} {} {:016x} {payload}\n", payload.len(), fnv1a(payload.as_bytes()))
 }
 
 fn parse_record(line: &str) -> Option<((u64, u64), Report)> {
-    let mut tokens = line.split_whitespace();
-    if tokens.next()? != RECORD_TAG {
+    // Frame: `run <payload-len> <fnv1a> <payload>`. Validate the checksum
+    // over the raw payload slice before tokenizing it.
+    let rest = line.strip_prefix(RECORD_TAG)?.strip_prefix(' ')?;
+    let (len_tok, rest) = rest.split_once(' ')?;
+    let (sum_tok, payload) = rest.split_once(' ')?;
+    let len: usize = len_tok.parse().ok()?;
+    let sum = u64::from_str_radix(sum_tok, 16).ok()?;
+    if payload.len() != len || fnv1a(payload.as_bytes()) != sum {
         return None;
     }
+    let mut tokens = payload.split_whitespace();
     let fingerprint = u64::from_str_radix(tokens.next()?, 16).ok()?;
     let seed: u64 = tokens.next()?.parse().ok()?;
     let label = crate::forensics::unescape(tokens.next()?);
@@ -288,6 +340,56 @@ mod tests {
         let path = temp_path("foreign");
         std::fs::write(&path, "# comment\nnot-a-record at all\n").expect("write");
         assert!(Journal::load(&path).expect("load").is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checksummed_records_reject_corruption() {
+        let line = render_record(3, 9, &sample_report(9));
+        assert!(parse_record(line.trim_end()).is_some());
+        // Same length, one field changed: the checksum catches it.
+        let flipped = line.replacen("0.99", "0.98", 1);
+        assert_ne!(flipped, line, "test premise: the field must exist");
+        assert!(parse_record(flipped.trim_end()).is_none());
+        // Truncated payload: the length frame catches it.
+        let short = &line[..line.len() - 4];
+        assert!(parse_record(short).is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open_and_appends_resume_cleanly() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let good = render_record(1, 10, &sample_report(10));
+        let torn = &good[..good.len() - 7]; // kill mid-write: no newline
+        std::fs::write(&path, format!("{good}{torn}")).expect("write");
+
+        let writer = JournalWriter::open(&path).expect("open");
+        writer.record(1, 11, &sample_report(11)).expect("record");
+        drop(writer);
+
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(
+            text,
+            format!("{good}{}", render_record(1, 11, &sample_report(11))),
+            "the torn tail must be gone and the new record appended at the clean edge"
+        );
+        let journal = Journal::load(&path).expect("load");
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.get(1, 10), Some(&sample_report(10)));
+        assert_eq!(journal.get(1, 11), Some(&sample_report(11)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_trailing_record_is_truncated_but_foreign_lines_survive() {
+        let path = temp_path("corrupt-tail");
+        let good = render_record(1, 10, &sample_report(10));
+        let corrupt = good.replacen("0.99", "0.98", 1);
+        std::fs::write(&path, format!("# sweep notes\n{good}{corrupt}")).expect("write");
+        drop(JournalWriter::open(&path).expect("open"));
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text, format!("# sweep notes\n{good}"));
         let _ = std::fs::remove_file(&path);
     }
 }

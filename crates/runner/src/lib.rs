@@ -19,6 +19,7 @@
 pub mod audit;
 pub mod campaign;
 pub mod config;
+pub mod executor;
 pub mod forensics;
 pub mod journal;
 pub mod proto;
@@ -28,9 +29,11 @@ pub mod trace;
 pub use audit::{AuditLevel, AuditSummary};
 pub use campaign::{
     replay_run, run_campaign, run_campaign_with, run_seeds, CampaignConfig, CampaignResult,
-    RunError, RunFailure, RunLimits,
+    RetryBackoff, RunError, RunFailure, RunLimits,
 };
 pub use config::{FaultEvent, FaultPlan, MobilitySpec, Region, ScenarioConfig};
+#[doc(hidden)]
+pub use executor::ExecutorChaos;
 pub use forensics::{config_fingerprint, ForensicArtifact, ForensicError};
 pub use journal::{Journal, JournalWriter};
 pub use proto::{AgentCommand, RoutingAgent};

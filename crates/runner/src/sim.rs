@@ -18,6 +18,7 @@
 //! the event queue, fixed iteration order).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use dsr::DsrNode;
@@ -197,6 +198,9 @@ pub struct Simulator<A: RoutingAgent = DsrNode> {
     obs: Option<Box<ObsState>>,
     /// Campaign heartbeat sink; off by default.
     heartbeat: Option<HeartbeatSink>,
+    /// Supervisor cancellation token: when set and raised, the run stops
+    /// at the next event boundary with [`RunError::DeadlineExceeded`].
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<A: RoutingAgent> std::fmt::Debug for Simulator<A> {
@@ -286,6 +290,7 @@ impl<A: RoutingAgent> Simulator<A> {
             audit: Auditor::default(),
             obs: None,
             heartbeat: None,
+            cancel: None,
             cfg,
         }
     }
@@ -375,6 +380,15 @@ impl<A: RoutingAgent> Simulator<A> {
     /// dispatched events (live campaign progress).
     pub fn set_heartbeat(&mut self, sink: HeartbeatSink) {
         self.heartbeat = Some(sink);
+    }
+
+    /// Arms a cancellation token. The executor's supervisor raises it when
+    /// the run blows its per-seed deadline; [`Simulator::try_run`] honors
+    /// it between events, returning [`RunError::DeadlineExceeded`] — a
+    /// stuck single event cannot be preempted, same as the wall-clock
+    /// watchdog.
+    pub fn set_cancel(&mut self, token: Arc<AtomicBool>) {
+        self.cancel = Some(token);
     }
 
     /// Collects the per-layer gauges for a sample boundary at `t`. Pure
@@ -488,6 +502,11 @@ impl<A: RoutingAgent> Simulator<A> {
             if let Some(limit) = self.limits.wall_clock {
                 if wall_started.elapsed() >= limit {
                     return Err(RunError::WatchdogTimeout { seed, at });
+                }
+            }
+            if let Some(cancel) = &self.cancel {
+                if cancel.load(Ordering::Relaxed) {
+                    return Err(RunError::DeadlineExceeded { seed, at });
                 }
             }
             if self.obs.is_some() {
@@ -747,11 +766,14 @@ impl<A: RoutingAgent> Simulator<A> {
                     );
                 }
             }
-            FaultEvent::EventStorm { .. } => {
-                self.count_fault_once(idx);
-                // Perpetual zero-progress self-rescheduling: simulated
-                // time never advances, so only the event budget stops it.
-                self.queue.schedule(self.now, Ev::FaultStart { idx });
+            FaultEvent::EventStorm { only_seed, .. } => {
+                if only_seed.is_none_or(|s| s == self.cfg.seed) {
+                    self.count_fault_once(idx);
+                    // Perpetual zero-progress self-rescheduling: simulated
+                    // time never advances, so only the event budget (or the
+                    // executor's seed deadline) stops it.
+                    self.queue.schedule(self.now, Ev::FaultStart { idx });
+                }
             }
         }
     }

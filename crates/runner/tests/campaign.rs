@@ -50,8 +50,9 @@ fn one_panicking_seed_does_not_take_down_the_campaign() {
 #[test]
 fn event_storm_trips_the_budget_watchdog_instead_of_hanging() {
     let mut base = chain(0);
-    base.faults =
-        FaultPlan { events: vec![FaultEvent::EventStorm { at: SimTime::from_secs(2.0) }] };
+    base.faults = FaultPlan {
+        events: vec![FaultEvent::EventStorm { at: SimTime::from_secs(2.0), only_seed: None }],
+    };
     let campaign = CampaignConfig {
         limits: RunLimits { wall_clock: None, max_events_per_sim_second: Some(50_000) },
         ..CampaignConfig::default()

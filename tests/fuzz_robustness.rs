@@ -251,3 +251,68 @@ proptest! {
         prop_assert!(r.delivered <= r.originated);
     }
 }
+
+proptest! {
+    // Each case runs two full campaigns (one of them multi-threaded), so
+    // this block runs far fewer cases than the cheap fuzzers above.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel campaign execution is invisible in the output: for random
+    /// fault plans — including randomly injected chaos (a panicking seed
+    /// and an event-storm seed, exercising both failure paths of the
+    /// executor) — running with 2, 4, or 8 workers yields a
+    /// `CampaignResult` and journal byte-identical to the sequential run
+    /// over the same seeds.
+    #[test]
+    fn parallel_campaigns_match_sequential_under_random_faults(
+        jobs in prop::sample::select(vec![2usize, 4, 8]),
+        faults in proptest::collection::vec(arb_fault(), 0..3),
+        panic_seed in prop::option::of(1u64..4),
+        storm_seed in prop::option::of(1u64..4),
+    ) {
+        let mut cfg = ScenarioConfig::static_line(4, 180.0, 2.0, DsrConfig::base(), 0);
+        cfg.duration = SimDuration::from_secs(5.0);
+        let mut events = faults;
+        if let Some(seed) = panic_seed {
+            events.push(FaultEvent::Panic {
+                at: SimTime::from_secs(2.0),
+                only_seed: Some(seed),
+            });
+        }
+        if let Some(seed) = storm_seed {
+            events.push(FaultEvent::EventStorm {
+                at: SimTime::from_secs(1.0),
+                only_seed: Some(seed),
+            });
+        }
+        cfg.faults = FaultPlan { events };
+        let journal_for = |tag: &str| {
+            std::env::temp_dir()
+                .join(format!("fuzz-exec-{tag}-{}.txt", std::process::id()))
+        };
+        let campaign_for = |jobs: usize, tag: &str| CampaignConfig {
+            jobs,
+            // A finite event budget turns the storm into a deterministic
+            // EventBudgetExhausted instead of a wall-clock-dependent hang.
+            limits: RunLimits { wall_clock: None, max_events_per_sim_second: Some(30_000) },
+            journal: Some(journal_for(tag)),
+            ..CampaignConfig::default()
+        };
+
+        let seq_cfg = campaign_for(1, "seq");
+        let _ = std::fs::remove_file(seq_cfg.journal.as_ref().unwrap());
+        let sequential = run_campaign(&cfg, &[1, 2, 3], &seq_cfg);
+        prop_assert_eq!(sequential.reports.len() + sequential.failures.len(), 3);
+
+        let par_cfg = campaign_for(jobs, "par");
+        let _ = std::fs::remove_file(par_cfg.journal.as_ref().unwrap());
+        let parallel = run_campaign(&cfg, &[1, 2, 3], &par_cfg);
+
+        let seq_journal = std::fs::read(seq_cfg.journal.as_ref().unwrap()).unwrap_or_default();
+        let par_journal = std::fs::read(par_cfg.journal.as_ref().unwrap()).unwrap_or_default();
+        let _ = std::fs::remove_file(seq_cfg.journal.as_ref().unwrap());
+        let _ = std::fs::remove_file(par_cfg.journal.as_ref().unwrap());
+        prop_assert_eq!(parallel, sequential, "jobs must not change the CampaignResult");
+        prop_assert_eq!(par_journal, seq_journal, "jobs must not change the journal bytes");
+    }
+}
