@@ -23,6 +23,12 @@ pub struct BenchSummary {
     pub wall_seconds: f64,
     /// The gated metric.
     pub events_per_wall_second: f64,
+    /// Scheduled-but-never-dispatched events (tombstoned cancellations
+    /// plus the queue remainder at the horizon). `None` for baselines
+    /// written before `dsr-profile v1` carried the field.
+    pub cancelled: Option<u64>,
+    /// `cancelled` as a fraction of scheduled queue events.
+    pub cancel_ratio: Option<f64>,
 }
 
 /// Extracts the first top-level `"key": <number>` field.
@@ -61,7 +67,19 @@ impl BenchSummary {
             events: number("events")? as u64,
             wall_seconds: number("wall_seconds")?,
             events_per_wall_second: number("events_per_wall_second")?,
+            cancelled: number_field(json, "cancelled").map(|v| v as u64),
+            cancel_ratio: number_field(json, "cancel_ratio"),
         })
+    }
+
+    /// Human-readable cancellation figure for gate output, e.g.
+    /// `"40371469 cancelled (12.1%)"`, or a placeholder for baselines
+    /// that predate the field.
+    pub fn cancel_summary(&self) -> String {
+        match (self.cancelled, self.cancel_ratio) {
+            (Some(n), Some(r)) => format!("{n} cancelled ({:.1}%)", r * 100.0),
+            _ => "cancelled: n/a".to_string(),
+        }
     }
 }
 
@@ -135,6 +153,23 @@ mod tests {
         assert_eq!(s.events, 1_000_000);
         assert_eq!(s.wall_seconds, 100.5);
         assert_eq!(s.events_per_wall_second, 1485503.77);
+        // Pre-cancellation baselines stay parseable, with the new fields
+        // absent rather than fabricated.
+        assert_eq!(s.cancelled, None);
+        assert_eq!(s.cancel_ratio, None);
+        assert_eq!(s.cancel_summary(), "cancelled: n/a");
+    }
+
+    #[test]
+    fn parses_cancellation_fields_when_present() {
+        let json = bench_json(2.0).replace(
+            "\"scheduled\": 1100000,",
+            "\"scheduled\": 1100000,\n  \"cancelled\": 100000,\n  \"cancel_ratio\": 0.0909,",
+        );
+        let s = BenchSummary::parse(&json).unwrap();
+        assert_eq!(s.cancelled, Some(100_000));
+        assert_eq!(s.cancel_ratio, Some(0.0909));
+        assert_eq!(s.cancel_summary(), "100000 cancelled (9.1%)");
     }
 
     #[test]

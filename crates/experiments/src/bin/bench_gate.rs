@@ -84,8 +84,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!(
-            "bench_gate: baseline {} updated to {:.0} events/s ({} events in {:.1}s)",
-            args.baseline, fresh.events_per_wall_second, fresh.events, fresh.wall_seconds
+            "bench_gate: baseline {} updated to {:.0} events/s ({} events in {:.1}s, {})",
+            args.baseline,
+            fresh.events_per_wall_second,
+            fresh.events,
+            fresh.wall_seconds,
+            fresh.cancel_summary()
         );
         return ExitCode::SUCCESS;
     }
@@ -111,6 +115,14 @@ fn main() -> ExitCode {
                 fresh.events_per_wall_second,
                 baseline.events_per_wall_second,
                 change * 100.0
+            );
+            // Schedule/dispatch gap, surfaced so cancellation churn is
+            // visible in every CI log (baseline figure alongside for
+            // trend-spotting).
+            println!(
+                "bench_gate: queue churn — fresh {}, baseline {}",
+                fresh.cancel_summary(),
+                baseline.cancel_summary()
             );
             ExitCode::SUCCESS
         }

@@ -325,6 +325,29 @@ impl<P: Clone> Dcf<P> {
         }
     }
 
+    /// Quietly folds externally-tracked carrier state into the MAC's
+    /// horizons without triggering any state transition or command.
+    ///
+    /// Both horizons are max-merged, exactly like the updates
+    /// [`Dcf::on_channel_busy_into`] and [`Dcf::on_receive_into`] apply, so
+    /// the driver may deliver them late (batched) as long as it does so
+    /// before any input that *reads* them. While the MAC is in a
+    /// carrier-reactive state (see [`Dcf::carrier_reactive`]) quiet merging
+    /// is not enough — the driver must deliver real busy notifications so
+    /// the freeze/recheck transitions fire.
+    pub fn observe_carrier(&mut self, phys_until: SimTime, nav_until: SimTime) {
+        self.phys_busy_until = self.phys_busy_until.max(phys_until);
+        self.nav_until = self.nav_until.max(nav_until);
+    }
+
+    /// Whether the MAC currently *reacts* to carrier transitions (backoff
+    /// countdown that must freeze, or an idle-wait whose recheck horizon
+    /// must extend), as opposed to merely reading the horizons the next
+    /// time it consults [`Dcf::busy_until`].
+    pub fn carrier_reactive(&self) -> bool {
+        matches!(self.state, MainState::Deferring | MainState::WaitIdle)
+    }
+
     /// An intact frame arrived at our radio.
     pub fn on_receive(&mut self, frame: MacFrame<P>, now: SimTime) -> Vec<MacCommand<P>> {
         let mut cmds = Vec::new();

@@ -12,7 +12,9 @@
 //! sim_seconds = 1200.0
 //! wall_seconds = 45.183
 //! events = 18433204
+//! dispatched = 18433204
 //! scheduled = 19001771
+//! cancelled = 568567
 //! kinds = 2
 //! kind.0 = agent_timer 9120411 21930114312
 //! kind.1 = mac_timer 8101233 1801238971
@@ -54,11 +56,19 @@ pub struct Profile {
     pub sim_seconds: f64,
     /// Total wall-clock seconds spent inside `try_run` across merged runs.
     pub wall_seconds: f64,
-    /// Events dispatched (sum of `EventQueue::popped`).
+    /// Logical events processed: queue dispatches plus arrival boundaries
+    /// the PHY envelope absorbed inline without a queue event — the
+    /// workload-comparable figure across planner generations.
     pub events: u64,
+    /// Events actually popped from the queue (sum of `EventQueue::popped`).
+    pub dispatched: u64,
     /// Events scheduled (sum of `EventQueue::scheduled`), including ones
     /// later cancelled.
     pub scheduled: u64,
+    /// Scheduled events that never dispatched (cancelled timers plus the
+    /// queue remainder at the horizon) — the re-arm churn future PRs can
+    /// attack.
+    pub cancelled: u64,
     /// Per-event-kind dispatch counts and wall time.
     pub kinds: Vec<Tally>,
     /// Per-drop-reason occurrence counts.
@@ -93,7 +103,9 @@ impl Profile {
         self.sim_seconds += other.sim_seconds;
         self.wall_seconds += other.wall_seconds;
         self.events += other.events;
+        self.dispatched += other.dispatched;
         self.scheduled += other.scheduled;
+        self.cancelled += other.cancelled;
         merge_tallies(&mut self.kinds, &other.kinds);
         merge_tallies(&mut self.drops, &other.drops);
         merge_tallies(&mut self.traces, &other.traces);
@@ -109,6 +121,16 @@ impl Profile {
         }
     }
 
+    /// Fraction of scheduled events that never dispatched; `0.0` when
+    /// nothing was scheduled.
+    pub fn cancel_ratio(&self) -> f64 {
+        if self.scheduled > 0 {
+            self.cancelled as f64 / self.scheduled as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Renders the `dsr-profile v1` text form; tally lists are name-sorted.
     pub fn render(&self) -> String {
         let mut block = KvBlock::new();
@@ -118,7 +140,9 @@ impl Profile {
         block.push("sim_seconds", fmt_f64(self.sim_seconds));
         block.push("wall_seconds", fmt_f64(self.wall_seconds));
         block.push("events", self.events.to_string());
+        block.push("dispatched", self.dispatched.to_string());
         block.push("scheduled", self.scheduled.to_string());
+        block.push("cancelled", self.cancelled.to_string());
         for (prefix, tallies) in
             [("kind", &self.kinds), ("drop", &self.drops), ("trace", &self.traces)]
         {
@@ -171,13 +195,29 @@ impl Profile {
             }
             Ok(out)
         };
+        let events: u64 = block.require_parsed("events")?;
+        let scheduled: u64 = block.require_parsed("scheduled")?;
+        // Optional with backwards-compatible defaults: profiles written
+        // before the envelope planner had no inline boundaries (dispatched
+        // == events) and every schedule/dispatch gap was cancellation.
+        let opt_u64 = |key: &'static str, default: u64| -> Result<u64, ObsError> {
+            match block.get(key) {
+                Some(raw) => raw.parse().map_err(|_| ObsError::BadValue {
+                    key: key.to_string(),
+                    value: raw.to_string(),
+                }),
+                None => Ok(default),
+            }
+        };
         Ok(Profile {
             runs: block.require_parsed("runs")?,
             runs_failed: block.require_parsed("runs_failed")?,
             sim_seconds: block.require_parsed("sim_seconds")?,
             wall_seconds: block.require_parsed("wall_seconds")?,
-            events: block.require_parsed("events")?,
-            scheduled: block.require_parsed("scheduled")?,
+            events,
+            dispatched: opt_u64("dispatched", events)?,
+            scheduled,
+            cancelled: opt_u64("cancelled", scheduled.saturating_sub(events))?,
             kinds: parse_tallies("kind", true)?,
             drops: parse_tallies("drop", false)?,
             traces: parse_tallies("trace", false)?,
@@ -221,7 +261,9 @@ impl Profile {
         format!(
             "{{\n  \"schema\": \"{schema}\",\n  \"name\": \"{name}\",\n  \"runs\": {runs},\n  \
              \"runs_failed\": {failed},\n  \"sim_seconds\": {sim},\n  \"wall_seconds\": {wall},\n  \
-             \"events\": {events},\n  \"scheduled\": {scheduled},\n  \
+             \"events\": {events},\n  \"dispatched\": {dispatched},\n  \
+             \"scheduled\": {scheduled},\n  \"cancelled\": {cancelled},\n  \
+             \"cancel_ratio\": {cancel_ratio},\n  \
              \"events_per_wall_second\": {rate},\n  \"kinds\": {kinds},\n  \"drops\": {drops},\n  \
              \"traces\": {traces}\n}}\n",
             schema = FORMAT_HEADER,
@@ -231,7 +273,10 @@ impl Profile {
             sim = fmt_f64(self.sim_seconds),
             wall = fmt_f64(self.wall_seconds),
             events = self.events,
+            dispatched = self.dispatched,
             scheduled = self.scheduled,
+            cancelled = self.cancelled,
+            cancel_ratio = fmt_f64(self.cancel_ratio()),
             rate = fmt_f64(self.events_per_wall_second()),
             kinds = tally_array(&self.kinds, true),
             drops = tally_array(&self.drops, false),
@@ -284,7 +329,9 @@ mod tests {
             sim_seconds: 120.0,
             wall_seconds: 1.5,
             events: 1000,
+            dispatched: 990,
             scheduled: 1100,
+            cancelled: 104,
             kinds: vec![
                 Tally { name: "mac_timer".into(), count: 600, wall_ns: 900_000 },
                 Tally { name: "agent_timer".into(), count: 400, wall_ns: 600_000 },
@@ -324,6 +371,28 @@ mod tests {
     fn events_per_wall_second_handles_zero_wall() {
         assert_eq!(Profile::default().events_per_wall_second(), 0.0);
         assert!((one_run().events_per_wall_second() - 1000.0 / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancel_ratio_handles_zero_scheduled() {
+        assert_eq!(Profile::default().cancel_ratio(), 0.0);
+        assert!((one_run().cancel_ratio() - 104.0 / 1100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_defaults_pre_envelope_profiles() {
+        // Profiles written before `dispatched`/`cancelled` existed must
+        // still load, with every dispatch attributed to the queue and the
+        // whole schedule gap to cancellation.
+        let mut legacy = one_run().render();
+        legacy = legacy
+            .lines()
+            .filter(|l| !l.starts_with("dispatched =") && !l.starts_with("cancelled ="))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = Profile::parse(&legacy).unwrap();
+        assert_eq!(parsed.dispatched, 1000);
+        assert_eq!(parsed.cancelled, 100);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Differential driver: fused-envelope vs eager paired arrival handling.
+//!
+//! Replays one receiver's arrival history through both [`ReceiverState`]
+//! APIs — the eager `arrival_start`/`arrival_end` pair the legacy event
+//! queue dispatches, and the lazy `add_pending`/`settle_start`/`decode`
+//! protocol the fused runner uses — and asserts byte-identical outcomes:
+//! the same frames deliver, and the sensed-busy horizon agrees at every
+//! boundary instant.
+//!
+//! The harness mirrors the runner's seq discipline: every boundary gets a
+//! key `(time, seq)` with seqs assigned in global event order, so
+//! same-instant boundaries fold in the same order on both paths. Property
+//! tests (`tests/properties.rs`) drive it with random arrival storms;
+//! the unit tests below pin a few known-treacherous shapes so the harness
+//! itself stays verified in registry-free environments.
+
+use sim_core::{SimDuration, SimTime};
+
+use crate::propagation::RadioConfig;
+use crate::receiver::{PendingArrival, ReceiverState, TxId};
+
+/// One planned arrival at the receiver under test: start/duration in
+/// nanoseconds plus received power in watts. Powers below the
+/// carrier-sense threshold are the driver's job to filter and must not be
+/// passed here (they are invisible to the node on both paths).
+#[derive(Debug, Clone, Copy)]
+pub struct DiffArrival {
+    /// Arrival start, nanoseconds.
+    pub start_ns: u64,
+    /// Airtime, nanoseconds (must be > 0).
+    pub dur_ns: u64,
+    /// Received power, watts.
+    pub power_w: f64,
+}
+
+/// What happens at one instant of the replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Op {
+    /// Arrival `i` begins (eager: `arrival_start`; fused: start boundary).
+    Start(usize),
+    /// Arrival `i` ends (eager: `arrival_end`; fused: decode event).
+    End(usize),
+    /// The node's own transmitter switches on (half-duplex corruption).
+    BeginTx,
+}
+
+/// Replays `arrivals` (plus an optional own transmission) through both
+/// paths and panics with a description on the first divergence. Returns
+/// the per-arrival delivery outcomes for further assertions.
+///
+/// # Panics
+///
+/// Panics when the fused envelope and the eager paired path disagree on
+/// any delivery or on the busy horizon at any boundary instant — that is
+/// the point.
+pub fn assert_fused_matches_eager(
+    cfg: &RadioConfig,
+    arrivals: &[DiffArrival],
+    own_tx: Option<(u64, u64)>,
+) -> Vec<bool> {
+    let rx_threshold = cfg.rx_threshold_w;
+    let t = |ns: u64| SimTime::from_nanos(ns);
+
+    // Global event order: time-sorted, ties broken by a fixed op rank.
+    // Both paths replay this exact order, and fused seqs are assigned
+    // from it, so the tie-break is identical by construction.
+    let mut ops: Vec<(SimTime, Op)> = Vec::new();
+    for (i, a) in arrivals.iter().enumerate() {
+        assert!(a.dur_ns > 0, "arrival {i} has zero airtime");
+        ops.push((t(a.start_ns), Op::Start(i)));
+        ops.push((t(a.start_ns + a.dur_ns), Op::End(i)));
+    }
+    if let Some((start_ns, _)) = own_tx {
+        ops.push((t(start_ns), Op::BeginTx));
+    }
+    ops.sort();
+
+    // Seq = position in the sorted replay. `start_seq[i]` is the key the
+    // runner would have reserved at plan time; `end_seq[i]` the one the
+    // start boundary reserves for the decode event.
+    let seq_of = |needle: Op, ops: &[(SimTime, Op)]| -> u64 {
+        ops.iter().position(|(_, op)| *op == needle).expect("op present") as u64
+    };
+
+    let mut eager: ReceiverState = ReceiverState::new(cfg.clone());
+    let mut fused: ReceiverState = ReceiverState::new(cfg.clone());
+
+    // Plan every arrival into the fused envelope up front, keyed by its
+    // start boundary's replay position (ascending insert keeps the
+    // pending queue's (start, seq) order coherent with the replay).
+    let mut plan: Vec<(u64, usize)> =
+        (0..arrivals.len()).map(|i| (seq_of(Op::Start(i), &ops), i)).collect();
+    plan.sort_unstable();
+    for &(start_seq, i) in &plan {
+        let a = &arrivals[i];
+        let decodable = a.power_w >= rx_threshold;
+        fused.add_pending(PendingArrival {
+            tx_id: i as TxId,
+            power_w: a.power_w,
+            start: t(a.start_ns),
+            start_seq,
+            end: t(a.start_ns + a.dur_ns),
+            nav: SimDuration::ZERO,
+            needs_decode: decodable,
+            start_evented: decodable,
+            payload: decodable.then_some(()),
+        });
+    }
+
+    let mut delivered_eager = vec![false; arrivals.len()];
+    let mut delivered_fused = vec![false; arrivals.len()];
+    for (pos, &(at, op)) in ops.iter().enumerate() {
+        let seq = pos as u64;
+        match op {
+            Op::Start(i) => {
+                let a = &arrivals[i];
+                let end = t(a.start_ns + a.dur_ns);
+                eager.arrival_start(i as TxId, a.power_w, at, end);
+                if a.power_w >= rx_threshold {
+                    // The fused start boundary: settle, then reserve the
+                    // decode event's key exactly like the runner's
+                    // ArrivalBoundary arm.
+                    if fused.settle_start(i as TxId, at, seq) {
+                        let end_seq = seq_of(Op::End(i), &ops);
+                        fused.finalize_lock(i as TxId, end_seq, false);
+                    }
+                }
+                // Sub-RX arrivals have no fused boundary: the envelope
+                // folds them inside a later commit.
+            }
+            Op::End(i) => {
+                delivered_eager[i] = eager.arrival_end(i as TxId, at);
+                if arrivals[i].power_w >= rx_threshold {
+                    delivered_fused[i] = fused.decode(i as TxId, at, seq).is_some();
+                }
+            }
+            Op::BeginTx => {
+                let (start_ns, dur_ns) = own_tx.expect("op implies tx");
+                let until = t(start_ns + dur_ns);
+                eager.begin_tx(at, until, crate::receiver::SEQ_MAX);
+                fused.begin_tx(at, until, seq);
+            }
+        }
+        // The MAC's view must agree at every boundary instant.
+        let busy_eager = eager.busy_until(at, crate::receiver::SEQ_MAX);
+        let busy_fused = fused.busy_until(at, seq);
+        assert_eq!(
+            busy_eager, busy_fused,
+            "busy horizon diverged at {at:?} after {op:?} (event {pos})"
+        );
+    }
+    assert_eq!(
+        delivered_eager, delivered_fused,
+        "delivery outcomes diverged for {arrivals:?} tx={own_tx:?}"
+    );
+    delivered_eager
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RadioConfig {
+        RadioConfig::wavelan()
+    }
+
+    const SUB_RX: f64 = 1e-10; // above CS (1.559e-11), below RX (3.652e-10)
+    const RX: f64 = 1e-9;
+    const STRONG: f64 = 1e-7; // > 10x RX: wins capture contests
+
+    fn a(start_ns: u64, dur_ns: u64, power_w: f64) -> DiffArrival {
+        DiffArrival { start_ns, dur_ns, power_w }
+    }
+
+    #[test]
+    fn clean_decode_and_sub_rx_noise() {
+        let delivered =
+            assert_fused_matches_eager(&cfg(), &[a(0, 1000, RX), a(5000, 1000, SUB_RX)], None);
+        assert_eq!(delivered, vec![true, false]);
+    }
+
+    #[test]
+    fn capture_contest_and_collision() {
+        // Strong frame captures the medium from the weak lock; two
+        // comparable frames collide.
+        let delivered = assert_fused_matches_eager(
+            &cfg(),
+            &[a(0, 4000, RX), a(1000, 1000, STRONG), a(10_000, 3000, RX), a(11_000, 3000, RX)],
+            None,
+        );
+        assert_eq!(delivered, vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn half_duplex_own_tx_corrupts_reception() {
+        let delivered = assert_fused_matches_eager(
+            &cfg(),
+            &[a(0, 5000, RX), a(6000, 1000, RX)],
+            Some((2000, 1000)),
+        );
+        assert_eq!(delivered, vec![false, true]);
+    }
+
+    #[test]
+    fn same_instant_start_ties_fold_identically() {
+        // Two decodable frames and a sub-RX interferer all starting at the
+        // same nanosecond — the systematic-tie case integer-ns MAC timing
+        // produces in real runs.
+        assert_fused_matches_eager(
+            &cfg(),
+            &[a(1000, 2000, RX), a(1000, 3000, RX), a(1000, 4000, SUB_RX), a(3000, 500, STRONG)],
+            None,
+        );
+    }
+
+    #[test]
+    fn sub_rx_storm_stays_noise_but_extends_busy() {
+        let arrivals: Vec<DiffArrival> =
+            (0..32).map(|i| a(i * 137, 1000 + i * 61, SUB_RX)).collect();
+        let delivered = assert_fused_matches_eager(&cfg(), &arrivals, None);
+        assert!(delivered.iter().all(|d| !d));
+    }
+}

@@ -21,13 +21,15 @@
 //! assert!(radio.in_cs_range(500.0)); // sensed, but not decodable
 //! ```
 
+pub mod differential;
 pub mod medium;
 pub mod propagation;
 pub mod receiver;
 
+pub use differential::{assert_fused_matches_eager, DiffArrival};
 pub use medium::{
     plan_arrivals, plan_arrivals_indexed_into, plan_arrivals_into, plan_arrivals_masked, Arrival,
     PlannedArrivals, TxIdSource,
 };
 pub use propagation::{RadioConfig, SPEED_OF_LIGHT};
-pub use receiver::{ArrivalVerdict, ReceiverState, TxId};
+pub use receiver::{ArrivalVerdict, PendingArrival, ReceiverState, TxId, SEQ_MAX};

@@ -7,10 +7,22 @@
 //! ```text
 //! traffic event ──> agent ──Send──> Dcf ──StartTx──> channel (plan_arrivals)
 //!                     ▲                ▲                     │
-//!                     │ Deliver/Snoop/ │ timers, carrier     │ ArrivalStart /
-//!                     │ TxFailed       │ updates             │ ArrivalEnd
+//!                     │ Deliver/Snoop/ │ timers, carrier     │ ArrivalBoundary ─> Arrival
+//!                     │ TxFailed       │ updates             │ CarrierSense
 //!                     └──────────────  Dcf <── ReceiverState ┘
 //! ```
+//!
+//! Arrival scheduling is lazy (DESIGN.md §11): `StartTx` plans every
+//! sensed arrival into the receivers' pending sets, but only decodable
+//! frames get an `ArrivalBoundary` event (whose dispatch settles the lock
+//! and schedules the fused `Arrival` at frame end) and only
+//! reactive-receiver sub-RX frames get a `CarrierSense` nudge. Everything
+//! else folds into the interference envelope inside later receiver
+//! probes, never entering the queue. The legacy eager path
+//! (`ArrivalStart`/`ArrivalEnd` per sensed frame) remains behind
+//! `set_paired_arrivals(true)` — used when fault events are pinned and
+//! via the `DSR_PAIRED_ARRIVALS=1` knob — and produces byte-identical
+//! results.
 //!
 //! The driver is generic over the routing protocol via [`RoutingAgent`]
 //! (DSR by default; AODV in the `aodv` crate). Everything is deterministic
@@ -27,7 +39,8 @@ use metrics::{Metrics, Report};
 use mobility::{LinkOracle, MobilityModel, NeighborGrid, Point, RandomWaypoint, StaticPositions};
 use packet::{NetPacket, ProtocolEvent};
 use phy::{
-    plan_arrivals_indexed_into, plan_arrivals_into, Arrival, ReceiverState, TxId, TxIdSource,
+    plan_arrivals_indexed_into, plan_arrivals_into, Arrival, PendingArrival, ReceiverState, TxId,
+    TxIdSource,
 };
 use sim_core::{EventId, EventQueue, NodeId, RngFactory, SimDuration, SimRng, SimTime};
 use traffic::{generate_flows, CbrFlow};
@@ -54,7 +67,7 @@ pub type HeartbeatSink = Box<dyn FnMut(HeartbeatTick) + Send>;
 const HEARTBEAT_EVERY: u64 = 8192;
 
 /// Profiler names for [`Ev`] variants, indexed by [`ev_kind_index`].
-const EV_KIND_NAMES: [&str; 8] = [
+const EV_KIND_NAMES: [&str; 11] = [
     "mac_timer",
     "agent_timer",
     "agent_send",
@@ -63,6 +76,9 @@ const EV_KIND_NAMES: [&str; 8] = [
     "traffic",
     "fault_start",
     "fault_end",
+    "arrival",
+    "carrier_sense",
+    "arrival_boundary",
 ];
 
 fn ev_kind_index<P, T>(ev: &Ev<P, T>) -> usize {
@@ -75,6 +91,9 @@ fn ev_kind_index<P, T>(ev: &Ev<P, T>) -> usize {
         Ev::Traffic { .. } => 5,
         Ev::FaultStart { .. } => 6,
         Ev::FaultEnd { .. } => 7,
+        Ev::Arrival { .. } => 8,
+        Ev::CarrierSense { .. } => 9,
+        Ev::ArrivalBoundary { .. } => 10,
     }
 }
 
@@ -124,6 +143,29 @@ enum Ev<P, T> {
         frame: Arc<MacFrame<P>>,
         corrupted: bool,
     },
+    /// Fused-envelope path: the start boundary of a *decodable* arrival
+    /// (power ≥ RX threshold). One event replaces the paired start/end
+    /// pair: it folds the boundary, notifies the MAC of the carrier, and
+    /// schedules the decode ([`Ev::Arrival`]) only if the frame actually
+    /// locked and someone cares about its end. The arrival's data lives in
+    /// the envelope's pending entry, so the event is two words.
+    ArrivalBoundary {
+        rx: u16,
+        tx_id: TxId,
+    },
+    /// Fused-envelope path: the decode boundary of a locked frame,
+    /// scheduled at the seq the paired path's end event would have had.
+    Arrival {
+        rx: u16,
+        tx_id: TxId,
+    },
+    /// Fused-envelope path: a sub-RX carrier boundary materialized because
+    /// the receiver's MAC was in a carrier-reactive state (freeze/recheck
+    /// transitions need a real notification, not a lazy merge). Scheduled
+    /// at the start boundary's reserved seq.
+    CarrierSense {
+        rx: u16,
+    },
     Traffic {
         flow: usize,
         k: u64,
@@ -148,7 +190,7 @@ pub struct Simulator<A: RoutingAgent = DsrNode> {
     end: SimTime,
     macs: Vec<Dcf<A::Packet>>,
     agents: Vec<A>,
-    rx_states: Vec<ReceiverState>,
+    rx_states: Vec<ReceiverState<Arc<MacFrame<A::Packet>>>>,
     mobility: Arc<dyn MobilityModel>,
     oracle: LinkOracle,
     metrics: Metrics,
@@ -168,10 +210,29 @@ pub struct Simulator<A: RoutingAgent = DsrNode> {
     /// Test/benchmark knob: `false` forces the linear full-scan planner
     /// (results must be byte-identical either way).
     grid_enabled: bool,
+    /// `true` runs the legacy two-events-per-arrival path instead of the
+    /// fused envelope (results must be byte-identical either way). Forced
+    /// on when the scenario has a fault plan: fault activation windows
+    /// suppress/corrupt arrivals *at their boundary events*, which the
+    /// lazy envelope has no hook for.
+    paired_arrivals: bool,
     /// Scratch: candidate node ids from the grid (reused per transmission).
     cand_buf: Vec<u16>,
     /// Scratch: planned arrivals (reused per transmission).
     arrival_buf: Vec<Arrival>,
+    /// Scratch: materialized carrier-sense boundary keys (reused per
+    /// input).
+    cs_buf: Vec<(SimTime, u64)>,
+    /// Seq of the event currently being dispatched — with `now`, the
+    /// dispatch frontier bounding every lazy envelope fold.
+    cur_seq: u64,
+    /// Arrivals planned on the fused path (each stands for the two events
+    /// the paired path would have dispatched).
+    arrivals_planned: u64,
+    /// Boundary events the fused path actually scheduled
+    /// (`ArrivalBoundary`, `CarrierSense`, `Arrival`); the shortfall
+    /// against `2 * arrivals_planned` is the envelope's inline work.
+    boundary_scheduled: u64,
     /// Pool of MAC command buffers. MAC inputs fire on every arrival and
     /// timer event; pooling removes one heap allocation per input. A pool
     /// (not a single buffer) because command application re-enters the MAC
@@ -265,7 +326,7 @@ impl<A: RoutingAgent> Simulator<A> {
             end,
             macs,
             agents,
-            rx_states: (0..n).map(|_| ReceiverState::new()).collect(),
+            rx_states: (0..n).map(|_| ReceiverState::new(cfg.radio)).collect(),
             mobility,
             oracle,
             metrics: Metrics::new(),
@@ -277,8 +338,18 @@ impl<A: RoutingAgent> Simulator<A> {
             positions_at: SimTime::ZERO,
             grid,
             grid_enabled: true,
+            // `DSR_PAIRED_ARRIVALS=1` forces the legacy paired path for
+            // differential benchmarking; the two paths are byte-identical
+            // in outcome (see tests/fused_equivalence.rs), so the knob can
+            // never change a result — only its speed.
+            paired_arrivals: !cfg.faults.events.is_empty()
+                || std::env::var_os("DSR_PAIRED_ARRIVALS").is_some_and(|v| v == "1"),
             cand_buf: Vec::new(),
             arrival_buf: Vec::new(),
+            cs_buf: Vec::new(),
+            cur_seq: 0,
+            arrivals_planned: 0,
+            boundary_scheduled: 0,
             mac_cmd_pool: Vec::new(),
             trace: None,
             limits: RunLimits::default(),
@@ -298,6 +369,21 @@ impl<A: RoutingAgent> Simulator<A> {
     /// Overrides the watchdog limits enforced by [`Simulator::try_run`].
     pub fn set_limits(&mut self, limits: RunLimits) {
         self.limits = limits;
+    }
+
+    /// Forces the legacy paired start/end arrival events instead of the
+    /// fused-envelope path. The two paths are required to produce
+    /// byte-identical `Report`s (same verdicts, same deliveries, same RNG
+    /// draws); this knob exists so tests and benchmarks can prove it.
+    /// Scenarios with a fault plan always run paired (see the field doc);
+    /// requesting the fused path for one is ignored.
+    pub fn set_paired_arrivals(&mut self, paired: bool) {
+        self.paired_arrivals = paired || !self.cfg.faults.events.is_empty();
+    }
+
+    /// Whether this run uses the legacy paired arrival events (tests).
+    pub fn paired_arrivals(&self) -> bool {
+        self.paired_arrivals
     }
 
     /// Forces the linear full-position-scan medium planner instead of the
@@ -478,7 +564,7 @@ impl<A: RoutingAgent> Simulator<A> {
         // The event that overruns the horizon is not dispatched, but any
         // packet it carries is still in flight for conservation purposes.
         let mut cutoff: Option<Ev<A::Packet, A::Timer>> = None;
-        while let Some((at, ev)) = self.queue.pop() {
+        while let Some((at, seq, ev)) = self.queue.pop_with_seq() {
             if at > self.end {
                 cutoff = Some(ev);
                 break;
@@ -525,6 +611,10 @@ impl<A: RoutingAgent> Simulator<A> {
             let profiled_at = self.obs.as_ref().map(|_| std::time::Instant::now());
             let kind = if profiled_at.is_some() { ev_kind_index(&ev) } else { 0 };
             self.now = at;
+            // The dispatch frontier `(now, cur_seq)`: lazy envelope
+            // boundaries fold up to exactly this key, reproducing the
+            // same-instant FIFO order of the paired event path.
+            self.cur_seq = seq;
             self.dispatch(ev);
             if let Some(started) = profiled_at {
                 // Wall time flows only *out* of the simulation, never back
@@ -542,6 +632,14 @@ impl<A: RoutingAgent> Simulator<A> {
             self.sample_due(self.end);
         }
         let events_dispatched = self.queue.popped();
+        // Arrival boundaries the envelopes absorbed without a queue event:
+        // added to the logical event count so the figure stays
+        // workload-comparable with the paired path, which dispatches two
+        // events per planned arrival. (Boundaries past the horizon are
+        // counted either way — the same planned-work denominator the
+        // paired path's `scheduled` figure carries.)
+        let inline_boundaries: u64 =
+            (2 * self.arrivals_planned).saturating_sub(self.boundary_scheduled);
         if self.audit.enabled() {
             if let Some(v) = self.close_audit(cutoff) {
                 return Err(RunError::ConservationViolation { seed, uid: v.uid, detail: v.detail });
@@ -562,13 +660,21 @@ impl<A: RoutingAgent> Simulator<A> {
                     });
                 }
             }
+            // Inline boundaries count on both sides of the ledger: they
+            // are planned (scheduled) work the envelope settled without a
+            // queue event (dispatched as part of another input), so the
+            // `scheduled >= events >= dispatched` invariant holds on both
+            // arrival paths and `cancelled` stays a pure queue figure.
+            let scheduled = self.queue.scheduled() + inline_boundaries;
             let profile = Profile {
                 runs: 1,
                 runs_failed: 0,
                 sim_seconds: duration,
                 wall_seconds: wall_started.elapsed().as_secs_f64(),
-                events: events_dispatched,
-                scheduled: self.queue.scheduled(),
+                events: events_dispatched + inline_boundaries,
+                dispatched: events_dispatched,
+                scheduled,
+                cancelled: self.queue.scheduled().saturating_sub(events_dispatched),
                 kinds,
                 drops: drops.into_tallies(),
                 traces: traces.into_tallies(),
@@ -598,6 +704,16 @@ impl<A: RoutingAgent> Simulator<A> {
         }
         for mac in &self.macs {
             in_flight.extend(mac.pending_payloads().map(|p| p.uid()));
+        }
+        // Envelope path: frames the receivers still hold (locked or queued
+        // pending) are in flight, exactly like undispatched arrival events
+        // on the paired path.
+        for state in &self.rx_states {
+            for frame in state.payloads() {
+                if let Some(p) = &frame.payload {
+                    in_flight.insert(p.uid());
+                }
+            }
         }
         if self.audit.level() == AuditLevel::Full {
             for agent in &self.agents {
@@ -651,8 +767,8 @@ impl<A: RoutingAgent> Simulator<A> {
                     return;
                 }
                 let state = &mut self.rx_states[rx as usize];
-                state.arrival_start(tx_id, power_w, self.now, end, &self.cfg.radio);
-                if let Some(horizon) = state.busy_until(self.now) {
+                state.arrival_start(tx_id, power_w, self.now, end);
+                if let Some(horizon) = state.busy_until(self.now, self.cur_seq) {
                     let now = self.now;
                     self.mac_input(rx, |mac, cmds| mac.on_channel_busy_into(now, horizon, cmds));
                 }
@@ -670,6 +786,59 @@ impl<A: RoutingAgent> Simulator<A> {
                     let frame = Arc::try_unwrap(frame).unwrap_or_else(|shared| (*shared).clone());
                     let now = self.now;
                     self.mac_input(rx, |mac, cmds| mac.on_receive_into(frame, now, cmds));
+                }
+            }
+            Ev::ArrivalBoundary { rx, tx_id } => {
+                // Fused start boundary of a decodable arrival. Mirrors the
+                // paired start event statement for statement — fold, then
+                // carrier notification, then the end boundary's seq
+                // reservation — so every seq this arm consumes lands at
+                // the exact program point the paired path consumed one,
+                // keeping same-instant tie-breaks identical. The fused
+                // path never runs with faults, so no down/blackout
+                // suppression here.
+                let reactive = self.macs[rx as usize].carrier_reactive();
+                let locked =
+                    self.rx_states[rx as usize].settle_start(tx_id, self.now, self.cur_seq);
+                if let Some(horizon) =
+                    self.rx_states[rx as usize].busy_until(self.now, self.cur_seq)
+                {
+                    let now = self.now;
+                    self.mac_input(rx, |mac, cmds| mac.on_channel_busy_into(now, horizon, cmds));
+                }
+                if locked {
+                    let end_seq = self.queue.reserve_seq();
+                    if let Some(end) =
+                        self.rx_states[rx as usize].finalize_lock(tx_id, end_seq, reactive)
+                    {
+                        self.queue.schedule_at_seq(end, end_seq, Ev::Arrival { rx, tx_id });
+                        self.boundary_scheduled += 1;
+                    }
+                }
+            }
+            Ev::Arrival { rx, tx_id } => {
+                // Fused decode boundary: settle the envelope at the frame's
+                // end and deliver if it survived (still locked, never
+                // corrupted, transmitter off).
+                if let Some(frame) =
+                    self.rx_states[rx as usize].decode(tx_id, self.now, self.cur_seq)
+                {
+                    let frame = Arc::try_unwrap(frame).unwrap_or_else(|shared| (*shared).clone());
+                    let now = self.now;
+                    self.mac_input(rx, |mac, cmds| mac.on_receive_into(frame, now, cmds));
+                }
+            }
+            Ev::CarrierSense { rx } => {
+                // Materialized carrier boundary: fold everything due
+                // (including this event's own sub-RX start, keyed exactly
+                // at the frontier) and notify the MAC so its
+                // freeze/recheck transitions fire at the same instant the
+                // paired path would have fired them.
+                if let Some(horizon) =
+                    self.rx_states[rx as usize].busy_until(self.now, self.cur_seq)
+                {
+                    let now = self.now;
+                    self.mac_input(rx, |mac, cmds| mac.on_channel_busy_into(now, horizon, cmds));
                 }
             }
             Ev::Traffic { flow, k } => {
@@ -742,7 +911,7 @@ impl<A: RoutingAgent> Simulator<A> {
                 }
                 // The crash wipes the radio: in-flight receptions die and
                 // the node's carrier state resets.
-                self.rx_states[i] = ReceiverState::new();
+                self.rx_states[i] = ReceiverState::new(self.cfg.radio);
                 self.queue.schedule(self.node_up_at[i], Ev::FaultEnd { idx });
             }
             FaultEvent::LinkBlackout { down_for, .. } => {
@@ -809,11 +978,58 @@ impl<A: RoutingAgent> Simulator<A> {
         node: u16,
         fill: impl FnOnce(&mut Dcf<A::Packet>, &mut Vec<MacCommand<A::Packet>>),
     ) {
+        if !self.paired_arrivals {
+            self.sync_carrier(node);
+        }
         let mut cmds = self.mac_cmd_pool.pop().unwrap_or_default();
         fill(&mut self.macs[node as usize], &mut cmds);
         self.apply_mac(node, &mut cmds);
         debug_assert!(cmds.is_empty(), "apply_mac drains the buffer");
         self.mac_cmd_pool.push(cmds);
+        if !self.paired_arrivals {
+            self.materialize_carrier(node);
+        }
+    }
+
+    /// Envelope path: settle the node's receiver at `now` and quietly merge
+    /// its carrier horizons into the MAC, so every MAC input observes
+    /// exactly the busy state the paired path's eager notifications would
+    /// have accumulated by this instant.
+    fn sync_carrier(&mut self, node: u16) {
+        let state = &mut self.rx_states[node as usize];
+        state.commit(self.now, self.cur_seq);
+        let phys = state.phys_horizon();
+        let nav = state.nav_horizon();
+        self.macs[node as usize].observe_carrier(phys, nav);
+    }
+
+    /// Envelope path: after a MAC input, if the MAC landed in a
+    /// carrier-reactive state (Deferring/WaitIdle), lazy boundaries are no
+    /// longer equivalent to eager ones — freeze/recheck transitions must
+    /// fire at the boundary instant. Back the in-flight lock's decode and
+    /// every unsensed pending start with real queue events. Entries that
+    /// *lock* at their materialized carrier-sense event are caught by the
+    /// `on_channel_busy` input's own materialize pass, closing the loop.
+    fn materialize_carrier(&mut self, node: u16) {
+        if !self.macs[node as usize].carrier_reactive() {
+            return;
+        }
+        let state = &mut self.rx_states[node as usize];
+        if let Some((tx_id, end, end_seq)) = state.take_unevented_lock() {
+            self.queue.schedule_at_seq(end, end_seq, Ev::Arrival { rx: node, tx_id });
+            self.boundary_scheduled += 1;
+        }
+        let mut starts = std::mem::take(&mut self.cs_buf);
+        self.rx_states[node as usize].unsensed_pending_starts_into(&mut starts);
+        for (at, seq) in starts.drain(..) {
+            // Re-use the seq reserved when the arrival was planned: the
+            // materialized boundary lands at the exact queue position the
+            // eager path's event would have occupied, so same-instant
+            // ties against timers resolve identically.
+            self.queue.schedule_at_seq(at, seq, Ev::CarrierSense { rx: node });
+            self.boundary_scheduled += 1;
+        }
+        self.cs_buf = starts;
     }
 
     fn apply_mac(&mut self, node: u16, cmds: &mut Vec<MacCommand<A::Packet>>) {
@@ -842,7 +1058,7 @@ impl<A: RoutingAgent> Simulator<A> {
                         );
                     }
                     let until = self.now + duration;
-                    self.rx_states[node as usize].begin_tx(self.now, until);
+                    self.rx_states[node as usize].begin_tx(self.now, until, self.cur_seq);
                     self.refresh_positions();
                     let tx_id = self.tx_ids.next_id();
                     let p_corrupt = self.corruption_prob();
@@ -881,25 +1097,85 @@ impl<A: RoutingAgent> Simulator<A> {
                         self.metrics.record_arrivals_suppressed(suppressed);
                     }
                     let frame = Arc::new(frame);
-                    for a in arrivals.drain(..) {
-                        // Drawing only inside corruption windows keeps
-                        // fault-free runs byte-identical to the legacy path.
-                        let corrupted = p_corrupt > 0.0
-                            && sim_core::rng::uniform(&mut self.fault_rng, 0.0, 1.0) < p_corrupt;
-                        if corrupted {
-                            self.metrics.record_frame_corrupted();
+                    if self.paired_arrivals {
+                        for a in arrivals.drain(..) {
+                            // Drawing only inside corruption windows keeps
+                            // fault-free runs byte-identical to the legacy
+                            // path.
+                            let corrupted = p_corrupt > 0.0
+                                && sim_core::rng::uniform(&mut self.fault_rng, 0.0, 1.0)
+                                    < p_corrupt;
+                            if corrupted {
+                                self.metrics.record_frame_corrupted();
+                            }
+                            self.queue.schedule(
+                                a.start,
+                                Ev::ArrivalStart {
+                                    rx: a.receiver.index() as u16,
+                                    tx_id,
+                                    power_w: a.power_w,
+                                    end: a.end,
+                                    frame: Arc::clone(&frame),
+                                    corrupted,
+                                },
+                            );
                         }
-                        self.queue.schedule(
-                            a.start,
-                            Ev::ArrivalStart {
-                                rx: a.receiver.index() as u16,
+                    } else {
+                        let rx_threshold_w = self.cfg.radio.rx_threshold_w;
+                        for a in arrivals.drain(..) {
+                            let rx = a.receiver.index() as u16;
+                            self.arrivals_planned += 1;
+                            let decodable = a.power_w >= rx_threshold_w;
+                            // Every arrival reserves exactly one seq here
+                            // — mirroring the paired path's ArrivalStart
+                            // schedule — so both paths assign seqs at the
+                            // same program points and same-instant ties
+                            // resolve in the same order.
+                            let start_seq = self.queue.reserve_seq();
+                            let (start_evented, needs_decode, payload) = if decodable {
+                                self.queue.schedule_at_seq(
+                                    a.start,
+                                    start_seq,
+                                    Ev::ArrivalBoundary { rx, tx_id },
+                                );
+                                self.boundary_scheduled += 1;
+                                // Data frames must decode at every receiver
+                                // that can lock them (bystanders snoop in
+                                // promiscuous mode); control frames only at
+                                // their addressee — a bystander's NAV
+                                // update is a quiet merge the envelope
+                                // credits on lazy expiry.
+                                let needs =
+                                    frame.payload.is_some() || frame.addressed_to(a.receiver);
+                                (true, needs, Some(Arc::clone(&frame)))
+                            } else if self.macs[rx as usize].carrier_reactive() {
+                                // Sub-RX energy matters now: the MAC's
+                                // freeze/recheck must fire at the start.
+                                self.queue.schedule_at_seq(
+                                    a.start,
+                                    start_seq,
+                                    Ev::CarrierSense { rx },
+                                );
+                                self.boundary_scheduled += 1;
+                                (true, false, None)
+                            } else {
+                                // Quiet sub-RX interference: no event at
+                                // all — the envelope folds it on the next
+                                // MAC input at this node.
+                                (false, false, None)
+                            };
+                            self.rx_states[rx as usize].add_pending(PendingArrival {
                                 tx_id,
                                 power_w: a.power_w,
+                                start: a.start,
+                                start_seq,
                                 end: a.end,
-                                frame: Arc::clone(&frame),
-                                corrupted,
-                            },
-                        );
+                                nav: frame.nav,
+                                needs_decode,
+                                start_evented,
+                                payload,
+                            });
+                        }
                     }
                     self.arrival_buf = arrivals;
                     self.cand_buf = cands;

@@ -70,6 +70,7 @@ pub struct EventQueue<E> {
     cancelled: U64HashSet<EventId>,
     pending: U64HashSet<EventId>,
     next_seq: u64,
+    scheduled: u64,
     popped: u64,
 }
 
@@ -87,6 +88,7 @@ impl<E> EventQueue<E> {
             cancelled: U64HashSet::default(),
             pending: U64HashSet::default(),
             next_seq: 0,
+            scheduled: 0,
             popped: 0,
         }
     }
@@ -95,11 +97,42 @@ impl<E> EventQueue<E> {
     ///
     /// Events with equal timestamps fire in scheduling order.
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.reserve_seq();
+        self.schedule_at_seq(at, seq, payload)
+    }
+
+    /// Consumes and returns the next sequence number *without* scheduling
+    /// anything.
+    ///
+    /// Same-instant events fire in seq order, so a reserved seq is a
+    /// placeholder in the tie-break order: a consumer that models a
+    /// boundary lazily (outside the queue) can reserve its seq at the
+    /// moment the eager design would have scheduled it, then either compare
+    /// the reserved seq against dispatched events' seqs, or hand the
+    /// boundary back to the queue later via [`EventQueue::schedule_at_seq`]
+    /// — in both cases the tie-break order is exactly what eager
+    /// scheduling would have produced.
+    pub fn reserve_seq(&mut self) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        seq
+    }
+
+    /// Schedules `payload` at `at` under a seq previously obtained from
+    /// [`EventQueue::reserve_seq`], pinning its position in the
+    /// same-instant FIFO order.
+    ///
+    /// The caller must ensure `(at, seq)` is still in the future of the
+    /// dispatch frontier (i.e. no event with a larger `(time, seq)` key has
+    /// been popped) and that each reserved seq is scheduled at most once;
+    /// both hold naturally when the seq was reserved for a boundary at
+    /// `at` that has not yet been reached.
+    pub fn schedule_at_seq(&mut self, at: SimTime, seq: u64, payload: E) -> EventId {
+        debug_assert!(seq < self.next_seq, "seq must come from reserve_seq");
         let id = EventId(seq);
         self.heap.push(Entry { at, seq, id, payload });
         self.pending.insert(id);
+        self.scheduled += 1;
         id
     }
 
@@ -119,13 +152,21 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest pending event, skipping cancelled
     /// entries. Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_with_seq().map(|(at, _, e)| (at, e))
+    }
+
+    /// Like [`EventQueue::pop`] but also returns the event's sequence
+    /// number, so callers running lazy boundaries (see
+    /// [`EventQueue::reserve_seq`]) can bound their catch-up work by the
+    /// dispatch frontier `(time, seq)`.
+    pub fn pop_with_seq(&mut self) -> Option<(SimTime, u64, E)> {
         while let Some(entry) = self.heap.pop() {
             if self.cancelled.remove(&entry.id) {
                 continue;
             }
             self.pending.remove(&entry.id);
             self.popped += 1;
-            return Some((entry.at, entry.payload));
+            return Some((entry.at, entry.seq, entry.payload));
         }
         None
     }
@@ -163,10 +204,11 @@ impl<E> EventQueue<E> {
     }
 
     /// Total number of events ever scheduled on this queue, including ones
-    /// later cancelled. The profiler reports `scheduled - popped` pressure
+    /// later cancelled but excluding bare [`EventQueue::reserve_seq`]
+    /// reservations. The profiler reports `scheduled - popped` pressure
     /// (timers armed but never fired) alongside dispatch counts.
     pub fn scheduled(&self) -> u64 {
-        self.next_seq
+        self.scheduled
     }
 }
 
@@ -273,6 +315,43 @@ mod tests {
         q.cancel(a);
         assert_eq!(q.scheduled(), 2, "cancellation does not rewind the count");
         q.pop();
+        assert_eq!(q.scheduled(), 2);
+    }
+
+    #[test]
+    fn reserved_seq_pins_tie_break_position() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        q.schedule(t, "a"); // seq 0
+        let held = q.reserve_seq(); // seq 1 — boundary modelled lazily
+        q.schedule(t, "c"); // seq 2
+
+        // The lazy boundary is handed back to the queue later but fires in
+        // its reserved position, exactly as if it had been scheduled
+        // eagerly between `a` and `c`.
+        q.schedule_at_seq(t, held, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn pop_with_seq_exposes_scheduling_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2.0), "late");
+        q.schedule(SimTime::from_secs(1.0), "early");
+        let (_, seq, e) = q.pop_with_seq().unwrap();
+        assert_eq!((seq, e), (1, "early"));
+        let (_, seq, e) = q.pop_with_seq().unwrap();
+        assert_eq!((seq, e), (0, "late"));
+    }
+
+    #[test]
+    fn reservations_do_not_count_as_scheduled() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.0), ());
+        let held = q.reserve_seq();
+        assert_eq!(q.scheduled(), 1, "a bare reservation is not a schedule");
+        q.schedule_at_seq(SimTime::from_secs(1.0), held, ());
         assert_eq!(q.scheduled(), 2);
     }
 

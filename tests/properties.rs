@@ -8,7 +8,10 @@ use dsr_caching::mobility::{
     Field, MobilityModel, NeighborGrid, Point, RandomWaypoint, WaypointConfig,
 };
 use dsr_caching::packet::{Link, Route};
-use dsr_caching::phy::{plan_arrivals_indexed_into, plan_arrivals_masked, RadioConfig};
+use dsr_caching::phy::{
+    assert_fused_matches_eager, plan_arrivals_indexed_into, plan_arrivals_masked, DiffArrival,
+    RadioConfig,
+};
 use dsr_caching::sim_core::{EventQueue, NodeId, RngFactory, SimDuration, SimTime};
 
 /// Strategy: a loop-free node sequence of 2..=8 nodes drawn from 0..16.
@@ -319,5 +322,44 @@ proptest! {
 
         prop_assert_eq!(indexed, linear.arrivals);
         prop_assert_eq!(suppressed, linear.suppressed);
+    }
+
+    // ------------------------------------------------------------------
+    // Receiver invariants: fused envelope == eager paired arrivals
+    // ------------------------------------------------------------------
+
+    /// The lazy interference envelope is a pure acceleration structure:
+    /// random overlapping arrival storms — powers straddling the
+    /// carrier-sense and reception thresholds, capture contests,
+    /// same-instant start ties, an optional half-duplex own transmission —
+    /// must produce exactly the deliveries and busy horizons of the eager
+    /// paired start/end path. Divergence panics inside the harness (see
+    /// `phy::differential`).
+    #[test]
+    fn fused_envelope_matches_eager_paired_arrivals(
+        raw in proptest::collection::vec(
+            // (start, duration, power class). Starts cluster in a window
+            // comparable to the durations so frames genuinely overlap;
+            // the 0-mod-4 class is sub-RX (envelope-folded), the rest
+            // decodable, with class 3 strong enough to win capture.
+            (0u64..2_000_000, 1u64..1_500_000, 0u8..4),
+            1..24,
+        ),
+        own_tx in proptest::option::of((0u64..2_000_000, 1u64..500_000)),
+    ) {
+        let arrivals: Vec<DiffArrival> = raw
+            .iter()
+            .map(|&(start_ns, dur_ns, class)| DiffArrival {
+                start_ns,
+                dur_ns,
+                power_w: match class {
+                    0 => 1e-10, // sub-RX, above carrier sense
+                    1 => 5e-10, // barely decodable
+                    2 => 1e-9,
+                    _ => 1e-7,  // > 10x: capture winner
+                },
+            })
+            .collect();
+        assert_fused_matches_eager(&RadioConfig::wavelan(), &arrivals, own_tx);
     }
 }
