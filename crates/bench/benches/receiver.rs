@@ -111,6 +111,7 @@ fn drive_fused(cfg: &RadioConfig, stream: &[Planned]) -> u64 {
             needs_decode: decodable,
             start_evented: decodable,
             payload: decodable.then_some(()),
+            corrupted: false,
         });
     }
     let mut ops: Vec<(SimTime, bool, usize)> = Vec::new();

@@ -144,23 +144,12 @@ impl DsrNode {
     /// Creates the agent for `node`. `rng` should be a per-node stream
     /// (it only drives jitter draws).
     pub fn new(node: NodeId, cfg: DsrConfig, rng: SimRng) -> Self {
-        let adaptive = match cfg.expiry {
-            ExpiryPolicy::Adaptive { alpha, min_timeout, .. } => {
-                AdaptiveTimeout::new(alpha, min_timeout)
-            }
-            // Unused estimator, still fed so ablations can inspect it.
-            _ => AdaptiveTimeout::new(1.0, SimDuration::from_secs(1.0)),
-        };
-        let cache: Box<dyn RouteCache> = match cfg.cache_organization {
-            CacheOrganization::Path => Box::new(PathCache::new(node, cfg.cache_capacity)),
-            CacheOrganization::Link => Box::new(LinkCache::new(node, cfg.cache_capacity)),
-        };
         DsrNode {
             id: node,
-            cache,
-            negative: cfg.negative_cache.map(NegativeCache::new),
-            adaptive,
-            send_buffer: SendBuffer::new(cfg.send_buffer_capacity, cfg.send_buffer_timeout),
+            cache: Self::build_cache(node, &cfg),
+            negative: Self::build_negative(&cfg),
+            adaptive: Self::build_adaptive(&cfg),
+            send_buffer: Self::build_send_buffer(&cfg),
             requests: RequestTable::default(),
             pending_error: None,
             seen_errors: VecDeque::new(),
@@ -170,6 +159,31 @@ impl DsrNode {
             rng,
             cfg,
         }
+    }
+
+    fn build_cache(node: NodeId, cfg: &DsrConfig) -> Box<dyn RouteCache> {
+        match cfg.cache_organization {
+            CacheOrganization::Path => Box::new(PathCache::new(node, cfg.cache_capacity)),
+            CacheOrganization::Link => Box::new(LinkCache::new(node, cfg.cache_capacity)),
+        }
+    }
+
+    fn build_negative(cfg: &DsrConfig) -> Option<NegativeCache> {
+        cfg.negative_cache.map(NegativeCache::new)
+    }
+
+    fn build_adaptive(cfg: &DsrConfig) -> AdaptiveTimeout {
+        match cfg.expiry {
+            ExpiryPolicy::Adaptive { alpha, min_timeout, .. } => {
+                AdaptiveTimeout::new(alpha, min_timeout)
+            }
+            // Unused estimator, still fed so ablations can inspect it.
+            _ => AdaptiveTimeout::new(1.0, SimDuration::from_secs(1.0)),
+        }
+    }
+
+    fn build_send_buffer(cfg: &DsrConfig) -> SendBuffer {
+        SendBuffer::new(cfg.send_buffer_capacity, cfg.send_buffer_timeout)
     }
 
     /// This agent's node id.
@@ -251,6 +265,39 @@ impl DsrNode {
     /// start.
     pub fn start(&mut self, now: SimTime) -> Vec<DsrCommand> {
         vec![DsrCommand::SetTimer { timer: DsrTimer::Tick, at: now + self.tick_period() }]
+    }
+
+    /// The node rebooted after a fault-injected crash (churn): every piece
+    /// of volatile protocol state — route cache, negative cache, adaptive
+    /// estimator, send buffer, request table, error/gratuitous-reply
+    /// suppression windows — is rebuilt from the config, exactly as
+    /// [`DsrNode::new`] built it. Buffered packets are surrendered as
+    /// `Drop(NodeReset)` commands so the conservation ledger stays
+    /// balanced, and the periodic tick is re-armed (the driver cancelled
+    /// all timers at crash time).
+    ///
+    /// The uid counter and the jitter RNG survive the reboot: uids must
+    /// stay globally unique across a node's lifetimes (a restarted counter
+    /// would re-issue old uids and trip the "originated twice" audit), and
+    /// the RNG keeps its named-stream determinism.
+    pub fn reboot(&mut self, now: SimTime) -> Vec<DsrCommand> {
+        let mut cmds: Vec<DsrCommand> = self
+            .send_buffer
+            .uids()
+            .into_iter()
+            .map(|uid| DsrCommand::Drop { uid, reason: DropReason::NodeReset })
+            .collect();
+        self.cache = Self::build_cache(self.id, &self.cfg);
+        self.negative = Self::build_negative(&self.cfg);
+        self.adaptive = Self::build_adaptive(&self.cfg);
+        self.send_buffer = Self::build_send_buffer(&self.cfg);
+        self.requests = RequestTable::default();
+        self.pending_error = None;
+        self.seen_errors.clear();
+        self.seen_errors_set.clear();
+        self.grat_replies.clear();
+        cmds.push(DsrCommand::SetTimer { timer: DsrTimer::Tick, at: now + self.tick_period() });
+        cmds
     }
 
     /// The application asks to send `payload_bytes` to `dst`.

@@ -638,3 +638,52 @@ fn target_replies_to_every_request_copy() {
         );
     }
 }
+
+#[test]
+fn reboot_resets_volatile_state_and_accounts_for_buffered_packets() {
+    let mut a = agent(0, DsrConfig::base());
+    let now = t(1.0);
+
+    // Seed state: a cached route, a buffered packet awaiting discovery.
+    let reply = packet::RouteReply {
+        uid: 90,
+        discovered: route(&[0, 1, 2]),
+        from_cache: false,
+        route: route(&[2, 1, 0]),
+        hop: 1,
+        gratuitous: false,
+    };
+    a.on_receive(n(1), Packet::Reply(reply), now);
+    assert!(a.cache().len() > 0, "route learned");
+    a.originate(n(7), 512, 0, now);
+    assert_eq!(a.buffered(), 1, "packet buffered awaiting a route to 7");
+    assert_eq!(a.discoveries_in_flight(), 1);
+
+    let uid = a.buffered_uids()[0];
+    let cmds = a.reboot(t(2.0));
+
+    // Every buffered uid surrendered as a NodeReset drop.
+    let drops: Vec<_> = cmds
+        .iter()
+        .filter_map(|c| match c {
+            DsrCommand::Drop { uid, reason } => Some((*uid, *reason)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(drops, vec![(uid, DropReason::NodeReset)]);
+
+    // Volatile state gone, periodic tick re-armed.
+    assert_eq!(a.cache().len(), 0, "route cache wiped");
+    assert_eq!(a.buffered(), 0);
+    assert_eq!(a.discoveries_in_flight(), 0);
+    assert!(cmds
+        .iter()
+        .any(|c| matches!(c, DsrCommand::SetTimer { timer: DsrTimer::Tick, at } if *at > t(2.0))));
+
+    // Uids stay unique across the reboot: the next origination must not
+    // re-issue the pre-crash uid.
+    let cmds = a.originate(n(7), 512, 1, t(3.0));
+    let new_uid = a.buffered_uids()[0];
+    assert_ne!(new_uid, uid, "uid counter survives the reboot");
+    drop(cmds);
+}

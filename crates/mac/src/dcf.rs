@@ -257,6 +257,39 @@ impl<P: Clone> Dcf<P> {
             .chain(self.responses.iter().filter_map(|(_, f)| f.payload.as_ref()))
     }
 
+    /// Hard-reset the MAC after a fault-injected crash: every held payload
+    /// (packet in service, interface queue, payload-bearing pending
+    /// responses) is drained into `dropped` so the driver can account for
+    /// it, and the protocol state machine returns to power-on defaults.
+    ///
+    /// The transmit sequence counter and the backoff RNG are deliberately
+    /// *kept*: sequence numbers must stay unique across the reboot so
+    /// post-revival frames are not mistaken for duplicates of pre-crash
+    /// ones, and the RNG keeps its named-stream determinism. `recent_rx`
+    /// is cleared — a rebooted radio forgets its dedup window, and the
+    /// worst case is a benign duplicate delivery.
+    pub fn reset_into(&mut self, dropped: &mut Vec<P>) {
+        if let Some(q) = self.current.take() {
+            dropped.push(q.payload);
+        }
+        while let Some(q) = self.queue.pop() {
+            dropped.push(q.payload);
+        }
+        dropped.extend(self.responses.drain(..).filter_map(|(_, f)| f.payload));
+        self.state = MainState::Idle;
+        self.remaining_slots = 0;
+        self.cw = self.cfg.cw_min;
+        self.short_retries = 0;
+        self.long_retries = 0;
+        self.defer_started = SimTime::ZERO;
+        self.phys_busy_until = SimTime::ZERO;
+        self.nav_until = SimTime::ZERO;
+        self.radio_busy_until = SimTime::ZERO;
+        self.response_timer_armed = false;
+        self.responding = false;
+        self.recent_rx.clear();
+    }
+
     // ------------------------------------------------------------------
     // Inputs
     // ------------------------------------------------------------------
@@ -1290,5 +1323,39 @@ mod tests {
         assert!(!seeded.is_empty(), "enqueue on idle MAC must emit commands");
         mac.on_channel_busy_into(t(0.001), t(0.002), &mut cmds);
         assert_eq!(cmds[..seeded.len()], seeded, "earlier commands must survive");
+    }
+
+    #[test]
+    fn reset_into_drains_all_payloads_and_restores_power_on_state() {
+        let mut mac = mk(0);
+        let now = t(0.0);
+        // One packet in service, two queued behind it, and a pending CTS
+        // response (payload-free) from an RTS addressed to us.
+        mac.enqueue(1u32, NodeId::new(1), 512, Priority::Data, now);
+        mac.enqueue(2u32, NodeId::new(2), 512, Priority::Data, now);
+        mac.enqueue(3u32, NodeId::new(3), 512, Priority::Control, now);
+        let rts = MacFrame {
+            kind: FrameKind::Rts,
+            src: NodeId::new(4),
+            dst: NodeId::new(0),
+            bytes: MacConfig::ieee80211_dsss().rts_bytes,
+            nav: SimDuration::from_micros_u64(500),
+            seq: 0,
+            payload: None,
+        };
+        mac.on_receive(rts, t(0.0001));
+        assert!(!mac.is_idle());
+
+        let mut dropped = Vec::new();
+        mac.reset_into(&mut dropped);
+        dropped.sort_unstable();
+        assert_eq!(dropped, vec![1, 2, 3], "every held payload surrendered");
+        assert!(mac.is_idle(), "state machine back to power-on idle");
+        assert_eq!(mac.pending_payloads().count(), 0);
+        // Horizons wiped: an enqueue at a fresh instant contends immediately
+        // (DIFS only), proving no stale NAV/carrier state survived.
+        let cmds = mac.enqueue(9u32, NodeId::new(1), 512, Priority::Data, t(5.0));
+        let defer_at = timer_at(&cmds, MacTimer::Defer).expect("fresh contention");
+        assert_eq!(defer_at, t(5.0) + MacConfig::ieee80211_dsss().difs);
     }
 }

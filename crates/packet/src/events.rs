@@ -34,11 +34,14 @@ pub enum DropReason {
     NoForwardingEntry,
     /// The packet's TTL expired.
     TtlExpired,
+    /// The holding node's protocol state was reset while the packet was
+    /// buffered (fault-injected crash-and-rejoin churn).
+    NodeReset,
 }
 
 impl DropReason {
     /// Every reason, for exhaustive iteration (ledgers, tests).
-    pub const ALL: [DropReason; 9] = [
+    pub const ALL: [DropReason; 10] = [
         DropReason::SendBufferFull,
         DropReason::SendBufferTimeout,
         DropReason::NoRouteToSalvage,
@@ -48,6 +51,7 @@ impl DropReason {
         DropReason::NotOnRoute,
         DropReason::NoForwardingEntry,
         DropReason::TtlExpired,
+        DropReason::NodeReset,
     ];
 
     /// The reason's stable string spelling (trace lines, profiler tallies).
@@ -62,6 +66,7 @@ impl DropReason {
             DropReason::NotOnRoute => "NotOnRoute",
             DropReason::NoForwardingEntry => "NoForwardingEntry",
             DropReason::TtlExpired => "TtlExpired",
+            DropReason::NodeReset => "NodeReset",
         }
     }
 }
@@ -170,6 +175,7 @@ mod tests {
             DropReason::NotOnRoute,
             DropReason::NoForwardingEntry,
             DropReason::TtlExpired,
+            DropReason::NodeReset,
         ];
         let set: HashSet<_> = all.iter().collect();
         assert_eq!(set.len(), all.len());

@@ -31,6 +31,33 @@ pub struct DiffArrival {
     pub dur_ns: u64,
     /// Received power, watts.
     pub power_w: f64,
+    /// Fault injection corrupted this copy at planning time (the paired
+    /// driver gates delivery externally; the fused driver bakes the flag
+    /// into the pending entry).
+    pub corrupted: bool,
+    /// The receiver is down/blacked-out at the start boundary: the paired
+    /// driver's start event returns early (never reaching
+    /// `arrival_start`), and the fused driver removes the pending entry
+    /// via [`ReceiverState::suppress_pending`] at that same dispatch
+    /// instant.
+    pub suppress_start: bool,
+    /// The receiver is down/blacked-out at the end boundary: both paths
+    /// settle the decode but discard the delivered frame.
+    pub suppress_end: bool,
+}
+
+impl DiffArrival {
+    /// A fault-free arrival.
+    pub fn clean(start_ns: u64, dur_ns: u64, power_w: f64) -> Self {
+        DiffArrival {
+            start_ns,
+            dur_ns,
+            power_w,
+            corrupted: false,
+            suppress_start: false,
+            suppress_end: false,
+        }
+    }
 }
 
 /// What happens at one instant of the replay.
@@ -82,8 +109,8 @@ pub fn assert_fused_matches_eager(
         ops.iter().position(|(_, op)| *op == needle).expect("op present") as u64
     };
 
-    let mut eager: ReceiverState = ReceiverState::new(cfg.clone());
-    let mut fused: ReceiverState = ReceiverState::new(cfg.clone());
+    let mut eager: ReceiverState = ReceiverState::new(*cfg);
+    let mut fused: ReceiverState = ReceiverState::new(*cfg);
 
     // Plan every arrival into the fused envelope up front, keyed by its
     // start boundary's replay position (ascending insert keeps the
@@ -103,6 +130,7 @@ pub fn assert_fused_matches_eager(
             nav: SimDuration::ZERO,
             needs_decode: decodable,
             start_evented: decodable,
+            corrupted: a.corrupted,
             payload: decodable.then_some(()),
         });
     }
@@ -114,24 +142,44 @@ pub fn assert_fused_matches_eager(
         match op {
             Op::Start(i) => {
                 let a = &arrivals[i];
-                let end = t(a.start_ns + a.dur_ns);
-                eager.arrival_start(i as TxId, a.power_w, at, end);
-                if a.power_w >= rx_threshold {
-                    // The fused start boundary: settle, then reserve the
-                    // decode event's key exactly like the runner's
-                    // ArrivalBoundary arm.
-                    if fused.settle_start(i as TxId, at, seq) {
-                        let end_seq = seq_of(Op::End(i), &ops);
-                        fused.finalize_lock(i as TxId, end_seq, false);
+                if a.suppress_start {
+                    // Paired: the start event returns early, never touching
+                    // the receiver (and never scheduling the end event).
+                    // Fused: the entry is removed at the same dispatch
+                    // instant, before any commit could fold it.
+                    assert!(
+                        fused.suppress_pending(seq),
+                        "pending entry for arrival {i} missing at suppression"
+                    );
+                } else {
+                    let end = t(a.start_ns + a.dur_ns);
+                    eager.arrival_start(i as TxId, a.power_w, at, end);
+                    if a.power_w >= rx_threshold {
+                        // The fused start boundary: settle, then reserve the
+                        // decode event's key exactly like the runner's
+                        // ArrivalBoundary arm.
+                        if fused.settle_start(i as TxId, at, seq) {
+                            let end_seq = seq_of(Op::End(i), &ops);
+                            fused.finalize_lock(i as TxId, end_seq, false);
+                        }
                     }
+                    // Sub-RX arrivals have no fused boundary: the envelope
+                    // folds them inside a later commit.
                 }
-                // Sub-RX arrivals have no fused boundary: the envelope
-                // folds them inside a later commit.
             }
             Op::End(i) => {
-                delivered_eager[i] = eager.arrival_end(i as TxId, at);
-                if arrivals[i].power_w >= rx_threshold {
-                    delivered_fused[i] = fused.decode(i as TxId, at, seq).is_some();
+                let a = &arrivals[i];
+                if a.suppress_start {
+                    // Neither path scheduled an end boundary.
+                } else {
+                    // Corruption is external on the paired path: the runner
+                    // settles the decode, then gates delivery.
+                    let intact = eager.arrival_end(i as TxId, at);
+                    delivered_eager[i] = intact && !a.corrupted && !a.suppress_end;
+                    if a.power_w >= rx_threshold {
+                        let decoded = fused.decode(i as TxId, at, seq).is_some();
+                        delivered_fused[i] = decoded && !a.suppress_end;
+                    }
                 }
             }
             Op::BeginTx => {
@@ -169,7 +217,11 @@ mod tests {
     const STRONG: f64 = 1e-7; // > 10x RX: wins capture contests
 
     fn a(start_ns: u64, dur_ns: u64, power_w: f64) -> DiffArrival {
-        DiffArrival { start_ns, dur_ns, power_w }
+        DiffArrival::clean(start_ns, dur_ns, power_w)
+    }
+
+    fn corrupt(start_ns: u64, dur_ns: u64, power_w: f64) -> DiffArrival {
+        DiffArrival { corrupted: true, ..DiffArrival::clean(start_ns, dur_ns, power_w) }
     }
 
     #[test]
@@ -219,5 +271,82 @@ mod tests {
             (0..32).map(|i| a(i * 137, 1000 + i * 61, SUB_RX)).collect();
         let delivered = assert_fused_matches_eager(&cfg(), &arrivals, None);
         assert!(delivered.iter().all(|d| !d));
+    }
+
+    // ------------------------------------------------------------------
+    // Fault mixes
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn corrupted_frame_occupies_medium_but_never_delivers() {
+        let delivered =
+            assert_fused_matches_eager(&cfg(), &[corrupt(0, 1000, RX), a(5000, 1000, RX)], None);
+        assert_eq!(delivered, vec![false, true]);
+    }
+
+    #[test]
+    fn corrupted_capture_winner_kills_both_frames() {
+        // A corrupted strong frame must still capture the medium away from
+        // the clean weak lock (corruption is invisible to the verdict
+        // machine on both paths), so neither delivers.
+        let delivered = assert_fused_matches_eager(
+            &cfg(),
+            &[a(0, 4000, RX), corrupt(1000, 1000, STRONG)],
+            None,
+        );
+        assert_eq!(delivered, vec![false, false]);
+    }
+
+    #[test]
+    fn suppressed_start_removes_frame_and_its_energy() {
+        // Node down at the start boundary: the frame never lands, so the
+        // later clean frame decodes free of interference on both paths.
+        let suppressed =
+            DiffArrival { suppress_start: true, ..DiffArrival::clean(0, 4000, STRONG) };
+        let delivered = assert_fused_matches_eager(&cfg(), &[suppressed, a(1000, 1000, RX)], None);
+        assert_eq!(delivered, vec![false, true]);
+    }
+
+    #[test]
+    fn suppressed_sub_rx_interferer_cannot_collide() {
+        // The interferer would collide with the weak lock if it landed;
+        // suppressing its start boundary must spare the lock on both paths.
+        let weak_lock = 4e-10;
+        let interferer =
+            DiffArrival { suppress_start: true, ..DiffArrival::clean(1000, 2000, 1e-10) };
+        let delivered =
+            assert_fused_matches_eager(&cfg(), &[a(0, 2000, weak_lock), interferer], None);
+        assert_eq!(delivered, vec![true, false]);
+    }
+
+    #[test]
+    fn suppressed_end_settles_but_discards_delivery() {
+        // Node down at the end boundary: the decode settles (clearing the
+        // lock) but nothing is delivered — and the medium stays accounted.
+        let dropped = DiffArrival { suppress_end: true, ..DiffArrival::clean(0, 1000, RX) };
+        let delivered = assert_fused_matches_eager(&cfg(), &[dropped, a(2000, 1000, RX)], None);
+        assert_eq!(delivered, vec![false, true]);
+    }
+
+    #[test]
+    fn mixed_fault_storm_stays_equivalent() {
+        let mut arrivals = Vec::new();
+        for i in 0..24u64 {
+            let mut a = DiffArrival::clean(
+                i * 433,
+                900 + (i % 7) * 211,
+                match i % 4 {
+                    0 => SUB_RX,
+                    1 => RX,
+                    2 => 4e-10,
+                    _ => STRONG,
+                },
+            );
+            a.corrupted = i % 5 == 0;
+            a.suppress_start = i % 6 == 2;
+            a.suppress_end = i % 7 == 3;
+            arrivals.push(a);
+        }
+        assert_fused_matches_eager(&cfg(), &arrivals, Some((3000, 1500)));
     }
 }

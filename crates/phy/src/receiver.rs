@@ -119,6 +119,11 @@ pub struct PendingArrival<P> {
     /// `(start, start_seq)` — either a fused arrival-start event
     /// (decodable frames) or a materialized carrier-sense event.
     pub start_evented: bool,
+    /// Fault injection destroyed this copy of the frame at planning time:
+    /// it still locks and occupies the medium like any arrival, but it can
+    /// never decode intact (and a lazily-expired lock credits no NAV) —
+    /// the same outcome the paired path's external delivery gate produces.
+    pub corrupted: bool,
     /// Deliverable frame, retained only for decodable arrivals
     /// (power ≥ RX threshold).
     pub payload: Option<P>,
@@ -228,6 +233,7 @@ impl<P> ReceiverState<P> {
                 nav: SimDuration::ZERO,
                 needs_decode: true,
                 start_evented: true,
+                corrupted: false,
                 payload: None,
             },
             true,
@@ -405,6 +411,42 @@ impl<P> ReceiverState<P> {
         self.unsensed = 0;
     }
 
+    /// Removes the pending arrival whose start boundary was reserved at
+    /// `start_seq`, returning whether an entry was removed. Called by the
+    /// driver at the dispatch instant of that boundary's queue event when a
+    /// fault (node down, blackout) suppresses the arrival: the entry must
+    /// vanish *before* any commit folds it, exactly as the paired path's
+    /// suppressed start event never reaches `arrival_start`.
+    ///
+    /// Safe at dispatch time of the event keyed `(start, start_seq)`: no
+    /// earlier-keyed commit can have folded the entry (queue order), and
+    /// the commit at the entry's own key has not run yet within the arm.
+    pub fn suppress_pending(&mut self, start_seq: u64) -> bool {
+        if let Some(idx) = self.pending.iter().position(|p| p.start_seq == start_seq) {
+            let p = self.pending.remove(idx).expect("index checked");
+            self.unsensed -= usize::from(!p.start_evented);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Node crash: wipes live radio state (own transmission, held lock,
+    /// noise and NAV watermarks) after settling every boundary due at the
+    /// crash instant `(now, seq)`. Pending *future* arrivals are kept —
+    /// their energy is already in flight toward this node and the paired
+    /// path keeps their queue events too; the driver gates their delivery
+    /// on the node being up at decode time.
+    pub fn crash_reset(&mut self, now: SimTime, seq: u64) {
+        // Settle first so due-but-unfolded entries cannot resurrect
+        // pre-crash noise or locks after the wipe.
+        self.commit(now, seq);
+        self.tx_until = None;
+        self.locked = None;
+        self.noise_until = SimTime::ZERO;
+        self.nav_until = SimTime::ZERO;
+    }
+
     /// Frame payloads still held by the envelope (the in-flight lock plus
     /// queued future arrivals) — conservation audits treat these as in
     /// flight, exactly like undispatched arrival events on the eager path.
@@ -462,7 +504,7 @@ impl<P> ReceiverState<P> {
                         power_w: p.power_w,
                         end: p.end,
                         end_seq: SEQ_MAX,
-                        corrupted: false,
+                        corrupted: p.corrupted,
                         nav: p.nav,
                         needs_decode: p.needs_decode,
                         evented,
@@ -490,7 +532,7 @@ impl<P> ReceiverState<P> {
                         power_w: p.power_w,
                         end: p.end,
                         end_seq: SEQ_MAX,
-                        corrupted: false,
+                        corrupted: p.corrupted,
                         nav: p.nav,
                         needs_decode: p.needs_decode,
                         evented,
@@ -538,6 +580,7 @@ mod tests {
             nav: SimDuration::ZERO,
             needs_decode: false,
             start_evented: false,
+            corrupted: false,
             payload: Some(()),
         }
     }
@@ -831,6 +874,7 @@ mod tests {
             nav: SimDuration::ZERO,
             needs_decode: true,
             start_evented: true,
+            corrupted: false,
             payload: Some(11),
         });
         rx.add_pending(PendingArrival {
@@ -842,11 +886,102 @@ mod tests {
             nav: SimDuration::ZERO,
             needs_decode: false,
             start_evented: false,
+            corrupted: false,
             payload: None,
         });
         rx.commit(t(0.0005), SEQ_MAX);
         let held: Vec<u32> = rx.payloads().copied().collect();
         assert_eq!(held, vec![11], "locked payload visible, noise holds none");
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-injection primitives
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn corrupted_pending_locks_but_never_decodes() {
+        // Plan-time corruption: the frame still locks and occupies the
+        // medium, but decode fails — mirroring the paired path's external
+        // delivery gate.
+        let mut rx = rx();
+        let mut p = decodable(1, MEDIUM, t(0.0), t(0.002));
+        p.corrupted = true;
+        rx.add_pending(p);
+        assert_eq!(boundary(&mut rx, 1, t(0.0), 1, false, 90), Some(t(0.002)));
+        assert!(rx.busy(t(0.001)), "corrupted frame still occupies the carrier");
+        assert!(rx.decode(1, t(0.002), 90).is_none());
+    }
+
+    #[test]
+    fn corrupted_lazy_lock_credits_no_nav() {
+        let mut rx = rx();
+        let mut p = lazy(1, MEDIUM, t(0.0), t(0.001));
+        p.nav = SimDuration::from_secs(0.004);
+        p.corrupted = true;
+        rx.add_pending(p);
+        rx.commit(t(0.002), 0);
+        assert_eq!(rx.nav_horizon(), SimTime::ZERO, "corrupted frame reserves nothing");
+    }
+
+    #[test]
+    fn corrupted_pending_still_wins_capture_contests() {
+        // Corruption must not change verdict-machine outcomes: a corrupted
+        // strong frame still captures the receiver away from a clean weak
+        // one, so *neither* delivers (same as paired, where corruption is
+        // invisible to the verdict machine).
+        let mut rx = rx();
+        rx.add_pending(decodable(1, MEDIUM, t(0.0), t(0.005)));
+        let mut p = decodable(2, STRONG, t(0.001), t(0.002));
+        p.corrupted = true;
+        rx.add_pending(p);
+        assert_eq!(boundary(&mut rx, 1, t(0.0), 1, false, 100), Some(t(0.005)));
+        assert_eq!(boundary(&mut rx, 2, t(0.001), 2, false, 101), Some(t(0.002)));
+        assert!(rx.decode(2, t(0.002), 101).is_none(), "corrupted capture winner");
+        assert!(rx.decode(1, t(0.005), 100).is_none(), "captured-away frame");
+    }
+
+    #[test]
+    fn suppress_pending_removes_entry_before_fold() {
+        let mut rx = rx();
+        let mut p = lazy(1, MEDIUM, t(0.001), t(0.002));
+        p.start_seq = 5;
+        rx.add_pending(p);
+        assert!(rx.suppress_pending(5));
+        assert!(!rx.suppress_pending(5), "already removed");
+        assert_eq!(rx.pending_len(), 0);
+        assert_eq!(rx.busy_until(t(0.0015), SEQ_MAX), None, "suppressed energy never lands");
+        // The unsensed counter stays coherent for later materialize passes.
+        let mut starts = Vec::new();
+        rx.unsensed_pending_starts_into(&mut starts);
+        assert!(starts.is_empty());
+    }
+
+    #[test]
+    fn crash_reset_wipes_live_state_but_keeps_future_pendings() {
+        let mut rx = rx();
+        // A lock in progress and noise on the air at crash time...
+        rx.arrival_start(1, MEDIUM, t(0.0), t(0.002));
+        rx.arrival_start(2, WEAK, t(0.0005), t(0.004));
+        // ...plus an arrival still in flight (starts after the crash).
+        rx.add_pending(decodable(3, MEDIUM, t(0.003), t(0.005)));
+        rx.crash_reset(t(0.001), 10);
+        assert_eq!(rx.busy_until(t(0.001), 11), None, "crash clears lock and noise");
+        assert_eq!(rx.nav_horizon(), SimTime::ZERO);
+        assert_eq!(rx.pending_len(), 1, "in-flight future arrival survives");
+        // The surviving arrival proceeds normally on the fresh state.
+        assert!(boundary(&mut rx, 3, t(0.003), 20, false, 21).is_some());
+        assert!(rx.decode(3, t(0.005), 21).is_some());
+    }
+
+    #[test]
+    fn crash_reset_settles_due_pendings_before_wiping() {
+        // A lazy entry due *before* the crash must fold (and then be wiped)
+        // rather than resurrecting pre-crash noise afterwards.
+        let mut rx = rx();
+        rx.add_pending(lazy(1, WEAK, t(0.0), t(0.010)));
+        rx.crash_reset(t(0.001), 10);
+        assert_eq!(rx.pending_len(), 0, "due entry folded by the crash commit");
+        assert_eq!(rx.busy_until(t(0.002), SEQ_MAX), None, "then wiped with the noise");
     }
 
     // ------------------------------------------------------------------

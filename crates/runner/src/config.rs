@@ -52,6 +52,41 @@ impl Region {
     }
 }
 
+/// Geometric scope of a [`FaultEvent::RegionBlackout`]: the shapes a
+/// rectangle cannot express — a disc (local jammer, failed cell) or a
+/// half-plane (terrain cut, network partition along a line).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Zone {
+    /// All points within `radius_m` of `center` (boundary inclusive).
+    Disc {
+        /// Disc center.
+        center: Point,
+        /// Disc radius in meters.
+        radius_m: f64,
+    },
+    /// The closed half-plane on the `normal` side of the line through
+    /// `origin`: all points `p` with `(p - origin) · normal >= 0`.
+    HalfPlane {
+        /// A point on the dividing line.
+        origin: Point,
+        /// Direction pointing into the affected half (need not be
+        /// normalized).
+        normal: Point,
+    },
+}
+
+impl Zone {
+    /// Whether `p` lies inside the zone (boundary inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        match *self {
+            Zone::Disc { center, radius_m } => p.distance_sq(center) <= radius_m * radius_m,
+            Zone::HalfPlane { origin, normal } => {
+                (p.x - origin.x) * normal.x + (p.y - origin.y) * normal.y >= 0.0
+            }
+        }
+    }
+}
+
 /// One scheduled, deterministic fault. Faults are part of the scenario:
 /// the same plan under the same seed reproduces the same run bit for bit.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +123,49 @@ pub enum FaultEvent {
         /// Window end (exclusive).
         until: SimTime,
     },
+    /// `node` crashes at `at` and deterministically *rejoins* after
+    /// `down_for` with protocol state wiped: the MAC's queue and retry
+    /// chains reset (held packets dropped as `NodeReset`), the routing
+    /// agent reboots (caches, buffers, and request state cleared, periodic
+    /// timers re-armed), and suspended timers are cancelled — the node
+    /// comes back as a freshly booted station, not a thawed one.
+    NodeChurn {
+        /// The churning node.
+        node: NodeId,
+        /// Crash instant.
+        at: SimTime,
+        /// Outage length before the rejoin.
+        down_for: SimDuration,
+    },
+    /// All receptions by nodes inside `zone` are suppressed during the
+    /// window — [`FaultEvent::LinkBlackout`] over a disc or half-plane
+    /// instead of a rectangle, for jammers and geometric partitions.
+    RegionBlackout {
+        /// Affected area.
+        zone: Zone,
+        /// Window start.
+        at: SimTime,
+        /// Window length.
+        down_for: SimDuration,
+    },
+    /// Periodic transceiver sleep: starting at `at`, `node` sleeps for
+    /// `off_for`, wakes for `on_for`, and repeats until `until`. While
+    /// asleep the node behaves like a crashed one (nothing sent, arrivals
+    /// suppressed, timers suspended) but its radio and protocol state
+    /// survive — a frame spanning a whole sleep window still decodes at
+    /// its end if the node is awake by then.
+    RadioDutyCycle {
+        /// The duty-cycled node.
+        node: NodeId,
+        /// First sleep instant.
+        at: SimTime,
+        /// Awake span between sleeps.
+        on_for: SimDuration,
+        /// Sleep span.
+        off_for: SimDuration,
+        /// No new sleep window starts at or after this instant.
+        until: SimTime,
+    },
     /// Chaos hook: panic inside the event loop at `at`. Exercises the
     /// campaign engine's crash isolation; `only_seed` restricts the panic
     /// to one seed of a multi-seed campaign.
@@ -114,7 +192,10 @@ impl FaultEvent {
     pub fn starts_at(&self) -> SimTime {
         match *self {
             FaultEvent::NodeDown { at, .. }
+            | FaultEvent::NodeChurn { at, .. }
             | FaultEvent::LinkBlackout { at, .. }
+            | FaultEvent::RegionBlackout { at, .. }
+            | FaultEvent::RadioDutyCycle { at, .. }
             | FaultEvent::Panic { at, .. }
             | FaultEvent::EventStorm { at, .. } => at,
             FaultEvent::FrameCorruption { from, .. } => from,
@@ -155,6 +236,31 @@ impl FaultPlan {
     /// Adds a frame-corruption window. Chainable.
     pub fn frame_corruption(mut self, prob: f64, from: SimTime, until: SimTime) -> Self {
         self.events.push(FaultEvent::FrameCorruption { prob, from, until });
+        self
+    }
+
+    /// Adds a crash-and-rejoin churn event. Chainable.
+    pub fn node_churn(mut self, node: NodeId, at: SimTime, down_for: SimDuration) -> Self {
+        self.events.push(FaultEvent::NodeChurn { node, at, down_for });
+        self
+    }
+
+    /// Adds a disc/half-plane blackout. Chainable.
+    pub fn region_blackout(mut self, zone: Zone, at: SimTime, down_for: SimDuration) -> Self {
+        self.events.push(FaultEvent::RegionBlackout { zone, at, down_for });
+        self
+    }
+
+    /// Adds a periodic transceiver-sleep schedule. Chainable.
+    pub fn radio_duty_cycle(
+        mut self,
+        node: NodeId,
+        at: SimTime,
+        on_for: SimDuration,
+        off_for: SimDuration,
+        until: SimTime,
+    ) -> Self {
+        self.events.push(FaultEvent::RadioDutyCycle { node, at, on_for, off_for, until });
         self
     }
 }
@@ -311,15 +417,42 @@ mod tests {
     #[test]
     fn fault_plan_builders_chain() {
         let region = Region::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let zone = Zone::Disc { center: Point::new(50.0, 50.0), radius_m: 30.0 };
         let plan = FaultPlan::none()
             .node_down(NodeId::new(3), SimTime::from_secs(5.0), SimDuration::from_secs(2.0))
             .link_blackout(region, SimTime::from_secs(1.0), SimDuration::from_secs(4.0))
-            .frame_corruption(0.25, SimTime::from_secs(2.0), SimTime::from_secs(8.0));
-        assert_eq!(plan.events.len(), 3);
+            .frame_corruption(0.25, SimTime::from_secs(2.0), SimTime::from_secs(8.0))
+            .node_churn(NodeId::new(4), SimTime::from_secs(6.0), SimDuration::from_secs(3.0))
+            .region_blackout(zone, SimTime::from_secs(7.0), SimDuration::from_secs(1.0))
+            .radio_duty_cycle(
+                NodeId::new(5),
+                SimTime::from_secs(2.0),
+                SimDuration::from_secs(1.0),
+                SimDuration::from_secs(0.5),
+                SimTime::from_secs(20.0),
+            );
+        assert_eq!(plan.events.len(), 6);
         assert!(!plan.is_empty());
         assert_eq!(plan.events[0].starts_at(), SimTime::from_secs(5.0));
         assert_eq!(plan.events[2].starts_at(), SimTime::from_secs(2.0));
+        assert_eq!(plan.events[3].starts_at(), SimTime::from_secs(6.0));
+        assert_eq!(plan.events[4].starts_at(), SimTime::from_secs(7.0));
+        assert_eq!(plan.events[5].starts_at(), SimTime::from_secs(2.0));
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn zone_contains_disc_and_half_plane() {
+        let disc = Zone::Disc { center: Point::new(100.0, 100.0), radius_m: 50.0 };
+        assert!(disc.contains(Point::new(100.0, 100.0)));
+        assert!(disc.contains(Point::new(150.0, 100.0)), "boundary inclusive");
+        assert!(!disc.contains(Point::new(150.1, 100.0)));
+        assert!(disc.contains(Point::new(130.0, 130.0)));
+        // Everything right of x = 200 (normal points in +x).
+        let half = Zone::HalfPlane { origin: Point::new(200.0, 0.0), normal: Point::new(1.0, 0.0) };
+        assert!(half.contains(Point::new(200.0, 55.0)), "boundary inclusive");
+        assert!(half.contains(Point::new(300.0, -10.0)));
+        assert!(!half.contains(Point::new(199.9, 0.0)));
     }
 
     #[test]

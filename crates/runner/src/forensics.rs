@@ -33,10 +33,19 @@ use sim_core::{NodeId, SimDuration, SimTime};
 use traffic::TrafficConfig;
 
 use crate::campaign::RunError;
-use crate::config::{FaultEvent, FaultPlan, MobilitySpec, Region, ScenarioConfig};
+use crate::config::{FaultEvent, FaultPlan, MobilitySpec, Region, ScenarioConfig, Zone};
 
 /// First line of every artifact; bump the version on format changes.
-pub const FORMAT_HEADER: &str = "dsr-forensics v1";
+///
+/// v2 added the three churn-era fault kinds (`node_churn`,
+/// `region_blackout`, `radio_duty_cycle`) and the artifact-level
+/// `paired_arrivals` key recording which arrival path the failing run
+/// executed on. v1 artifacts still parse: the mode key defaults to the
+/// historical auto-pin rule (paired iff the plan had faults).
+pub const FORMAT_HEADER: &str = "dsr-forensics v2";
+
+/// The previous format version, still accepted by [`ForensicArtifact::parse`].
+pub const FORMAT_HEADER_V1: &str = "dsr-forensics v1";
 
 /// How many trailing trace events a campaign run retains for artifacts.
 pub const TRACE_TAIL_CAPACITY: usize = 256;
@@ -374,6 +383,40 @@ fn push_scenario(kv: &mut KvBlock, cfg: &ScenarioConfig) {
                     kv.push(k("only_seed"), seed);
                 }
             }
+            FaultEvent::NodeChurn { node, at, down_for } => {
+                kv.push(format!("fault.{i}"), "node_churn");
+                kv.push(k("node"), node.index());
+                kv.push(k("at_ns"), at.as_nanos());
+                kv.push(k("down_for_ns"), down_for.as_nanos());
+            }
+            FaultEvent::RegionBlackout { ref zone, at, down_for } => {
+                kv.push(format!("fault.{i}"), "region_blackout");
+                match *zone {
+                    Zone::Disc { center, radius_m } => {
+                        kv.push(k("zone"), "disc");
+                        kv.push(k("center.x"), fmt_f64(center.x));
+                        kv.push(k("center.y"), fmt_f64(center.y));
+                        kv.push(k("radius_m"), fmt_f64(radius_m));
+                    }
+                    Zone::HalfPlane { origin, normal } => {
+                        kv.push(k("zone"), "half_plane");
+                        kv.push(k("origin.x"), fmt_f64(origin.x));
+                        kv.push(k("origin.y"), fmt_f64(origin.y));
+                        kv.push(k("normal.x"), fmt_f64(normal.x));
+                        kv.push(k("normal.y"), fmt_f64(normal.y));
+                    }
+                }
+                kv.push(k("at_ns"), at.as_nanos());
+                kv.push(k("down_for_ns"), down_for.as_nanos());
+            }
+            FaultEvent::RadioDutyCycle { node, at, on_for, off_for, until } => {
+                kv.push(format!("fault.{i}"), "radio_duty_cycle");
+                kv.push(k("node"), node.index());
+                kv.push(k("at_ns"), at.as_nanos());
+                kv.push(k("on_for_ns"), on_for.as_nanos());
+                kv.push(k("off_for_ns"), off_for.as_nanos());
+                kv.push(k("until_ns"), until.as_nanos());
+            }
         }
     }
 }
@@ -533,6 +576,42 @@ fn parse_scenario(kv: &KvBlock) -> Result<ScenarioConfig, ForensicError> {
                     None => None,
                 },
             },
+            "node_churn" => FaultEvent::NodeChurn {
+                node: NodeId::new(kv.get_parsed(&k("node"))?),
+                at: kv.get_time(&k("at_ns"))?,
+                down_for: kv.get_duration(&k("down_for_ns"))?,
+            },
+            "region_blackout" => FaultEvent::RegionBlackout {
+                zone: match kv.get(&k("zone"))? {
+                    "disc" => Zone::Disc {
+                        center: Point::new(
+                            kv.get_parsed(&k("center.x"))?,
+                            kv.get_parsed(&k("center.y"))?,
+                        ),
+                        radius_m: kv.get_parsed(&k("radius_m"))?,
+                    },
+                    "half_plane" => Zone::HalfPlane {
+                        origin: Point::new(
+                            kv.get_parsed(&k("origin.x"))?,
+                            kv.get_parsed(&k("origin.y"))?,
+                        ),
+                        normal: Point::new(
+                            kv.get_parsed(&k("normal.x"))?,
+                            kv.get_parsed(&k("normal.y"))?,
+                        ),
+                    },
+                    other => return Err(bad(&k("zone"), other)),
+                },
+                at: kv.get_time(&k("at_ns"))?,
+                down_for: kv.get_duration(&k("down_for_ns"))?,
+            },
+            "radio_duty_cycle" => FaultEvent::RadioDutyCycle {
+                node: NodeId::new(kv.get_parsed(&k("node"))?),
+                at: kv.get_time(&k("at_ns"))?,
+                on_for: kv.get_duration(&k("on_for_ns"))?,
+                off_for: kv.get_duration(&k("off_for_ns"))?,
+                until: kv.get_time(&k("until_ns"))?,
+            },
             other => return Err(bad(&kind_key, other)),
         };
         events.push(event);
@@ -678,6 +757,11 @@ pub struct ForensicArtifact {
     /// (true for DSR campaigns; false when the campaign supplied a custom
     /// agent factory the artifact cannot capture).
     pub replayable: bool,
+    /// Which arrival path the failing run executed on: `true` for the
+    /// paired `ArrivalStart`/`ArrivalEnd` event path, `false` for the
+    /// fused envelope (the default). `repro` replays under the recorded
+    /// mode so path-sensitive failures reproduce.
+    pub paired_arrivals: bool,
     /// The failing run's complete configuration (seed and faults
     /// included).
     pub config: ScenarioConfig,
@@ -695,6 +779,10 @@ impl ForensicArtifact {
         kv.push("format", FORMAT_HEADER);
         kv.push("label", escape(&self.label));
         kv.push("replayable", self.replayable);
+        // Artifact-level, deliberately outside the scenario block so
+        // `config_fingerprint` (which hashes `push_scenario` output only)
+        // is unaffected by the arrival-path mode.
+        kv.push("paired_arrivals", self.paired_arrivals);
         push_scenario(&mut kv, &self.config);
         push_error(&mut kv, &self.error);
         kv.push("trace.count", self.trace.len());
@@ -710,7 +798,7 @@ impl ForensicArtifact {
         let header = kv.get("format").map_err(|_| {
             ForensicError::BadHeader(text.lines().next().unwrap_or_default().to_string())
         })?;
-        if header != FORMAT_HEADER {
+        if header != FORMAT_HEADER && header != FORMAT_HEADER_V1 {
             return Err(ForensicError::BadHeader(header.to_string()));
         }
         let trace_count: usize = kv.get_parsed("trace.count")?;
@@ -718,10 +806,18 @@ impl ForensicArtifact {
         for i in 0..trace_count {
             trace.push(kv.get_string(&format!("trace.{i}"))?);
         }
+        let config = parse_scenario(&kv)?;
+        // v1 artifacts predate the key; at that time faulted runs were
+        // auto-pinned to the paired path, so the plan tells us the mode.
+        let paired_arrivals = match kv.map.get("paired_arrivals") {
+            Some(_) => kv.get_parsed("paired_arrivals")?,
+            None => !config.faults.events.is_empty(),
+        };
         Ok(ForensicArtifact {
             label: kv.get_string("label")?,
             replayable: kv.get_parsed("replayable")?,
-            config: parse_scenario(&kv)?,
+            paired_arrivals,
+            config,
             error: parse_error(&kv)?,
             trace,
         })
@@ -789,6 +885,7 @@ mod tests {
         ForensicArtifact {
             label: cfg.dsr.label(),
             replayable: true,
+            paired_arrivals: false,
             error: RunError::Panicked { seed: cfg.seed, payload: "boom at t=1".to_string() },
             config: cfg,
             trace: vec![
@@ -830,10 +927,57 @@ mod tests {
                 FaultEvent::EventStorm { at: SimTime::from_secs(5.0), only_seed: Some(3) },
             ],
         };
+        configs[2].faults = FaultPlan::none()
+            .node_churn(NodeId::new(1), SimTime::from_secs(0.5), SimDuration::from_secs(1.0))
+            .region_blackout(
+                Zone::Disc { center: Point::new(40.0, 60.0), radius_m: 25.0 },
+                SimTime::from_secs(1.0),
+                SimDuration::from_secs(0.5),
+            )
+            .region_blackout(
+                Zone::HalfPlane { origin: Point::new(50.0, 0.0), normal: Point::new(-1.0, 0.5) },
+                SimTime::from_secs(2.0),
+                SimDuration::from_secs(0.25),
+            )
+            .radio_duty_cycle(
+                NodeId::new(0),
+                SimTime::from_secs(0.1),
+                SimDuration::from_millis(200.0),
+                SimDuration::from_millis(50.0),
+                SimTime::from_secs(3.0),
+            );
         for cfg in configs {
-            let a = artifact(cfg);
-            let round = ForensicArtifact::parse(&a.render()).expect("parse back");
-            assert_eq!(round, a);
+            for paired in [false, true] {
+                let mut a = artifact(cfg.clone());
+                a.paired_arrivals = paired;
+                let round = ForensicArtifact::parse(&a.render()).expect("parse back");
+                assert_eq!(round, a);
+            }
+        }
+    }
+
+    #[test]
+    fn v1_artifacts_parse_with_the_historical_pin_rule() {
+        // A v2 render downgraded to v1 (old header, mode key removed) must
+        // still load, inferring the arrival path the way v1-era campaigns
+        // chose it: paired iff the plan carried faults.
+        let mut faulted_cfg = ScenarioConfig::static_line(3, 200.0, 2.0, DsrConfig::base(), 7);
+        faulted_cfg.faults = FaultPlan::none().node_down(
+            NodeId::new(1),
+            SimTime::from_secs(1.0),
+            SimDuration::from_secs(1.0),
+        );
+        let clean_cfg = ScenarioConfig::static_line(3, 200.0, 2.0, DsrConfig::base(), 7);
+        for (cfg, expect_paired) in [(faulted_cfg, true), (clean_cfg, false)] {
+            let v1 = artifact(cfg)
+                .render()
+                .replace(FORMAT_HEADER, FORMAT_HEADER_V1)
+                .lines()
+                .filter(|l| !l.starts_with("paired_arrivals ="))
+                .map(|l| format!("{l}\n"))
+                .collect::<String>();
+            let parsed = ForensicArtifact::parse(&v1).expect("v1 artifact parses");
+            assert_eq!(parsed.paired_arrivals, expect_paired);
         }
     }
 

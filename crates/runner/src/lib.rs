@@ -31,7 +31,7 @@ pub use campaign::{
     replay_run, run_campaign, run_campaign_with, run_seeds, CampaignConfig, CampaignResult,
     RetryBackoff, RunError, RunFailure, RunLimits,
 };
-pub use config::{FaultEvent, FaultPlan, MobilitySpec, Region, ScenarioConfig};
+pub use config::{FaultEvent, FaultPlan, MobilitySpec, Region, ScenarioConfig, Zone};
 #[doc(hidden)]
 pub use executor::ExecutorChaos;
 pub use forensics::{config_fingerprint, ForensicArtifact, ForensicError};

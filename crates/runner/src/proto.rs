@@ -114,6 +114,17 @@ pub trait RoutingAgent: Send {
         now: SimTime,
     ) -> Vec<AgentCommand<Self::Packet, Self::Timer>>;
 
+    /// The node rebooted after a fault-injected crash (`NodeChurn`). All
+    /// pending timers were cancelled by the driver before this call; the
+    /// agent must reset its volatile protocol state (caches, buffers,
+    /// request tables), emit `Drop` commands for any buffered uids so the
+    /// conservation ledger stays balanced, and re-arm its periodic timers.
+    /// The default keeps pre-crash state — acceptable only for protocols
+    /// that are never run under churn faults.
+    fn on_revival(&mut self, _now: SimTime) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
+        Vec::new()
+    }
+
     // ------------------------------------------------------------------
     // Conservation-audit hooks (see `crate::audit`). Optional: protocols
     // that consume or re-sequence deliveries internally (e.g. TCP over
@@ -229,6 +240,10 @@ impl RoutingAgent for dsr::DsrNode {
         now: SimTime,
     ) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
         translate_all(dsr::DsrNode::on_timer(self, timer, now))
+    }
+
+    fn on_revival(&mut self, now: SimTime) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
+        translate_all(dsr::DsrNode::reboot(self, now))
     }
 
     fn supports_conservation_audit(&self) -> bool {

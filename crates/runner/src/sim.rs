@@ -18,11 +18,14 @@
 //! and schedules the fused `Arrival` at frame end) and only
 //! reactive-receiver sub-RX frames get a `CarrierSense` nudge. Everything
 //! else folds into the interference envelope inside later receiver
-//! probes, never entering the queue. The legacy eager path
-//! (`ArrivalStart`/`ArrivalEnd` per sensed frame) remains behind
-//! `set_paired_arrivals(true)` — used when fault events are pinned and
-//! via the `DSR_PAIRED_ARRIVALS=1` knob — and produces byte-identical
-//! results.
+//! probes, never entering the queue. Fault plans run on the fused path
+//! too: corruption is drawn at plan time into the pending entries, and
+//! suppression windows (node down, blackouts, radio sleep) force every
+//! affected boundary to be backed by a real event so it can be gated at
+//! dispatch time. The legacy eager path (`ArrivalStart`/`ArrivalEnd` per
+//! sensed frame) remains behind `set_paired_arrivals(true)` and the
+//! `DSR_PAIRED_ARRIVALS=1` knob — and produces byte-identical results,
+//! faults included.
 //!
 //! The driver is generic over the routing protocol via [`RoutingAgent`]
 //! (DSR by default; AODV in the `aodv` crate). Everything is deterministic
@@ -211,10 +214,8 @@ pub struct Simulator<A: RoutingAgent = DsrNode> {
     /// (results must be byte-identical either way).
     grid_enabled: bool,
     /// `true` runs the legacy two-events-per-arrival path instead of the
-    /// fused envelope (results must be byte-identical either way). Forced
-    /// on when the scenario has a fault plan: fault activation windows
-    /// suppress/corrupt arrivals *at their boundary events*, which the
-    /// lazy envelope has no hook for.
+    /// fused envelope (results must be byte-identical either way, fault
+    /// plans included).
     paired_arrivals: bool,
     /// Scratch: candidate node ids from the grid (reused per transmission).
     cand_buf: Vec<u16>,
@@ -241,10 +242,22 @@ pub struct Simulator<A: RoutingAgent = DsrNode> {
     trace: Option<TraceSink>,
     /// Watchdog limits enforced by [`Simulator::try_run`].
     limits: RunLimits,
-    /// Per-node crash flag ([`FaultEvent::NodeDown`]).
+    /// Per-node crash/sleep flag ([`FaultEvent::NodeDown`],
+    /// [`FaultEvent::NodeChurn`], [`FaultEvent::RadioDutyCycle`]).
     node_down: Vec<bool>,
+    /// Number of `true` entries in `node_down` — with `region_active`,
+    /// the O(1) "is any suppression window open?" probe the fused planner
+    /// consults per transmission.
+    down_count: u32,
     /// When each crashed node comes back up (meaningful while down).
     node_up_at: Vec<SimTime>,
+    /// A [`FaultEvent::NodeChurn`] owes this node a protocol-state reset
+    /// at whichever wake-up actually revives it (overlapping crashes can
+    /// extend the outage past the churn's own end event).
+    churn_reset_pending: Vec<bool>,
+    /// Number of currently active regional suppression windows
+    /// ([`FaultEvent::LinkBlackout`], [`FaultEvent::RegionBlackout`]).
+    region_active: u32,
     /// Whether fault `idx` of the plan is currently active (windows).
     fault_active: Vec<bool>,
     /// Whether fault `idx` was already counted in the metrics.
@@ -342,8 +355,13 @@ impl<A: RoutingAgent> Simulator<A> {
             // differential benchmarking; the two paths are byte-identical
             // in outcome (see tests/fused_equivalence.rs), so the knob can
             // never change a result — only its speed.
-            paired_arrivals: !cfg.faults.events.is_empty()
-                || std::env::var_os("DSR_PAIRED_ARRIVALS").is_some_and(|v| v == "1"),
+            paired_arrivals: {
+                let forced = paired_arrivals_forced();
+                if forced {
+                    warn_paired_forced("DSR_PAIRED_ARRIVALS=1");
+                }
+                forced
+            },
             cand_buf: Vec::new(),
             arrival_buf: Vec::new(),
             cs_buf: Vec::new(),
@@ -354,7 +372,10 @@ impl<A: RoutingAgent> Simulator<A> {
             trace: None,
             limits: RunLimits::default(),
             node_down: vec![false; n],
+            down_count: 0,
             node_up_at: vec![SimTime::ZERO; n],
+            churn_reset_pending: vec![false; n],
+            region_active: 0,
             fault_active: vec![false; num_faults],
             fault_fired: vec![false; num_faults],
             fault_rng: factory.stream("fault", 0),
@@ -374,11 +395,13 @@ impl<A: RoutingAgent> Simulator<A> {
     /// Forces the legacy paired start/end arrival events instead of the
     /// fused-envelope path. The two paths are required to produce
     /// byte-identical `Report`s (same verdicts, same deliveries, same RNG
-    /// draws); this knob exists so tests and benchmarks can prove it.
-    /// Scenarios with a fault plan always run paired (see the field doc);
-    /// requesting the fused path for one is ignored.
+    /// draws) — fault plans included; this knob exists so tests and
+    /// benchmarks can prove it.
     pub fn set_paired_arrivals(&mut self, paired: bool) {
-        self.paired_arrivals = paired || !self.cfg.faults.events.is_empty();
+        if paired {
+            warn_paired_forced("set_paired_arrivals");
+        }
+        self.paired_arrivals = paired;
     }
 
     /// Whether this run uses the legacy paired arrival events (tests).
@@ -669,6 +692,7 @@ impl<A: RoutingAgent> Simulator<A> {
             let profile = Profile {
                 runs: 1,
                 runs_failed: 0,
+                paired_runs: u64::from(self.paired_arrivals),
                 sim_seconds: duration,
                 wall_seconds: wall_started.elapsed().as_secs_f64(),
                 events: events_dispatched + inline_boundaries,
@@ -794,9 +818,19 @@ impl<A: RoutingAgent> Simulator<A> {
                 // carrier notification, then the end boundary's seq
                 // reservation — so every seq this arm consumes lands at
                 // the exact program point the paired path consumed one,
-                // keeping same-instant tie-breaks identical. The fused
-                // path never runs with faults, so no down/blackout
-                // suppression here.
+                // keeping same-instant tie-breaks identical.
+                if self.node_down[rx as usize] || self.in_blackout(rx) {
+                    // Suppressed at the start boundary: the entry must
+                    // vanish before any commit folds it — the paired
+                    // path's start event returns before touching the
+                    // receiver, so this copy's energy never lands.
+                    let removed = self.rx_states[rx as usize].suppress_pending(self.cur_seq);
+                    debug_assert!(removed, "boundary event with no pending entry");
+                    if removed {
+                        self.metrics.record_arrivals_suppressed(1);
+                    }
+                    return;
+                }
                 let reactive = self.macs[rx as usize].carrier_reactive();
                 let locked =
                     self.rx_states[rx as usize].settle_start(tx_id, self.now, self.cur_seq);
@@ -808,8 +842,14 @@ impl<A: RoutingAgent> Simulator<A> {
                 }
                 if locked {
                     let end_seq = self.queue.reserve_seq();
+                    // While any suppression window is open the lock must
+                    // be force-evented: a lazily expired lock credits its
+                    // NAV unconditionally, but the end boundary may need
+                    // gating (the node can crash, fall asleep, or drift
+                    // into a blackout region before the frame ends).
+                    let evented = reactive || self.suppression_active();
                     if let Some(end) =
-                        self.rx_states[rx as usize].finalize_lock(tx_id, end_seq, reactive)
+                        self.rx_states[rx as usize].finalize_lock(tx_id, end_seq, evented)
                     {
                         self.queue.schedule_at_seq(end, end_seq, Ev::Arrival { rx, tx_id });
                         self.boundary_scheduled += 1;
@@ -818,11 +858,16 @@ impl<A: RoutingAgent> Simulator<A> {
             }
             Ev::Arrival { rx, tx_id } => {
                 // Fused decode boundary: settle the envelope at the frame's
-                // end and deliver if it survived (still locked, never
-                // corrupted, transmitter off).
+                // end (its energy leaves the air either way) and deliver if
+                // it survived (still locked, never corrupted, transmitter
+                // off) — unless a fault suppresses the receiver at this
+                // instant, mirroring the paired end event's delivery gate.
                 if let Some(frame) =
                     self.rx_states[rx as usize].decode(tx_id, self.now, self.cur_seq)
                 {
+                    if self.node_down[rx as usize] || self.in_blackout(rx) {
+                        return;
+                    }
                     let frame = Arc::try_unwrap(frame).unwrap_or_else(|shared| (*shared).clone());
                     let now = self.now;
                     self.mac_input(rx, |mac, cmds| mac.on_receive_into(frame, now, cmds));
@@ -834,6 +879,17 @@ impl<A: RoutingAgent> Simulator<A> {
                 // at the frontier) and notify the MAC so its
                 // freeze/recheck transitions fire at the same instant the
                 // paired path would have fired them.
+                if self.node_down[rx as usize] || self.in_blackout(rx) {
+                    // Suppressed sub-RX start: remove the entry before any
+                    // fold — its energy never lands, exactly like the
+                    // paired path's suppressed start event. (Every entry
+                    // inside a suppression window is evented, so the
+                    // removal always finds it.)
+                    if self.rx_states[rx as usize].suppress_pending(self.cur_seq) {
+                        self.metrics.record_arrivals_suppressed(1);
+                    }
+                    return;
+                }
                 if let Some(horizon) =
                     self.rx_states[rx as usize].busy_until(self.now, self.cur_seq)
                 {
@@ -867,10 +923,46 @@ impl<A: RoutingAgent> Simulator<A> {
 
     /// Whether node `rx` currently sits inside an active blackout region.
     fn in_blackout(&self, rx: u16) -> bool {
+        if self.region_active == 0 {
+            return false;
+        }
+        let p = self.positions[rx as usize];
         self.cfg.faults.events.iter().enumerate().any(|(idx, f)| {
-            matches!(f, FaultEvent::LinkBlackout { region, .. }
-                if self.fault_active[idx] && region.contains(self.positions[rx as usize]))
+            self.fault_active[idx]
+                && match f {
+                    FaultEvent::LinkBlackout { region, .. } => region.contains(p),
+                    FaultEvent::RegionBlackout { zone, .. } => zone.contains(p),
+                    _ => false,
+                }
         })
+    }
+
+    /// Whether any suppression window is currently open anywhere — the
+    /// fused planner's cue to back every boundary with a real event so it
+    /// can be gated at dispatch time.
+    fn suppression_active(&self) -> bool {
+        self.down_count > 0 || self.region_active > 0
+    }
+
+    /// Marks node `i` down, maintaining `down_count` (idempotent).
+    fn set_node_down(&mut self, i: usize) {
+        if !self.node_down[i] {
+            self.node_down[i] = true;
+            self.down_count += 1;
+        }
+    }
+
+    /// Marks node `i` up, maintaining `down_count`, and applies any owed
+    /// churn revival reset (idempotent).
+    fn set_node_up(&mut self, i: usize) {
+        if self.node_down[i] {
+            self.node_down[i] = false;
+            self.down_count -= 1;
+            if self.churn_reset_pending[i] {
+                self.churn_reset_pending[i] = false;
+                self.revive_node(i as u16);
+            }
+        }
     }
 
     /// Per-arrival corruption probability right now: the union of all
@@ -896,6 +988,35 @@ impl<A: RoutingAgent> Simulator<A> {
         }
     }
 
+    /// Crash-style bring-down shared by [`FaultEvent::NodeDown`] and
+    /// [`FaultEvent::NodeChurn`]: flags the node, extends its wake-up, and
+    /// wipes the radio — in-flight receptions die and carrier state
+    /// resets, but arrivals still propagating toward the node stay pending
+    /// (their delivery is gated on the node being up when they land).
+    fn crash_node(&mut self, i: usize, down_for: SimDuration) {
+        self.set_node_down(i);
+        let up = self.now + down_for;
+        if up > self.node_up_at[i] {
+            self.node_up_at[i] = up;
+        }
+        let (now, seq) = (self.now, self.cur_seq);
+        self.rx_states[i].crash_reset(now, seq);
+        if !self.paired_arrivals {
+            self.event_pending_boundaries(i as u16);
+        }
+    }
+
+    /// Fused path: when a suppression window opens over `node`, every
+    /// pending arrival boundary there must be backed by a real queue event
+    /// — a lazy fold has no hook to consult `node_down`/`in_blackout`.
+    /// Commits to the current frontier first so the reserved keys being
+    /// materialized are never in the past.
+    fn materialize_suppressed(&mut self, node: u16) {
+        let (now, seq) = (self.now, self.cur_seq);
+        self.rx_states[node as usize].commit(now, seq);
+        self.event_pending_boundaries(node);
+    }
+
     fn fault_start(&mut self, idx: usize) {
         match self.cfg.faults.events[idx].clone() {
             FaultEvent::NodeDown { node, down_for, .. } => {
@@ -904,19 +1025,53 @@ impl<A: RoutingAgent> Simulator<A> {
                     return; // fault targets a node outside the scenario
                 }
                 self.count_fault_once(idx);
-                self.node_down[i] = true;
-                let up = self.now + down_for;
+                self.crash_node(i, down_for);
+                self.queue.schedule(self.node_up_at[i], Ev::FaultEnd { idx });
+            }
+            FaultEvent::NodeChurn { node, down_for, .. } => {
+                let i = node.index();
+                if i >= self.node_down.len() {
+                    return;
+                }
+                self.count_fault_once(idx);
+                self.crash_node(i, down_for);
+                // The reset runs at whichever wake-up actually revives the
+                // node — an overlapping crash can extend the outage past
+                // this churn's own end event.
+                self.churn_reset_pending[i] = true;
+                self.queue.schedule(self.node_up_at[i], Ev::FaultEnd { idx });
+            }
+            FaultEvent::RadioDutyCycle { node, off_for, until, .. } => {
+                let i = node.index();
+                if i >= self.node_down.len() || self.now >= until {
+                    return;
+                }
+                self.count_fault_once(idx);
+                self.set_node_down(i);
+                let up = self.now + off_for;
                 if up > self.node_up_at[i] {
                     self.node_up_at[i] = up;
                 }
-                // The crash wipes the radio: in-flight receptions die and
-                // the node's carrier state resets.
-                self.rx_states[i] = ReceiverState::new(self.cfg.radio);
+                // Sleep, not a crash: radio and protocol state survive —
+                // but in-window boundaries must still be gated, so the
+                // fused path events them.
+                if !self.paired_arrivals {
+                    self.materialize_suppressed(i as u16);
+                }
                 self.queue.schedule(self.node_up_at[i], Ev::FaultEnd { idx });
             }
-            FaultEvent::LinkBlackout { down_for, .. } => {
+            FaultEvent::LinkBlackout { down_for, .. }
+            | FaultEvent::RegionBlackout { down_for, .. } => {
                 self.count_fault_once(idx);
                 self.fault_active[idx] = true;
+                self.region_active += 1;
+                if !self.paired_arrivals {
+                    // Any node can sit in (or drift into) the region, so
+                    // every receiver's boundaries get evented.
+                    for node in 0..self.rx_states.len() {
+                        self.materialize_suppressed(node as u16);
+                    }
+                }
                 self.queue.schedule(self.now + down_for, Ev::FaultEnd { idx });
             }
             FaultEvent::FrameCorruption { from, until, .. } => {
@@ -949,19 +1104,76 @@ impl<A: RoutingAgent> Simulator<A> {
 
     fn fault_end(&mut self, idx: usize) {
         match self.cfg.faults.events[idx] {
-            FaultEvent::NodeDown { node, .. } => {
+            FaultEvent::NodeDown { node, .. } | FaultEvent::NodeChurn { node, .. } => {
                 // Overlapping crashes extend `node_up_at`; only the last
-                // scheduled wake-up actually revives the node.
+                // scheduled wake-up actually revives the node (running any
+                // owed churn reset at that instant).
                 let i = node.index();
                 if i < self.node_down.len() && self.now >= self.node_up_at[i] {
-                    self.node_down[i] = false;
+                    self.set_node_up(i);
                 }
             }
-            FaultEvent::LinkBlackout { .. } | FaultEvent::FrameCorruption { .. } => {
+            FaultEvent::RadioDutyCycle { node, on_for, until, .. } => {
+                let i = node.index();
+                if i < self.node_down.len() && self.now >= self.node_up_at[i] {
+                    self.set_node_up(i);
+                }
+                // Re-arm the next sleep window; the cycle self-schedules
+                // with no RNG draws, so the plan stays deterministic.
+                let next = self.now + on_for;
+                if next < until && next <= self.end {
+                    self.queue.schedule(next, Ev::FaultStart { idx });
+                }
+            }
+            FaultEvent::LinkBlackout { .. } | FaultEvent::RegionBlackout { .. } => {
+                self.fault_active[idx] = false;
+                self.region_active -= 1;
+            }
+            FaultEvent::FrameCorruption { .. } => {
                 self.fault_active[idx] = false;
             }
             FaultEvent::Panic { .. } | FaultEvent::EventStorm { .. } => {}
         }
+    }
+
+    /// [`FaultEvent::NodeChurn`] revival: the node rejoins as a freshly
+    /// booted station, not a thawed one. Suspended MAC/agent timers are
+    /// cancelled, the MAC resets (packets it still held are dropped and
+    /// accounted as `NodeReset`), and the routing agent reboots — its
+    /// `on_revival` commands re-arm the periodic timers a fresh `start`
+    /// would have armed.
+    fn revive_node(&mut self, node: u16) {
+        let i = node as usize;
+        for slot in &mut self.mac_timers[i] {
+            if let Some(id) = slot.take() {
+                self.queue.cancel(id);
+            }
+        }
+        // Cancel *before* applying the reboot commands, so the fresh
+        // timers those commands arm survive.
+        let stale: Vec<EventId> = self.agent_timers[i].drain().map(|(_, id)| id).collect();
+        for id in stale {
+            self.queue.cancel(id);
+        }
+        let mut dropped = Vec::new();
+        self.macs[i].reset_into(&mut dropped);
+        for payload in dropped {
+            let uid = payload.uid();
+            let reason = packet::DropReason::NodeReset;
+            self.metrics.record_drop(reason);
+            if self.audit.enabled() {
+                self.audit.on_dropped(uid, reason);
+            }
+            if let Some(o) = self.obs.as_mut() {
+                o.drops.record(reason.name(), 0);
+                o.traces.record("drop", 0);
+            }
+            if self.trace.is_some() {
+                self.emit_trace(node, TraceKind::Drop { uid, reason });
+            }
+        }
+        let cmds = self.agents[i].on_revival(self.now);
+        self.apply_agent(node, cmds);
     }
 
     // ------------------------------------------------------------------
@@ -1014,6 +1226,13 @@ impl<A: RoutingAgent> Simulator<A> {
         if !self.macs[node as usize].carrier_reactive() {
             return;
         }
+        self.event_pending_boundaries(node);
+    }
+
+    /// Backs the node's lazily-held lock decode and every unsensed pending
+    /// start with real queue events at their reserved keys (shared by the
+    /// carrier-reactive and fault-window materialize passes).
+    fn event_pending_boundaries(&mut self, node: u16) {
         let state = &mut self.rx_states[node as usize];
         if let Some((tx_id, end, end_seq)) = state.take_unevented_lock() {
             self.queue.schedule_at_seq(end, end_seq, Ev::Arrival { rx: node, tx_id });
@@ -1122,9 +1341,23 @@ impl<A: RoutingAgent> Simulator<A> {
                         }
                     } else {
                         let rx_threshold_w = self.cfg.radio.rx_threshold_w;
+                        // While a suppression window is open anywhere,
+                        // every boundary must be backed by a real event so
+                        // the window can gate it at dispatch time.
+                        let windows_active = self.suppression_active();
                         for a in arrivals.drain(..) {
                             let rx = a.receiver.index() as u16;
                             self.arrivals_planned += 1;
+                            // Same corruption draw, at the same program
+                            // point and in the same drain order, as the
+                            // paired branch — the fault RNG stream
+                            // advances identically on both paths.
+                            let corrupted = p_corrupt > 0.0
+                                && sim_core::rng::uniform(&mut self.fault_rng, 0.0, 1.0)
+                                    < p_corrupt;
+                            if corrupted {
+                                self.metrics.record_frame_corrupted();
+                            }
                             let decodable = a.power_w >= rx_threshold_w;
                             // Every arrival reserves exactly one seq here
                             // — mirroring the paired path's ArrivalStart
@@ -1148,9 +1381,11 @@ impl<A: RoutingAgent> Simulator<A> {
                                 let needs =
                                     frame.payload.is_some() || frame.addressed_to(a.receiver);
                                 (true, needs, Some(Arc::clone(&frame)))
-                            } else if self.macs[rx as usize].carrier_reactive() {
+                            } else if self.macs[rx as usize].carrier_reactive() || windows_active {
                                 // Sub-RX energy matters now: the MAC's
-                                // freeze/recheck must fire at the start.
+                                // freeze/recheck must fire at the start —
+                                // or an open suppression window may need
+                                // to gate this boundary at dispatch time.
                                 self.queue.schedule_at_seq(
                                     a.start,
                                     start_seq,
@@ -1173,6 +1408,7 @@ impl<A: RoutingAgent> Simulator<A> {
                                 nav: frame.nav,
                                 needs_decode,
                                 start_evented,
+                                corrupted,
                                 payload,
                             });
                         }
@@ -1337,6 +1573,27 @@ impl<A: RoutingAgent> Simulator<A> {
             }
         }
     }
+}
+
+/// Whether `DSR_PAIRED_ARRIVALS=1` is forcing the legacy paired arrival
+/// path for every simulator built in this process. The executor consults
+/// this when stamping forensic artifacts with the arrival-path mode.
+pub(crate) fn paired_arrivals_forced() -> bool {
+    std::env::var_os("DSR_PAIRED_ARRIVALS").is_some_and(|v| v == "1")
+}
+
+/// One-line, once-per-process stderr notice that the legacy paired
+/// arrival path was forced on. A silent pin here would let the perf
+/// gate's fused-share check pass vacuously, so forcing the slow path is
+/// always loud (and counted in the profile's `paired_runs`).
+fn warn_paired_forced(source: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "warning: legacy paired arrival path forced via {source}; \
+             the fused fast path is disabled for these runs"
+        );
+    });
 }
 
 fn frame_name(kind: mac::FrameKind) -> &'static str {

@@ -2,20 +2,29 @@
 //! structure: forcing the legacy paired start/end arrival events
 //! (`set_paired_arrivals(true)`) must not change a single bit of the
 //! outcome. These tests run the same seeded scenarios both ways and demand
-//! identical `Report`s — same verdicts, same deliveries, same RNG draws.
+//! identical `Report`s — same verdicts, same deliveries, same RNG draws —
+//! with and without fault plans, now that every `FaultPlan` effect is
+//! modelled natively on the fused path.
 
 use dsr::DsrConfig;
-use runner::{FaultEvent, FaultPlan, ScenarioConfig, Simulator};
-use sim_core::{NodeId, SimTime};
+use mobility::Point;
+use runner::{FaultPlan, Region, ScenarioConfig, Simulator, Zone};
+use sim_core::{NodeId, SimDuration, SimTime};
 
 fn reports_match(cfg: ScenarioConfig) {
     let fused = Simulator::new(cfg.clone());
-    assert!(!fused.paired_arrivals(), "fault-free scenarios default to the fused path");
+    assert!(!fused.paired_arrivals(), "scenarios default to the fused path, faulted or not");
     let fused = fused.run();
     let mut sim = Simulator::new(cfg);
     sim.set_paired_arrivals(true);
     let paired = sim.run();
     assert_eq!(fused, paired, "fused-envelope run must be byte-identical to paired events");
+}
+
+fn faulted(seed: u64, faults: FaultPlan) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::tiny(0.0, 2.0, DsrConfig::base(), seed);
+    cfg.faults = faults;
+    cfg
 }
 
 #[test]
@@ -52,21 +61,121 @@ fn higher_rate_reports_are_identical() {
     }
 }
 
+// ----------------------------------------------------------------------
+// Fault plans: each fault kind exercised on both paths, byte-identical.
+// ----------------------------------------------------------------------
+
 #[test]
-fn faulted_scenarios_force_the_paired_path() {
-    // Fault windows suppress/corrupt arrivals at their boundary events —
-    // a hook the lazy envelope does not model — so scenarios with a fault
-    // plan must refuse the fused path, even when explicitly requested.
-    let mut cfg = ScenarioConfig::tiny(0.0, 2.0, DsrConfig::base(), 5);
-    cfg.faults = FaultPlan {
-        events: vec![FaultEvent::NodeDown {
-            node: NodeId::new(3),
-            at: SimTime::from_secs(10.0),
-            down_for: sim_core::SimDuration::from_secs(5.0),
-        }],
-    };
-    let mut sim = Simulator::new(cfg);
-    assert!(sim.paired_arrivals());
-    sim.set_paired_arrivals(false);
-    assert!(sim.paired_arrivals(), "fault plans must pin the paired path");
+fn node_down_reports_are_identical() {
+    // Crash + radio wipe mid-run: dispatch-time suppression on the fused
+    // path must match the paired path's per-event gating, including the
+    // pendings committed/evented at crash time.
+    reports_match(faulted(
+        5,
+        FaultPlan::none().node_down(
+            NodeId::new(3),
+            SimTime::from_secs(10.0),
+            SimDuration::from_secs(5.0),
+        ),
+    ))
+}
+
+#[test]
+fn frame_corruption_reports_are_identical() {
+    // Corruption draws happen at plan time on the fault RNG stream at the
+    // identical program point in both branches; the fused path bakes the
+    // verdict into the pending entry instead of gating delivery later.
+    reports_match(faulted(
+        6,
+        FaultPlan::none().frame_corruption(0.3, SimTime::from_secs(5.0), SimTime::from_secs(40.0)),
+    ))
+}
+
+#[test]
+fn link_blackout_reports_are_identical() {
+    reports_match(faulted(
+        7,
+        FaultPlan::none().link_blackout(
+            Region::new(Point::new(0.0, 0.0), Point::new(300.0, 300.0)),
+            SimTime::from_secs(8.0),
+            SimDuration::from_secs(10.0),
+        ),
+    ))
+}
+
+#[test]
+fn node_churn_reports_are_identical() {
+    // Crash-and-rejoin: the revival's MAC/DSR state reset (timer cancels,
+    // NodeReset drops, cache rebuild, tick re-arm) runs identically on
+    // both paths, so the post-revival trajectory must stay in lockstep.
+    reports_match(faulted(
+        8,
+        FaultPlan::none()
+            .node_churn(NodeId::new(2), SimTime::from_secs(6.0), SimDuration::from_secs(4.0))
+            .node_churn(NodeId::new(9), SimTime::from_secs(20.0), SimDuration::from_secs(8.0)),
+    ))
+}
+
+#[test]
+fn region_blackout_reports_are_identical() {
+    reports_match(faulted(
+        9,
+        FaultPlan::none()
+            .region_blackout(
+                Zone::Disc { center: Point::new(150.0, 150.0), radius_m: 120.0 },
+                SimTime::from_secs(10.0),
+                SimDuration::from_secs(6.0),
+            )
+            .region_blackout(
+                Zone::HalfPlane { origin: Point::new(150.0, 0.0), normal: Point::new(1.0, 0.0) },
+                SimTime::from_secs(25.0),
+                SimDuration::from_secs(5.0),
+            ),
+    ))
+}
+
+#[test]
+fn radio_duty_cycle_reports_are_identical() {
+    // Periodic sleep: the self-rescheduling FaultStart chain and the
+    // per-window suppression must line up event-for-event across paths.
+    reports_match(faulted(
+        10,
+        FaultPlan::none().radio_duty_cycle(
+            NodeId::new(4),
+            SimTime::from_secs(5.0),
+            SimDuration::from_secs(2.0),
+            SimDuration::from_secs(1.0),
+            SimTime::from_secs(45.0),
+        ),
+    ))
+}
+
+#[test]
+fn mixed_fault_storm_reports_are_identical() {
+    // Every fault kind at once, overlapping: corruption during a regional
+    // blackout while one node churns and another duty-cycles.
+    reports_match(faulted(
+        11,
+        FaultPlan::none()
+            .frame_corruption(0.15, SimTime::from_secs(2.0), SimTime::from_secs(50.0))
+            .node_down(NodeId::new(1), SimTime::from_secs(12.0), SimDuration::from_secs(3.0))
+            .node_churn(NodeId::new(6), SimTime::from_secs(15.0), SimDuration::from_secs(5.0))
+            .region_blackout(
+                Zone::Disc { center: Point::new(100.0, 200.0), radius_m: 90.0 },
+                SimTime::from_secs(18.0),
+                SimDuration::from_secs(7.0),
+            )
+            .radio_duty_cycle(
+                NodeId::new(12),
+                SimTime::from_secs(4.0),
+                SimDuration::from_secs(3.0),
+                SimDuration::from_secs(2.0),
+                SimTime::from_secs(40.0),
+            )
+            .link_blackout(
+                Region::new(Point::new(200.0, 0.0), Point::new(300.0, 300.0)),
+                SimTime::from_secs(30.0),
+                SimDuration::from_secs(4.0),
+            ),
+    ))
 }

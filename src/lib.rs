@@ -52,7 +52,7 @@ pub mod prelude {
         replay_run, run_campaign, run_campaign_with, run_scenario, run_scenario_with, run_seeds,
         AuditLevel, CampaignConfig, CampaignResult, FaultEvent, FaultPlan, ForensicArtifact,
         Journal, JournalWriter, MobilitySpec, Region, RunError, RunFailure, RunLimits,
-        ScenarioConfig, Simulator,
+        ScenarioConfig, Simulator, Zone,
     };
     pub use sim_core::{NodeId, SimDuration, SimTime};
     pub use tcp::{TcpConfig, TcpHost};

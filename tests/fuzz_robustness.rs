@@ -45,6 +45,38 @@ fn arb_fault() -> impl Strategy<Value = FaultEvent> {
                 until: SimTime::from_secs(a.max(b)),
             }
         }),
+        (0u16..10, 0.0f64..10.0, 0.1f64..5.0).prop_map(|(node, at, dur)| FaultEvent::NodeChurn {
+            node: NodeId::new(node),
+            at: SimTime::from_secs(at),
+            down_for: SimDuration::from_secs(dur),
+        }),
+        (0.0f64..1500.0, 0.0f64..500.0, 1.0f64..400.0, 0.0f64..10.0, 0.1f64..5.0).prop_map(
+            |(x, y, r, at, dur)| FaultEvent::RegionBlackout {
+                zone: Zone::Disc { center: Point::new(x, y), radius_m: r },
+                at: SimTime::from_secs(at),
+                down_for: SimDuration::from_secs(dur),
+            }
+        ),
+        (0.0f64..1500.0, 0.0f64..500.0, -1.0f64..1.0, -1.0f64..1.0, 0.0f64..10.0, 0.1f64..5.0)
+            .prop_map(|(x, y, nx, ny, at, dur)| FaultEvent::RegionBlackout {
+                zone: Zone::HalfPlane {
+                    origin: Point::new(x, y),
+                    // A degenerate zero normal blacks out everything
+                    // (p·0 >= 0 always holds) — a legal, harmless plan.
+                    normal: Point::new(nx, ny),
+                },
+                at: SimTime::from_secs(at),
+                down_for: SimDuration::from_secs(dur),
+            }),
+        (0u16..10, 0.0f64..10.0, 0.05f64..3.0, 0.05f64..3.0, 0.0f64..12.0).prop_map(
+            |(node, at, on, off, until)| FaultEvent::RadioDutyCycle {
+                node: NodeId::new(node),
+                at: SimTime::from_secs(at),
+                on_for: SimDuration::from_secs(on),
+                off_for: SimDuration::from_secs(off),
+                until: SimTime::from_secs(until),
+            }
+        ),
     ]
 }
 
@@ -206,6 +238,55 @@ proptest! {
         );
     }
 
+    /// One fault of *every* kind at once — crash, blackout rectangle,
+    /// corruption window, crash-and-rejoin churn, geometric blackout
+    /// zone, and a duty-cycled radio — with the conservation audit at
+    /// `full`, on the fused arrival path (the default), under both a
+    /// serial and a parallel executor. The ledger must balance: every
+    /// originated packet delivered, dropped with a reason (including the
+    /// churn revival's `NodeReset` drops), or still buffered at run end.
+    #[test]
+    fn full_audit_conservation_holds_for_every_fault_kind_on_the_fused_path(
+        seed in 0u64..50,
+        jobs in prop::sample::select(vec![1usize, 4]),
+        n_nodes in 3usize..7,
+        churn_at in 1.0f64..5.0,
+        radius in 100.0f64..400.0,
+    ) {
+        let mut cfg = ScenarioConfig::static_line(n_nodes, 180.0, 2.0, DsrConfig::combined(), seed);
+        cfg.duration = SimDuration::from_secs(8.0);
+        cfg.faults = FaultPlan::none()
+            .node_down(NodeId::new(1), SimTime::from_secs(1.5), SimDuration::from_secs(1.0))
+            .link_blackout(
+                Region::new(Point::new(0.0, -50.0), Point::new(400.0, 50.0)),
+                SimTime::from_secs(2.0),
+                SimDuration::from_secs(1.0),
+            )
+            .frame_corruption(0.2, SimTime::from_secs(1.0), SimTime::from_secs(6.0))
+            .node_churn(NodeId::new(2), SimTime::from_secs(churn_at), SimDuration::from_secs(1.5))
+            .region_blackout(
+                Zone::Disc { center: Point::new(200.0, 0.0), radius_m: radius },
+                SimTime::from_secs(4.0),
+                SimDuration::from_secs(1.0),
+            )
+            .radio_duty_cycle(
+                NodeId::new(0),
+                SimTime::from_secs(3.0),
+                SimDuration::from_secs(1.0),
+                SimDuration::from_secs(0.5),
+                SimTime::from_secs(7.0),
+            );
+        let campaign =
+            CampaignConfig { audit: AuditLevel::Full, jobs, ..CampaignConfig::default() };
+        let result = run_campaign(&cfg, &[seed, seed + 1], &campaign);
+        prop_assert!(
+            result.all_ok(),
+            "full-audit ledger must balance under every fault kind (jobs={}): {}",
+            jobs,
+            result.failure_summary()
+        );
+    }
+
     /// Forensic artifacts round-trip any scenario the fuzzer can build:
     /// parse(render(artifact)) reconstructs the identical configuration.
     #[test]
@@ -221,6 +302,7 @@ proptest! {
         let artifact = ForensicArtifact {
             label: cfg.dsr.label(),
             replayable: true,
+            paired_arrivals: false,
             config: cfg,
             error: RunError::Panicked { seed, payload: "fuzz payload with spaces\nand lines".into() },
             trace: vec!["s 1.000000 _n0_ MAC RTS 20B".into()],

@@ -349,15 +349,53 @@ proptest! {
     ) {
         let arrivals: Vec<DiffArrival> = raw
             .iter()
-            .map(|&(start_ns, dur_ns, class)| DiffArrival {
+            .map(|&(start_ns, dur_ns, class)| DiffArrival::clean(
                 start_ns,
                 dur_ns,
-                power_w: match class {
+                match class {
                     0 => 1e-10, // sub-RX, above carrier sense
                     1 => 5e-10, // barely decodable
                     2 => 1e-9,
                     _ => 1e-7,  // > 10x: capture winner
                 },
+            ))
+            .collect();
+        assert_fused_matches_eager(&RadioConfig::wavelan(), &arrivals, own_tx);
+    }
+
+    /// Fault injection rides the same equivalence contract: random
+    /// corruption and suppression flags (plan-time corruption, start
+    /// suppression = the arrival never enters either receiver, end
+    /// suppression = delivery gated after decode) must leave the fused
+    /// and eager paths in lockstep on every delivery and busy horizon.
+    #[test]
+    fn fused_envelope_matches_eager_under_random_fault_plans(
+        raw in proptest::collection::vec(
+            // (start, duration, power class, corrupted, s_start, s_end)
+            (0u64..2_000_000, 1u64..1_500_000, 0u8..4,
+             proptest::bool::ANY, proptest::bool::ANY, proptest::bool::ANY),
+            1..24,
+        ),
+        own_tx in proptest::option::of((0u64..2_000_000, 1u64..500_000)),
+    ) {
+        let arrivals: Vec<DiffArrival> = raw
+            .iter()
+            .map(|&(start_ns, dur_ns, class, corrupted, suppress_start, suppress_end)| {
+                DiffArrival {
+                    corrupted,
+                    suppress_start,
+                    suppress_end,
+                    ..DiffArrival::clean(
+                        start_ns,
+                        dur_ns,
+                        match class {
+                            0 => 1e-10,
+                            1 => 5e-10,
+                            2 => 1e-9,
+                            _ => 1e-7,
+                        },
+                    )
+                }
             })
             .collect();
         assert_fused_matches_eager(&RadioConfig::wavelan(), &arrivals, own_tx);
