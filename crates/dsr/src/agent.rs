@@ -22,8 +22,8 @@
 use std::collections::{HashSet, VecDeque};
 
 use packet::{
-    CacheHitKind, DataPacket, DropReason, ErrorDelivery, Link, Packet, ProtocolEvent, Route,
-    RouteErrorPkt, RouteReply, RouteRequest,
+    CacheDecision, CacheHitKind, CacheInsertProvenance, CacheRemovalCause, DataPacket, DropReason,
+    ErrorDelivery, Link, Packet, ProtocolEvent, Route, RouteErrorPkt, RouteReply, RouteRequest,
 };
 
 use sim_core::rng::uniform;
@@ -33,7 +33,7 @@ use crate::adaptive::AdaptiveTimeout;
 use crate::cache::link_cache::LinkCache;
 use crate::cache::negative::NegativeCache;
 use crate::cache::path_cache::PathCache;
-use crate::cache::RouteCache;
+use crate::cache::{CacheEvent, RouteCache};
 use crate::config::{CacheOrganization, DsrConfig, ExpiryPolicy, WiderErrorRebroadcast};
 use crate::request_table::RequestTable;
 use crate::send_buffer::{PendingData, SendBuffer};
@@ -128,6 +128,12 @@ pub struct DsrNode {
     grat_replies: VecDeque<((NodeId, NodeId), SimTime)>,
     uid_counter: u64,
     rng: SimRng,
+    /// Cache-decision tracing (cache forensics). Off by default: no
+    /// decision events are built and the cache's internal log stays
+    /// unallocated, so the untraced hot path is untouched.
+    trace_decisions: bool,
+    /// Scratch buffer for draining the cache's internal event log.
+    cache_event_buf: Vec<CacheEvent>,
 }
 
 impl std::fmt::Debug for DsrNode {
@@ -157,15 +163,27 @@ impl DsrNode {
             grat_replies: VecDeque::new(),
             uid_counter: 0,
             rng,
+            trace_decisions: false,
+            cache_event_buf: Vec::new(),
             cfg,
         }
     }
 
     fn build_cache(node: NodeId, cfg: &DsrConfig) -> Box<dyn RouteCache> {
-        match cfg.cache_organization {
+        let mut cache: Box<dyn RouteCache> = match cfg.cache_organization {
             CacheOrganization::Path => Box::new(PathCache::new(node, cfg.cache_capacity)),
             CacheOrganization::Link => Box::new(LinkCache::new(node, cfg.cache_capacity)),
+        };
+        // Read-time expiry mirrors the sweep policy so lookups between
+        // sweeps never serve just-expired state. The adaptive policy
+        // starts at its floor; every tick re-installs the recomputed
+        // timeout alongside the sweep.
+        match cfg.expiry {
+            ExpiryPolicy::None => {}
+            ExpiryPolicy::Static { timeout } => cache.set_read_expiry(Some(timeout)),
+            ExpiryPolicy::Adaptive { min_timeout, .. } => cache.set_read_expiry(Some(min_timeout)),
         }
+        cache
     }
 
     fn build_negative(cfg: &DsrConfig) -> Option<NegativeCache> {
@@ -257,6 +275,76 @@ impl DsrNode {
         SimDuration::from_secs(uniform(&mut self.rng, 0.0, max))
     }
 
+    /// Enables (or disables) cache-decision tracing: every insert, lookup,
+    /// link purge, eviction, expiry, and `mark_used` refresh is emitted as
+    /// a [`DsrEvent::CacheDecision`] command for the driver's cache
+    /// forensics recorder. Pure observation — no timers, sends, or RNG
+    /// draws are added, so protocol behaviour is identical either way.
+    pub fn set_decision_trace(&mut self, on: bool) {
+        self.trace_decisions = on;
+        self.cache.set_event_log(on);
+    }
+
+    fn trace_lookup(
+        &self,
+        dst: NodeId,
+        purpose: CacheHitKind,
+        route: &Option<Route>,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
+        if self.trace_decisions {
+            cmds.push(DsrCommand::Event {
+                event: DsrEvent::CacheDecision {
+                    decision: CacheDecision::Lookup { dst, purpose, route: route.clone() },
+                },
+            });
+        }
+    }
+
+    fn trace_refresh(&self, route: &Route, cmds: &mut Vec<DsrCommand>) {
+        if self.trace_decisions {
+            cmds.push(DsrCommand::Event {
+                event: DsrEvent::CacheDecision {
+                    decision: CacheDecision::Refresh { route: route.clone() },
+                },
+            });
+        }
+    }
+
+    fn trace_remove(
+        &self,
+        link: Link,
+        cause: CacheRemovalCause,
+        contained: bool,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
+        if self.trace_decisions {
+            cmds.push(DsrCommand::Event {
+                event: DsrEvent::CacheDecision {
+                    decision: CacheDecision::RemoveLink { link, cause, contained },
+                },
+            });
+        }
+    }
+
+    /// Drains the cache's internal event log (evictions, expiry prunes)
+    /// into decision-trace commands. No-op while tracing is off.
+    fn drain_cache_events(&mut self, cmds: &mut Vec<DsrCommand>) {
+        if !self.trace_decisions {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.cache_event_buf);
+        self.cache.drain_events(&mut buf);
+        for ev in buf.drain(..) {
+            let decision = match ev {
+                CacheEvent::Evicted { route } => CacheDecision::Evict { route },
+                CacheEvent::Expired { route } => CacheDecision::Expire { route },
+            };
+            cmds.push(DsrCommand::Event { event: DsrEvent::CacheDecision { decision } });
+        }
+        self.cache_event_buf = buf;
+    }
+
     // ------------------------------------------------------------------
     // Inputs
     // ------------------------------------------------------------------
@@ -288,6 +376,9 @@ impl DsrNode {
             .map(|uid| DsrCommand::Drop { uid, reason: DropReason::NodeReset })
             .collect();
         self.cache = Self::build_cache(self.id, &self.cfg);
+        // Decision tracing is driver-installed state, not protocol state:
+        // it survives the reboot (the rebuilt cache needs its log back on).
+        self.cache.set_event_log(self.trace_decisions);
         self.negative = Self::build_negative(&self.cfg);
         self.adaptive = Self::build_adaptive(&self.cfg);
         self.send_buffer = Self::build_send_buffer(&self.cfg);
@@ -316,7 +407,9 @@ impl DsrNode {
         let mut cmds = Vec::new();
         let pending = PendingData { uid: self.fresh_uid(), dst, seq, payload_bytes, sent_at: now };
         cmds.push(DsrCommand::Event { event: DsrEvent::DataOriginated { uid: pending.uid } });
-        if let Some(route) = self.cache.find(dst, now) {
+        let found = self.cache.find(dst, now);
+        self.trace_lookup(dst, CacheHitKind::Origination, &found, &mut cmds);
+        if let Some(route) = found {
             cmds.push(DsrCommand::Event {
                 event: DsrEvent::CacheHit { route: route.clone(), kind: CacheHitKind::Origination },
             });
@@ -361,6 +454,7 @@ impl DsrNode {
             Packet::Data(data) => {
                 self.learn_from_route(&data.route, Some(transmitter), now, &mut cmds);
                 self.cache.mark_used(&data.route, now);
+                self.trace_refresh(&data.route, &mut cmds);
                 if self.cfg.gratuitous_replies {
                     self.maybe_gratuitous_reply(data, transmitter, now, &mut cmds);
                 }
@@ -369,7 +463,7 @@ impl DsrNode {
                 self.learn_from_route(&rep.discovered, None, now, &mut cmds);
             }
             Packet::Error(err) => {
-                self.apply_link_break(err.broken, now);
+                self.apply_link_break(err.broken, CacheRemovalCause::ErrorReceived, now, &mut cmds);
             }
             Packet::Request(_) => {} // requests are broadcast, never snooped
         }
@@ -387,7 +481,7 @@ impl DsrNode {
         let mut cmds = Vec::new();
         let link = Link::new(self.id, next_hop);
         cmds.push(DsrCommand::Event { event: DsrEvent::LinkBreakDetected { link } });
-        self.apply_link_break(link, now);
+        self.apply_link_break(link, CacheRemovalCause::MacFeedback, now, &mut cmds);
         match packet {
             Packet::Data(data) => {
                 self.originate_route_error(link, Some(&data), now, &mut cmds);
@@ -502,7 +596,7 @@ impl DsrNode {
         if let Some(link) = req.piggyback_error {
             // Gratuitous route repair: clean the broken link out before we
             // consider answering from cache.
-            self.apply_link_break(link, now);
+            self.apply_link_break(link, CacheRemovalCause::ErrorReceived, now, cmds);
         }
         if req.path.contains(&self.id) {
             return; // already forwarded this copy
@@ -512,7 +606,7 @@ impl DsrNode {
         let mut forward_nodes = req.path.clone();
         forward_nodes.push(self.id);
         if let Ok(forward) = Route::new(forward_nodes.clone()) {
-            self.insert_route(forward.reversed(), now, cmds);
+            self.insert_route(forward.reversed(), CacheInsertProvenance::Overheard, now, cmds);
         }
 
         if req.target == self.id {
@@ -526,7 +620,9 @@ impl DsrNode {
             return; // duplicate
         }
         if self.cfg.replies_from_cache {
-            if let Some(cached) = self.cache.find(req.target, now) {
+            let found = self.cache.find(req.target, now);
+            self.trace_lookup(req.target, CacheHitKind::Reply, &found, cmds);
+            if let Some(cached) = found {
                 let prefix = Route::new(forward_nodes.clone()).expect("checked loop-free above");
                 if let Ok(full) = prefix.join(&cached) {
                     cmds.push(DsrCommand::Event {
@@ -601,7 +697,12 @@ impl DsrNode {
             // anything else (corrupt or misdirected) is still mined for
             // usable segments by the learn_from_route call above.
             if rep.discovered.source() == self.id {
-                self.insert_route(rep.discovered.clone(), now, cmds);
+                let provenance = if rep.gratuitous {
+                    CacheInsertProvenance::Gratuitous
+                } else {
+                    CacheInsertProvenance::Reply
+                };
+                self.insert_route(rep.discovered.clone(), provenance, now, cmds);
             }
             if self.requests.finish(target) {
                 cmds.push(DsrCommand::CancelTimer { timer: DsrTimer::RequestTimeout(target) });
@@ -640,6 +741,7 @@ impl DsrNode {
     ) {
         debug_assert_eq!(route.source(), self.id);
         self.cache.mark_used(&route, now);
+        self.trace_refresh(&route, cmds);
         let next_hop = route.nodes()[1];
         let data = DataPacket {
             uid: pending.uid,
@@ -664,6 +766,7 @@ impl DsrNode {
         // timestamps ("seen in a unicast packet being forwarded").
         self.learn_from_route(&data.route, None, now, cmds);
         self.cache.mark_used(&data.route, now);
+        self.trace_refresh(&data.route, cmds);
         if data.dst == self.id {
             cmds.push(DsrCommand::DeliverData { packet: data });
             return;
@@ -678,6 +781,7 @@ impl DsrNode {
             let remaining = data.route.links().skip(idx);
             if let Some(bad) = neg.first_blacklisted(remaining, now) {
                 cmds.push(DsrCommand::Drop { uid: data.uid, reason: DropReason::NegativeCacheHit });
+                self.trace_remove(bad, CacheRemovalCause::NegativeVeto, false, cmds);
                 self.originate_route_error(bad, Some(&data), now, cmds);
                 return;
             }
@@ -698,11 +802,14 @@ impl DsrNode {
                 cmds.push(DsrCommand::Drop { uid: data.uid, reason: DropReason::SalvageLimit });
                 return;
             }
-            if let Some(alt) = self.cache.find(data.dst, now) {
+            let found = self.cache.find(data.dst, now);
+            self.trace_lookup(data.dst, CacheHitKind::Salvage, &found, cmds);
+            if let Some(alt) = found {
                 cmds.push(DsrCommand::Event {
                     event: DsrEvent::CacheHit { route: alt.clone(), kind: CacheHitKind::Salvage },
                 });
                 self.cache.mark_used(&alt, now);
+                self.trace_refresh(&alt, cmds);
                 let next_hop = alt.nodes()[1];
                 data.route = alt;
                 data.hop = 0;
@@ -821,7 +928,7 @@ impl DsrNode {
     ) {
         match err.delivery {
             ErrorDelivery::Unicast { to, ref route, .. } => {
-                self.apply_link_break(err.broken, now);
+                self.apply_link_break(err.broken, CacheRemovalCause::ErrorReceived, now, cmds);
                 if to == self.id {
                     // We are the notified source: remember the break for
                     // gratuitous route repair.
@@ -847,6 +954,12 @@ impl DsrNode {
                 }
                 self.note_error_seen(err.uid);
                 let removed = self.cache.remove_link(err.broken, now);
+                self.trace_remove(
+                    err.broken,
+                    CacheRemovalCause::WiderError,
+                    removed.contained,
+                    cmds,
+                );
                 for lifetime in &removed.route_lifetimes {
                     self.adaptive.observe_break(*lifetime, now);
                 }
@@ -897,8 +1010,15 @@ impl DsrNode {
     /// Common bookkeeping when a link is learned broken (feedback, error
     /// packet, or piggyback): purge it from the route cache, blacklist it,
     /// and feed the adaptive-timeout estimator.
-    fn apply_link_break(&mut self, link: Link, now: SimTime) {
+    fn apply_link_break(
+        &mut self,
+        link: Link,
+        cause: CacheRemovalCause,
+        now: SimTime,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
         let removed = self.cache.remove_link(link, now);
+        self.trace_remove(link, cause, removed.contained, cmds);
         for lifetime in removed.route_lifetimes {
             self.adaptive.observe_break(lifetime, now);
         }
@@ -924,10 +1044,10 @@ impl DsrNode {
     ) {
         if route.contains(self.id) {
             if let Some(sfx) = route.suffix_from(self.id) {
-                self.insert_route(sfx, now, cmds);
+                self.insert_route(sfx, CacheInsertProvenance::Overheard, now, cmds);
             }
             if let Some(pfx) = route.prefix_through(self.id) {
-                self.insert_route(pfx.reversed(), now, cmds);
+                self.insert_route(pfx.reversed(), CacheInsertProvenance::Overheard, now, cmds);
             }
         } else if let Some(tx) = transmitter {
             // We overheard `tx` transmitting: the link self->tx exists.
@@ -935,12 +1055,12 @@ impl DsrNode {
                 let mut via_fwd = vec![self.id];
                 via_fwd.extend_from_slice(&route.nodes()[pos..]);
                 if let Ok(r) = Route::new(via_fwd) {
-                    self.insert_route(r, now, cmds);
+                    self.insert_route(r, CacheInsertProvenance::Overheard, now, cmds);
                 }
                 let mut via_back = vec![self.id];
                 via_back.extend(route.nodes()[..=pos].iter().rev());
                 if let Ok(r) = Route::new(via_back) {
-                    self.insert_route(r, now, cmds);
+                    self.insert_route(r, CacheInsertProvenance::Overheard, now, cmds);
                 }
             }
         }
@@ -949,12 +1069,20 @@ impl DsrNode {
     /// Inserts `route` into the path cache, honoring negative-cache mutual
     /// exclusion (the route is truncated before any blacklisted link), and
     /// flushes any send-buffered packets the new route can serve.
-    fn insert_route(&mut self, route: Route, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+    fn insert_route(
+        &mut self,
+        route: Route,
+        provenance: CacheInsertProvenance,
+        now: SimTime,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
+        let mut vetoed: Option<Link> = None;
         let filtered = match &self.negative {
             Some(neg) => {
                 let mut cut = route.len();
                 for (i, link) in route.links().enumerate() {
                     if neg.contains(link, now) {
+                        vetoed = Some(link);
                         cut = i + 1;
                         break;
                     }
@@ -964,15 +1092,33 @@ impl DsrNode {
                 } else if cut >= 2 {
                     Route::new(route.nodes()[..cut].to_vec()).expect("prefix of loop-free route")
                 } else {
+                    if let Some(link) = vetoed {
+                        self.trace_remove(link, CacheRemovalCause::NegativeVeto, false, cmds);
+                    }
                     return;
                 }
             }
             None => route,
         };
+        if let Some(link) = vetoed {
+            self.trace_remove(link, CacheRemovalCause::NegativeVeto, false, cmds);
+        }
         if filtered.hops() == 0 {
             return;
         }
-        self.cache.insert(filtered, now);
+        // Clone only under tracing: the off path moves the route into the
+        // cache exactly as before.
+        let traced = if self.trace_decisions { Some(filtered.clone()) } else { None };
+        let changed = self.cache.insert(filtered, now);
+        if let Some(route) = traced {
+            cmds.push(DsrCommand::Event {
+                event: DsrEvent::CacheDecision {
+                    decision: CacheDecision::Insert { route, provenance, changed },
+                },
+            });
+        }
+        // Inserting may have evicted under capacity pressure.
+        self.drain_cache_events(cmds);
         if !self.send_buffer.is_empty() {
             self.flush_send_buffer(now, cmds);
         }
@@ -989,7 +1135,12 @@ impl DsrNode {
         for dst in routable {
             let packets = self.send_buffer.take_for(dst);
             for pending in packets {
-                if let Some(route) = self.cache.find(dst, now) {
+                // The routable pre-screen above is untraced by design: only
+                // the per-packet find that actually commits a route to use
+                // is a decision worth a trace row.
+                let found = self.cache.find(dst, now);
+                self.trace_lookup(dst, CacheHitKind::Origination, &found, cmds);
+                if let Some(route) = found {
                     self.send_data_on_route(pending, route, 0, now, cmds);
                 } else {
                     // Route vanished mid-flush (cannot happen today; be
@@ -1076,10 +1227,15 @@ impl DsrNode {
             ExpiryPolicy::None => {}
             ExpiryPolicy::Static { timeout } => {
                 self.cache.expire(now, timeout);
+                self.drain_cache_events(cmds);
             }
             ExpiryPolicy::Adaptive { quiet_term, .. } => {
                 let timeout = self.adaptive.timeout_with(now, quiet_term);
                 self.cache.expire(now, timeout);
+                // Keep read-time expiry in lock-step with the sweep's
+                // freshly recomputed timeout.
+                self.cache.set_read_expiry(Some(timeout));
+                self.drain_cache_events(cmds);
             }
         }
     }

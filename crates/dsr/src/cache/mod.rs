@@ -18,6 +18,24 @@ pub use path_cache::{PathCache, RemovedLink};
 use packet::{Link, Route};
 use sim_core::{NodeId, SimDuration, SimTime};
 
+/// A decision the cache made internally — state the agent cannot see from
+/// the outside (capacity evictions, expiry prunes). Collected only while
+/// the event log is enabled ([`RouteCache::set_event_log`]); the agent
+/// drains them into cache-decision trace events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheEvent {
+    /// Capacity pressure evicted this stored route.
+    Evicted {
+        /// The evicted route.
+        route: Route,
+    },
+    /// Timer-based expiry pruned this stored route (pre-prune path).
+    Expired {
+        /// The route as stored before the prune.
+        route: Route,
+    },
+}
+
 /// Operations the DSR agent needs from a route cache, regardless of its
 /// internal organization.
 pub trait RouteCache: Send {
@@ -62,4 +80,20 @@ pub trait RouteCache: Send {
     /// to compute the cache's currently-valid fraction; only aggregate
     /// counts are reported, so iteration order does not matter.
     fn snapshot_routes(&self) -> Vec<Route>;
+
+    /// Enables (or disables) the internal decision-event log feeding the
+    /// cache forensics trace. Off by default; organizations that do not
+    /// implement it simply report no eviction/expiry rows.
+    fn set_event_log(&mut self, _on: bool) {}
+
+    /// Moves every logged [`CacheEvent`] since the last drain into `into`
+    /// (no-op while the log is disabled or unimplemented).
+    fn drain_events(&mut self, _into: &mut Vec<CacheEvent>) {}
+
+    /// Installs the timeout [`RouteCache::find`] applies at read time, so
+    /// lookups between expiry sweeps never return just-expired state. The
+    /// agent keeps it in sync with the sweep timeout (static policy: at
+    /// construction; adaptive: on every recompute). Organizations that do
+    /// not implement it keep the sweep-only behaviour.
+    fn set_read_expiry(&mut self, _timeout: Option<SimDuration>) {}
 }

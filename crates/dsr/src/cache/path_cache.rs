@@ -20,6 +20,8 @@
 use packet::{Link, Route};
 use sim_core::{NodeId, SimDuration, SimTime};
 
+use crate::cache::CacheEvent;
+
 /// One cached path with its bookkeeping.
 #[derive(Debug, Clone)]
 pub struct PathEntry {
@@ -94,6 +96,13 @@ pub struct PathCache {
     owner: NodeId,
     capacity: usize,
     entries: Vec<PathEntry>,
+    /// Timeout applied by [`PathCache::find`] at read time (the same
+    /// criterion the [`PathCache::expire`] sweep uses), so a just-expired
+    /// route is never returned between sweeps. `None` = no expiry policy.
+    read_expiry: Option<SimDuration>,
+    /// Internal decision-event log for the cache forensics trace;
+    /// allocated only while enabled.
+    log: Option<Vec<CacheEvent>>,
 }
 
 impl PathCache {
@@ -105,7 +114,36 @@ impl PathCache {
     /// Panics if `capacity` is zero.
     pub fn new(owner: NodeId, capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        PathCache { owner, capacity, entries: Vec::new() }
+        PathCache { owner, capacity, entries: Vec::new(), read_expiry: None, log: None }
+    }
+
+    /// Installs the read-time expiry timeout (see
+    /// [`RouteCache::set_read_expiry`](crate::cache::RouteCache::set_read_expiry)).
+    pub fn set_read_expiry(&mut self, timeout: Option<SimDuration>) {
+        self.read_expiry = timeout;
+    }
+
+    /// Enables or disables the internal decision-event log.
+    pub fn set_event_log(&mut self, on: bool) {
+        self.log = if on { Some(self.log.take().unwrap_or_default()) } else { None };
+    }
+
+    /// Drains logged decision events into `into`.
+    pub fn drain_events(&mut self, into: &mut Vec<CacheEvent>) {
+        if let Some(log) = &mut self.log {
+            into.append(log);
+        }
+    }
+
+    /// Index of the first node of `entry` whose last-used timestamp has
+    /// outlived `timeout` at `now` — the shared criterion of the expiry
+    /// sweep and the read-time filter (node 0 is the owner itself, so
+    /// staleness starts at index 1). Equal to the path length when nothing
+    /// is stale.
+    fn stale_cut(entry: &PathEntry, now: SimTime, timeout: SimDuration) -> usize {
+        (1..entry.path.len())
+            .find(|&j| entry.last_used[j] + timeout < now)
+            .unwrap_or(entry.path.len())
     }
 
     /// The owning node.
@@ -169,17 +207,30 @@ impl PathCache {
         if let Some((idx, _)) =
             self.entries.iter().enumerate().min_by_key(|(_, e)| e.most_recent_use())
         {
-            self.entries.swap_remove(idx);
+            let entry = self.entries.swap_remove(idx);
+            if let Some(log) = &mut self.log {
+                log.push(CacheEvent::Evicted { route: entry.path });
+            }
         }
     }
 
     /// Shortest cached route from the owner to `dst` (paths may be used up
     /// to any intermediate node). Ties favor the most recently entered.
-    pub fn find(&self, dst: NodeId, _now: SimTime) -> Option<Route> {
+    ///
+    /// When a read-time expiry timeout is installed
+    /// ([`PathCache::set_read_expiry`]), the stale suffix of every path —
+    /// by the exact criterion the [`PathCache::expire`] sweep applies — is
+    /// invisible to the lookup, so a just-expired route is never returned
+    /// between sweeps.
+    pub fn find(&self, dst: NodeId, now: SimTime) -> Option<Route> {
         let mut best: Option<(usize, SimTime, Route)> = None;
         for entry in &self.entries {
+            let usable = match self.read_expiry {
+                Some(timeout) => Self::stale_cut(entry, now, timeout),
+                None => entry.path.len(),
+            };
             if let Some(prefix) = entry.path.prefix_through(dst) {
-                if prefix.hops() == 0 {
+                if prefix.hops() == 0 || prefix.len() > usable {
                     continue;
                 }
                 let candidate = (prefix.hops(), entry.entered_at, prefix);
@@ -269,15 +320,15 @@ impl PathCache {
         let mut affected = 0;
         let mut kept = Vec::with_capacity(self.entries.len());
         for mut entry in self.entries.drain(..) {
-            // Node 0 is the owner itself; staleness starts at index 1.
-            let cut = (1..entry.path.len())
-                .find(|&j| entry.last_used[j] + timeout < now)
-                .unwrap_or(entry.path.len());
+            let cut = Self::stale_cut(&entry, now, timeout);
             if cut == entry.path.len() {
                 kept.push(entry);
                 continue;
             }
             affected += 1;
+            if let Some(log) = &mut self.log {
+                log.push(CacheEvent::Expired { route: entry.path.clone() });
+            }
             if cut >= 2 {
                 let nodes = entry.path.nodes()[..cut].to_vec();
                 entry.path = Route::new(nodes).expect("prefix of a loop-free route");
@@ -330,6 +381,18 @@ impl crate::cache::RouteCache for PathCache {
 
     fn snapshot_routes(&self) -> Vec<Route> {
         self.entries.iter().map(|e| e.path.clone()).collect()
+    }
+
+    fn set_event_log(&mut self, on: bool) {
+        PathCache::set_event_log(self, on)
+    }
+
+    fn drain_events(&mut self, into: &mut Vec<CacheEvent>) {
+        PathCache::drain_events(self, into)
+    }
+
+    fn set_read_expiry(&mut self, timeout: Option<SimDuration>) {
+        PathCache::set_read_expiry(self, timeout)
     }
 }
 
@@ -494,6 +557,85 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(c.find(n(1), t(6.0)).is_some(), "recently used entry kept");
         assert!(c.find(n(2), t(6.0)).is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn read_expiry_hides_just_expired_route() {
+        let mut c = PathCache::new(n(0), 4);
+        c.set_read_expiry(Some(SimDuration::from_secs(5.0)));
+        c.insert(route(&[0, 1, 2]), t(0.0));
+        // Within the timeout the route is served...
+        assert!(c.find(n(2), t(4.0)).is_some());
+        // ...but once expired it is never returned stale, even though no
+        // sweep has run yet (the bug this test pins: `find` used to ignore
+        // `now` entirely).
+        assert!(c.find(n(2), t(6.0)).is_none(), "just-expired route must not be served");
+        assert_eq!(c.len(), 1, "the sweep, not the read, prunes the entry");
+    }
+
+    #[test]
+    fn read_expiry_serves_fresh_prefix_of_stale_path() {
+        let mut c = PathCache::new(n(0), 4);
+        c.set_read_expiry(Some(SimDuration::from_secs(5.0)));
+        c.insert(route(&[0, 1, 2, 3]), t(0.0));
+        // Links 0-1 and 1-2 refreshed at t=9; the 2-3 tail goes stale.
+        c.mark_used(&route(&[0, 1, 2]), t(9.0));
+        assert!(c.find(n(3), t(10.0)).is_none(), "stale tail invisible to reads");
+        assert_eq!(c.find(n(2), t(10.0)).unwrap(), route(&[0, 1, 2]), "fresh prefix served");
+    }
+
+    #[test]
+    fn read_expiry_matches_sweep_criterion() {
+        // The read-time filter and the sweep must agree on the instant a
+        // route goes stale: anything `find` refuses, the next sweep prunes.
+        let mut c = PathCache::new(n(0), 4);
+        c.set_read_expiry(Some(SimDuration::from_secs(5.0)));
+        c.insert(route(&[0, 1, 2]), t(0.0));
+        // Boundary: last_used + timeout == now is NOT yet expired.
+        assert!(c.find(n(2), t(5.0)).is_some());
+        assert_eq!(c.expire(t(5.0), SimDuration::from_secs(5.0)), 0);
+        // Just past the boundary: both refuse.
+        assert!(c.find(n(2), t(5.001)).is_none());
+        assert_eq!(c.expire(t(5.001), SimDuration::from_secs(5.0)), 1);
+    }
+
+    #[test]
+    fn without_read_expiry_find_ignores_time() {
+        let mut c = PathCache::new(n(0), 4);
+        c.insert(route(&[0, 1, 2]), t(0.0));
+        assert!(c.find(n(2), t(1e6)).is_some(), "no expiry policy: routes never age out");
+    }
+
+    #[test]
+    fn event_log_records_evictions_and_expiries() {
+        let mut c = PathCache::new(n(0), 1);
+        c.set_event_log(true);
+        c.insert(route(&[0, 1]), t(0.0));
+        c.insert(route(&[0, 2]), t(1.0));
+        c.expire(t(20.0), SimDuration::from_secs(5.0));
+        let mut events = Vec::new();
+        c.drain_events(&mut events);
+        assert_eq!(
+            events,
+            vec![
+                CacheEvent::Evicted { route: route(&[0, 1]) },
+                CacheEvent::Expired { route: route(&[0, 2]) },
+            ]
+        );
+        // Drained: a second drain yields nothing.
+        events.clear();
+        c.drain_events(&mut events);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn event_log_off_records_nothing() {
+        let mut c = PathCache::new(n(0), 1);
+        c.insert(route(&[0, 1]), t(0.0));
+        c.insert(route(&[0, 2]), t(1.0));
+        let mut events = Vec::new();
+        c.drain_events(&mut events);
+        assert!(events.is_empty());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use agent::{DsrCommand, DsrEvent, DsrNode, DsrTimer};
 pub use cache::link_cache::LinkCache;
 pub use cache::negative::NegativeCache;
 pub use cache::path_cache::{PathCache, PathEntry, RemovedLink};
-pub use cache::RouteCache;
+pub use cache::{CacheEvent, RouteCache};
 pub use config::{
     CacheOrganization, DsrConfig, ExpiryPolicy, NegativeCacheConfig, WiderErrorRebroadcast,
 };

@@ -31,6 +31,8 @@ fn main() {
             "faults_injected",
             "delay_p99_s",
             "delay_jitter_s",
+            "stale_route_sends",
+            "cache_stale_hits",
         ],
     );
 
@@ -48,6 +50,8 @@ fn main() {
             r.faults_injected.to_string(),
             f3(r.delay_p99_s),
             f3(r.delay_jitter_s),
+            r.stale_route_sends.to_string(),
+            r.cache_stale_hits.to_string(),
         ]);
     }
 
@@ -72,6 +76,8 @@ fn main() {
         r.faults_injected.to_string(),
         f3(r.delay_p99_s),
         f3(r.delay_jitter_s),
+        r.stale_route_sends.to_string(),
+        r.cache_stale_hits.to_string(),
     ]);
 
     println!("\nAblation: adaptive timeout (alpha sweep, quiet-term on/off)\n");

@@ -33,6 +33,8 @@ fn main() {
             "faults_injected",
             "delay_p99_s",
             "delay_jitter_s",
+            "stale_route_sends",
+            "cache_stale_hits",
         ],
     );
 
@@ -54,6 +56,8 @@ fn main() {
             r.faults_injected.to_string(),
             f3(r.delay_p99_s),
             f3(r.delay_jitter_s),
+            r.stale_route_sends.to_string(),
+            r.cache_stale_hits.to_string(),
         ]);
     }
 

@@ -6,7 +6,9 @@
 //! blackouts) from a dedicated deterministic RNG stream, then runs it
 //! across the mode's seeds on the parallel executor with the
 //! packet-conservation audit at `full`. Any violation fails the run,
-//! leaves a repro artifact under `results/forensics/`, and fails the soak.
+//! leaves a repro artifact under `results/forensics/` — with the run's
+//! cache-decision trace (`.cachetrace`) beside it, since the soak forces
+//! `--cachetrace` on — and fails the soak.
 //!
 //! ```sh
 //! cargo run --release -p experiments --bin chaos_soak [--quick|--full] [--jobs <n>] [--seed-timeout <secs>] [--max-wall <secs>] [--resume <journal>] [--audit <level>] [--obs <mode>]
@@ -161,6 +163,10 @@ fn main() {
     if args.audit == AuditLevel::Off {
         args.audit = AuditLevel::Full;
     }
+    // Always record cache-decision traces: a failed campaign then leaves a
+    // `.cachetrace` next to its forensic artifact, so the cache's view of
+    // the world at the moment of violation is part of the repro bundle.
+    args.cachetrace = true;
     let (default_seed_timeout, default_max_wall) = match args.mode {
         ExpMode::Quick => (Duration::from_secs(300), Duration::from_secs(240)),
         ExpMode::Full => (Duration::from_secs(3600), Duration::from_secs(3000)),

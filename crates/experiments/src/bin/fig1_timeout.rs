@@ -35,6 +35,8 @@ fn main() {
             "faults_injected",
             "delay_p99_s",
             "delay_jitter_s",
+            "stale_route_sends",
+            "cache_stale_hits",
         ],
     );
 
@@ -50,6 +52,8 @@ fn main() {
         base.faults_injected.to_string(),
         f3(base.delay_p99_s),
         f3(base.delay_jitter_s),
+        base.stale_route_sends.to_string(),
+        base.cache_stale_hits.to_string(),
     ]);
     let adaptive =
         run_point(&mode.scenario(pause_s, rate_pps, DsrConfig::adaptive_expiry()), &args);
@@ -63,6 +67,8 @@ fn main() {
         adaptive.faults_injected.to_string(),
         f3(adaptive.delay_p99_s),
         f3(adaptive.delay_jitter_s),
+        adaptive.stale_route_sends.to_string(),
+        adaptive.cache_stale_hits.to_string(),
     ]);
 
     for timeout_s in mode.timeout_sweep() {
@@ -78,6 +84,8 @@ fn main() {
             r.faults_injected.to_string(),
             f3(r.delay_p99_s),
             f3(r.delay_jitter_s),
+            r.stale_route_sends.to_string(),
+            r.cache_stale_hits.to_string(),
         ]);
     }
 

@@ -2,7 +2,8 @@
 //!
 //! Reads any file the obs layer produces (raw ns-2-flavored trace lines,
 //! `dsr-forensics v1` repro artifacts, per-run `dsr-timeseries v1` files,
-//! `dsr-profile v1` summaries) and answers questions about it: which
+//! `dsr-profile v1` summaries, `dsr-cachetrace v1` cache-decision
+//! traces) and answers questions about it: which
 //! events a node saw, what happened to one packet uid end to end, which
 //! samples fall in a time window.
 //!
@@ -114,7 +115,57 @@ fn run(query: &Query, text: &str) -> Result<usize, obs::ObsError> {
         }
         ObsFile::TimeSeries(series) => Ok(query_timeseries(query, &series)),
         ObsFile::Profile(profile) => Ok(query_profile(query, &profile)),
+        ObsFile::CacheTrace(trace) => Ok(query_cachetrace(query, &trace)),
     }
+}
+
+fn query_cachetrace(query: &Query, trace: &obs::CacheTrace) -> usize {
+    let rows: Vec<_> = trace
+        .rows
+        .iter()
+        .filter(|r| {
+            let t_s = r.t_ns as f64 / 1e9;
+            query.filter.node.map_or(true, |n| r.node == n)
+                && query.filter.kind.as_deref().map_or(true, |k| {
+                    r.op.eq_ignore_ascii_case(k) || r.kind.eq_ignore_ascii_case(k)
+                })
+                && query.filter.from.map_or(true, |from| t_s >= from)
+                && query.filter.to.map_or(true, |to| t_s <= to)
+        })
+        .collect();
+    if query.summary || rows.is_empty() {
+        println!(
+            "{} seed {} ({} of {} cache decisions match; {} dropped)",
+            trace.label,
+            trace.seed,
+            rows.len(),
+            trace.rows.len(),
+            trace.dropped,
+        );
+        return rows.len();
+    }
+    println!("t_s node op kind dst route valid stale_ms");
+    for r in &rows {
+        let valid = match r.valid {
+            Some(true) => "1",
+            Some(false) => "0",
+            None => "-",
+        };
+        let stale = match r.stale_ns {
+            Some(ns) => format!("{:.3}", ns as f64 / 1e6),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:.6} {} {} {} {} {} {valid} {stale}",
+            r.t_ns as f64 / 1e9,
+            r.node,
+            r.op,
+            r.kind,
+            r.dst,
+            r.route,
+        );
+    }
+    rows.len()
 }
 
 fn query_timeseries(query: &Query, series: &TimeSeries) -> usize {

@@ -143,6 +143,11 @@ pub struct ExpArgs {
     /// (`--timeseries-dir <dir>`, default `results/timeseries` while obs
     /// is on).
     pub timeseries_dir: Option<PathBuf>,
+    /// Record per-run `dsr-cachetrace v1` cache-decision traces under
+    /// `results/cachetrace/` (`--cachetrace`, default off). Independent of
+    /// `--obs`; pure observation, so reports and CSVs are byte-identical
+    /// either way.
+    pub cachetrace: bool,
     /// Campaign worker threads (`--jobs N`, default 1 = sequential).
     /// Output is byte-identical at every job count.
     pub jobs: usize,
@@ -171,6 +176,7 @@ impl ExpArgs {
             audit: AuditLevel::Off,
             obs: ObsMode::Off,
             timeseries_dir: None,
+            cachetrace: false,
             jobs: 1,
             seed_timeout: None,
             max_wall: None,
@@ -206,6 +212,7 @@ impl ExpArgs {
                     let path = args.next().ok_or(ArgError::MissingValue("--timeseries-dir"))?;
                     parsed.timeseries_dir = Some(PathBuf::from(path));
                 }
+                "--cachetrace" => parsed.cachetrace = true,
                 "--jobs" => {
                     let value = args.next().ok_or(ArgError::MissingValue("--jobs"))?;
                     parsed.jobs = match value.parse::<usize>() {
@@ -243,7 +250,8 @@ impl ExpArgs {
         format!(
             "usage: {bin} [--quick|--full] [--jobs <n>] [--seed-timeout <secs>] \
              [--resume <journal>] [--audit off|counters|full] [--obs off|sample[:secs]] \
-             [--timeseries-dir <dir>] [--max-wall <secs>] [--event-budget <n|off>]"
+             [--timeseries-dir <dir>] [--cachetrace] [--max-wall <secs>] \
+             [--event-budget <n|off>]"
         )
     }
 
@@ -265,7 +273,7 @@ impl ExpArgs {
     /// `results/forensics/`, and — when `--obs` enables sampling — per-run
     /// time-series files plus the live stderr heartbeat.
     pub fn campaign(&self) -> CampaignConfig {
-        let obs = if self.obs.is_on() {
+        let mut obs = if self.obs.is_on() {
             ObsConfig {
                 mode: self.obs,
                 timeseries_dir: Some(
@@ -274,10 +282,16 @@ impl ExpArgs {
                         .unwrap_or_else(|| PathBuf::from("results").join("timeseries")),
                 ),
                 heartbeat: true,
+                cachetrace_dir: None,
             }
         } else {
             ObsConfig::off()
         };
+        if self.cachetrace {
+            // Deliberately independent of `--obs`: cache-decision tracing
+            // never touches the sampler/profiler pillar.
+            obs.cachetrace_dir = Some(PathBuf::from("results").join("cachetrace"));
+        }
         CampaignConfig {
             audit: self.audit,
             journal: self.resume.clone(),
@@ -622,6 +636,30 @@ mod tests {
         assert_eq!(to_args(&["--obs"]), Err(ArgError::MissingValue("--obs")));
         assert_eq!(to_args(&["--timeseries-dir"]), Err(ArgError::MissingValue("--timeseries-dir")));
         assert!(ExpArgs::usage("table3_cache").contains("--obs"));
+    }
+
+    #[test]
+    fn cachetrace_flag_maps_onto_the_campaign_config() {
+        let off = to_args(&[]).expect("defaults");
+        assert!(!off.cachetrace);
+        assert_eq!(off.campaign().obs.cachetrace_dir, None);
+
+        let on = to_args(&["--cachetrace"]).expect("flag alone");
+        assert!(on.cachetrace);
+        let campaign = on.campaign();
+        assert_eq!(
+            campaign.obs.cachetrace_dir,
+            Some(PathBuf::from("results").join("cachetrace")),
+            "default cache-trace directory"
+        );
+        assert!(!campaign.obs.is_on(), "cachetrace does not switch sampling on");
+
+        let both = to_args(&["--cachetrace", "--obs", "sample"]).expect("with obs");
+        let campaign = both.campaign();
+        assert!(campaign.obs.is_on());
+        assert!(campaign.obs.cachetrace_dir.is_some());
+
+        assert!(ExpArgs::usage("table3_cache").contains("--cachetrace"));
     }
 
     #[test]

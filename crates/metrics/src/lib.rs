@@ -51,6 +51,7 @@ pub struct Metrics {
     good_replies: u64,
     cache_hits: u64,
     invalid_cache_hits: u64,
+    stale_route_sends: u64,
     hits_by_kind: U64HashMap<CacheHitKind, (u64, u64)>, // (hits, invalid)
     replies_originated: u64,
     replies_from_cache: u64,
@@ -149,6 +150,12 @@ impl Metrics {
         if !valid {
             self.invalid_cache_hits += 1;
             slot.1 += 1;
+            // Origination and salvage hits put the stale route under a data
+            // packet that will be transmitted and (partly) wasted; cached
+            // replies only hand the staleness to someone else.
+            if kind != CacheHitKind::Reply {
+                self.stale_route_sends += 1;
+            }
         }
     }
 
@@ -274,6 +281,8 @@ impl Metrics {
             faults_injected: self.faults_injected,
             frames_corrupted: self.frames_corrupted,
             arrivals_suppressed: self.arrivals_suppressed,
+            cache_stale_hits: self.invalid_cache_hits,
+            stale_route_sends: self.stale_route_sends,
             series: self.series_points(),
         }
     }
@@ -354,6 +363,12 @@ pub struct Report {
     pub frames_corrupted: u64,
     /// In-range receptions silenced by node-down / blackout faults.
     pub arrivals_suppressed: u64,
+    /// Cache hits that handed out an already-broken route (the absolute
+    /// count behind `invalid_cache_pct`).
+    pub cache_stale_hits: u64,
+    /// Stale hits that actually put a data packet on the air (origination
+    /// and salvage uses; cached replies excluded).
+    pub stale_route_sends: u64,
     /// Delivery time series, when enabled on the collector.
     pub series: Option<Vec<SeriesPoint>>,
 }
@@ -419,6 +434,8 @@ impl Report {
             faults_injected: uavg(&|r| r.faults_injected),
             frames_corrupted: uavg(&|r| r.frames_corrupted),
             arrivals_suppressed: uavg(&|r| r.arrivals_suppressed),
+            cache_stale_hits: uavg(&|r| r.cache_stale_hits),
+            stale_route_sends: uavg(&|r| r.stale_route_sends),
             // Per-seed series are not merged; averaging loses alignment.
             series: None,
         }
@@ -563,6 +580,22 @@ mod tests {
         assert_eq!(r.reply_hits, 1);
         assert_eq!(r.salvage_hits, 0);
         assert_eq!(m.cache_hits_of(CacheHitKind::Reply), (1, 1));
+    }
+
+    #[test]
+    fn stale_hit_counters_split_reply_from_data_uses() {
+        let mut m = Metrics::new();
+        m.record_cache_hit(CacheHitKind::Origination, false);
+        m.record_cache_hit(CacheHitKind::Salvage, false);
+        m.record_cache_hit(CacheHitKind::Reply, false);
+        m.record_cache_hit(CacheHitKind::Origination, true);
+        let r = m.report("x", 10.0);
+        assert_eq!(r.cache_stale_hits, 3);
+        // Stale cached replies do not carry data themselves.
+        assert_eq!(r.stale_route_sends, 2);
+        let mean = Report::mean(&[r.clone(), r]);
+        assert_eq!(mean.cache_stale_hits, 3);
+        assert_eq!(mean.stale_route_sends, 2);
     }
 
     #[test]

@@ -1,0 +1,460 @@
+//! The `dsr-cachetrace v1` per-run cache-decision trace and its
+//! per-strategy rollup.
+//!
+//! One file is written per (scenario, seed) run when cache-decision
+//! tracing is enabled. Each row is one route-cache decision — insert,
+//! lookup, link removal, timer expiry, capacity eviction, or `mark_used`
+//! refresh — already stamped by the *driver* with the mobility oracle's
+//! verdict (was the route/link physically valid at that instant?) and,
+//! for removals of genuinely broken links, with the staleness latency:
+//! how long the cache kept serving the link after the oracle says it
+//! physically broke.
+//!
+//! ```text
+//! format = dsr-cachetrace v1
+//! label = DSR-NC
+//! seed = 1
+//! fingerprint = 00805db0365eff10
+//! columns = t_ns node op kind dst route valid stale_ns
+//! dropped = 0
+//! rows = 3
+//! 1000000 5 insert overheard - 5-3-2 1 -
+//! 2000000 5 lookup origination 2 5-3-2 0 -
+//! 3000000 5 remove mac - 5>3 0 1500000
+//! ```
+//!
+//! Column conventions (`-` marks a column the op does not use):
+//!
+//! * `op` — `insert`, `lookup`, `remove`, `expire`, `evict`, `refresh`;
+//! * `kind` — the insert provenance (`reply`/`overheard`/`gratuitous`/
+//!   `salvage`), lookup purpose (`origination`/`salvage`/`reply`), or
+//!   removal cause (`rerr`/`wider`/`mac`/`neg-veto`);
+//! * `dst` — the looked-up destination (lookup rows only);
+//! * `route` — the route as `0-1-2`, or the removed link as `a>b`;
+//! * `valid` — the oracle's verdict (`1` valid, `0` stale/broken, `-` on
+//!   lookup misses). On `remove` rows `1` means a *premature purge*: the
+//!   link was physically up when the cache discarded it;
+//! * `stale_ns` — removal rows of genuinely broken links only: nanoseconds
+//!   between the oracle's break time and the purge (`0` for premature
+//!   purges; `-` elsewhere).
+//!
+//! Rows are appended in event-dispatch order, which the supervised
+//! executor makes independent of `--jobs`, so files are byte-identical at
+//! any worker count.
+
+use crate::text::{escape, sanitize, unescape, KvBlock, ObsError};
+use std::path::{Path, PathBuf};
+
+/// First line of every cache-decision trace file.
+pub const FORMAT_HEADER: &str = "dsr-cachetrace v1";
+
+/// Space-separated column names, in row order.
+pub const COLUMNS: &[&str] = &["t_ns", "node", "op", "kind", "dst", "route", "valid", "stale_ns"];
+
+/// The `op` column's vocabulary.
+pub const OPS: &[&str] = &["insert", "lookup", "remove", "expire", "evict", "refresh"];
+
+/// One recorded cache decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheRow {
+    /// Decision time in simulated nanoseconds.
+    pub t_ns: u64,
+    /// Node whose cache decided.
+    pub node: u64,
+    /// Operation, one of [`OPS`].
+    pub op: String,
+    /// Provenance / purpose / cause, or `-`.
+    pub kind: String,
+    /// Looked-up destination, or `-`.
+    pub dst: String,
+    /// Route (`0-1-2`) or link (`a>b`), or `-`.
+    pub route: String,
+    /// Oracle verdict; `None` renders `-` (lookup misses).
+    pub valid: Option<bool>,
+    /// Staleness latency in nanoseconds; `None` renders `-`.
+    pub stale_ns: Option<u64>,
+}
+
+impl CacheRow {
+    fn render(&self) -> String {
+        let valid = match self.valid {
+            Some(true) => "1".to_string(),
+            Some(false) => "0".to_string(),
+            None => "-".to_string(),
+        };
+        let stale = match self.stale_ns {
+            Some(ns) => ns.to_string(),
+            None => "-".to_string(),
+        };
+        format!(
+            "{} {} {} {} {} {} {valid} {stale}",
+            self.t_ns, self.node, self.op, self.kind, self.dst, self.route
+        )
+    }
+
+    fn parse(line_no: usize, line: &str) -> Result<CacheRow, ObsError> {
+        let bad = || ObsError::BadRow { line_no, line: line.to_string() };
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != COLUMNS.len() {
+            return Err(bad());
+        }
+        if !OPS.contains(&fields[2]) {
+            return Err(bad());
+        }
+        let valid = match fields[6] {
+            "1" => Some(true),
+            "0" => Some(false),
+            "-" => None,
+            _ => return Err(bad()),
+        };
+        let stale_ns = match fields[7] {
+            "-" => None,
+            raw => Some(raw.parse().map_err(|_| bad())?),
+        };
+        Ok(CacheRow {
+            t_ns: fields[0].parse().map_err(|_| bad())?,
+            node: fields[1].parse().map_err(|_| bad())?,
+            op: fields[2].to_string(),
+            kind: fields[3].to_string(),
+            dst: fields[4].to_string(),
+            route: fields[5].to_string(),
+            valid,
+            stale_ns,
+        })
+    }
+}
+
+/// A complete per-run cache-decision trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheTrace {
+    /// Scenario label (e.g. `DSR-NC`).
+    pub label: String,
+    /// The run's RNG seed.
+    pub seed: u64,
+    /// `config_fingerprint` of the scenario (seed excluded).
+    pub fingerprint: u64,
+    /// Decisions in event-dispatch order.
+    pub rows: Vec<CacheRow>,
+    /// Rows discarded after the recorder's deterministic cap filled. A
+    /// non-zero value is surfaced (never silently hidden) so a truncated
+    /// trace cannot masquerade as full coverage.
+    pub dropped: u64,
+}
+
+impl CacheTrace {
+    /// Renders the full file, header and rows.
+    pub fn render(&self) -> String {
+        let mut block = KvBlock::new();
+        block.push("format", FORMAT_HEADER);
+        block.push("label", escape(&self.label));
+        block.push("seed", self.seed.to_string());
+        block.push("fingerprint", format!("{:016x}", self.fingerprint));
+        block.push("columns", COLUMNS.join(" "));
+        block.push("dropped", self.dropped.to_string());
+        block.push("rows", self.rows.len().to_string());
+        let mut out = block.render();
+        for row in &self.rows {
+            out.push_str(&row.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a rendered trace, validating header and row shape.
+    pub fn parse(text: &str) -> Result<CacheTrace, ObsError> {
+        let mut rows = Vec::new();
+        let block = KvBlock::parse_with_rows(text, |line_no, line| {
+            rows.push(CacheRow::parse(line_no, line)?);
+            Ok(())
+        })?;
+        let format = block.require("format")?;
+        if format != FORMAT_HEADER {
+            return Err(ObsError::BadHeader { expected: FORMAT_HEADER, found: format.to_string() });
+        }
+        let declared: usize = block.require_parsed("rows")?;
+        if declared != rows.len() {
+            return Err(ObsError::BadValue {
+                key: "rows".to_string(),
+                value: format!("declared {declared}, found {}", rows.len()),
+            });
+        }
+        Ok(CacheTrace {
+            label: unescape(block.require("label")?),
+            seed: block.require_parsed("seed")?,
+            fingerprint: block.require_hex("fingerprint")?,
+            rows,
+            dropped: block.require_parsed("dropped")?,
+        })
+    }
+
+    /// Canonical file name: `<label>_<fingerprint>_seed<seed>.cachetrace`,
+    /// the same stem as the run's forensic artifact and time series.
+    pub fn file_name(&self) -> String {
+        format!("{}_{:016x}_seed{}.cachetrace", sanitize(&self.label), self.fingerprint, self.seed)
+    }
+
+    /// Writes the trace into `dir` (created if needed) under
+    /// [`CacheTrace::file_name`]; returns the full path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+
+    /// Loads and parses a trace from disk.
+    pub fn load(path: &Path) -> Result<CacheTrace, ObsError> {
+        CacheTrace::parse(&std::fs::read_to_string(path)?)
+    }
+}
+
+/// Per-strategy aggregation over one or more cache traces: the numbers
+/// behind the "why the strategies differ" table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheRollup {
+    /// Strategy label the rollup covers.
+    pub label: String,
+    /// Traces folded in.
+    pub traces: u64,
+    /// Rows the recorders dropped past their cap, summed (non-zero means
+    /// the rollup undercounts and must be reported as partial).
+    pub dropped: u64,
+    /// Inserts per provenance, `(provenance, count)` in first-seen order.
+    pub inserts: Vec<(String, u64)>,
+    /// Lookup hits whose route the oracle deemed fully up.
+    pub hits_fresh: u64,
+    /// Lookup hits handing out an already-broken route (stale-at-use).
+    pub hits_stale: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Link purges per cause, `(cause, count)` in first-seen order.
+    pub removals: Vec<(String, u64)>,
+    /// Purges of links the oracle says were still up (premature purges —
+    /// the cache threw away a working route).
+    pub premature_purges: u64,
+    /// Timer-expiry prunes.
+    pub expires: u64,
+    /// Capacity evictions.
+    pub evicts: u64,
+    /// `mark_used` refreshes.
+    pub refreshes: u64,
+    /// Staleness latencies (ns) of genuinely broken purged links, unsorted.
+    pub stale_latencies_ns: Vec<u64>,
+}
+
+fn bump(slots: &mut Vec<(String, u64)>, key: &str) {
+    match slots.iter_mut().find(|(k, _)| k == key) {
+        Some((_, n)) => *n += 1,
+        None => slots.push((key.to_string(), 1)),
+    }
+}
+
+impl CacheRollup {
+    /// An empty rollup for `label`.
+    pub fn new(label: impl Into<String>) -> Self {
+        CacheRollup { label: label.into(), ..CacheRollup::default() }
+    }
+
+    /// Folds one trace's rows in.
+    pub fn add(&mut self, trace: &CacheTrace) {
+        self.traces += 1;
+        self.dropped += trace.dropped;
+        for row in &trace.rows {
+            match row.op.as_str() {
+                "insert" => bump(&mut self.inserts, &row.kind),
+                "lookup" => match row.valid {
+                    Some(true) => self.hits_fresh += 1,
+                    Some(false) => self.hits_stale += 1,
+                    None => self.misses += 1,
+                },
+                "remove" => {
+                    bump(&mut self.removals, &row.kind);
+                    match row.valid {
+                        Some(true) => self.premature_purges += 1,
+                        Some(false) => {
+                            if let Some(ns) = row.stale_ns {
+                                self.stale_latencies_ns.push(ns);
+                            }
+                        }
+                        None => {}
+                    }
+                }
+                "expire" => self.expires += 1,
+                "evict" => self.evicts += 1,
+                "refresh" => self.refreshes += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Total lookup hits, fresh and stale.
+    pub fn hits(&self) -> u64 {
+        self.hits_fresh + self.hits_stale
+    }
+
+    /// Fraction of hits that handed out a broken route, in `[0, 1]`
+    /// (`0` when there were no hits).
+    pub fn stale_hit_fraction(&self) -> f64 {
+        if self.hits() == 0 {
+            0.0
+        } else {
+            self.hits_stale as f64 / self.hits() as f64
+        }
+    }
+
+    /// Nearest-rank quantile of the staleness latency in nanoseconds
+    /// (`None` with no broken-link purges recorded).
+    pub fn stale_latency_ns(&self, q: f64) -> Option<u64> {
+        if self.stale_latencies_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.stale_latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+        Some(sorted[rank.min(sorted.len()) - 1])
+    }
+
+    /// Insert count for one provenance.
+    pub fn inserts_of(&self, provenance: &str) -> u64 {
+        self.inserts.iter().find(|(k, _)| k == provenance).map_or(0, |(_, n)| *n)
+    }
+
+    /// Removal count for one cause.
+    pub fn removals_of(&self, cause: &str) -> u64 {
+        self.removals.iter().find(|(k, _)| k == cause).map_or(0, |(_, n)| *n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(
+        t_ns: u64,
+        op: &str,
+        kind: &str,
+        valid: Option<bool>,
+        stale_ns: Option<u64>,
+    ) -> CacheRow {
+        CacheRow {
+            t_ns,
+            node: 5,
+            op: op.to_string(),
+            kind: kind.to_string(),
+            dst: if op == "lookup" { "2".to_string() } else { "-".to_string() },
+            route: if op == "remove" { "5>3".to_string() } else { "5-3-2".to_string() },
+            valid,
+            stale_ns,
+        }
+    }
+
+    fn sample_trace() -> CacheTrace {
+        CacheTrace {
+            label: "DSR-NC quick".to_string(),
+            seed: 3,
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            rows: vec![
+                row(1_000_000, "insert", "overheard", Some(true), None),
+                row(1_500_000, "insert", "reply", Some(true), None),
+                row(2_000_000, "lookup", "origination", Some(false), None),
+                row(2_100_000, "lookup", "origination", Some(true), None),
+                row(2_200_000, "lookup", "salvage", None, None),
+                row(3_000_000, "remove", "mac", Some(false), Some(1_500_000)),
+                row(3_100_000, "remove", "wider", Some(true), Some(0)),
+                row(4_000_000, "expire", "-", Some(false), None),
+                row(4_100_000, "evict", "-", Some(true), None),
+                row(4_200_000, "refresh", "-", Some(true), None),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips_byte_identically() {
+        let trace = sample_trace();
+        let text = trace.render();
+        let parsed = CacheTrace::parse(&text).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn file_name_shares_the_forensic_stem() {
+        assert_eq!(sample_trace().file_name(), "DSR-NC_quick_deadbeef01234567_seed3.cachetrace");
+    }
+
+    #[test]
+    fn write_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("obs_ct_{}", std::process::id()));
+        let trace = sample_trace();
+        let path = trace.write_to(&dir).unwrap();
+        let loaded = CacheTrace::load(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(CacheTrace::parse("format = wrong v9\nrows = 0\ndropped = 0\n").is_err());
+        let trace = sample_trace();
+        let mut text = trace.render();
+        text.push_str("1 2 3\n"); // short row
+        assert!(CacheTrace::parse(&text).is_err());
+        let text = trace.render().replace("rows = 10", "rows = 11");
+        assert!(CacheTrace::parse(&text).is_err());
+        // Unknown op and bad valid flag are rejected, not silently kept.
+        let text = trace.render().replace(" insert ", " implode ");
+        assert!(CacheTrace::parse(&text).is_err());
+        let text = trace.render().replacen(" 1 -\n", " 2 -\n", 1);
+        assert!(CacheTrace::parse(&text).is_err());
+    }
+
+    #[test]
+    fn rollup_classifies_every_op() {
+        let mut rollup = CacheRollup::new("DSR-NC quick");
+        rollup.add(&sample_trace());
+        assert_eq!(rollup.traces, 1);
+        assert_eq!(rollup.inserts_of("overheard"), 1);
+        assert_eq!(rollup.inserts_of("reply"), 1);
+        assert_eq!(rollup.inserts_of("gratuitous"), 0);
+        assert_eq!(rollup.hits_fresh, 1);
+        assert_eq!(rollup.hits_stale, 1);
+        assert_eq!(rollup.misses, 1);
+        assert!((rollup.stale_hit_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(rollup.removals_of("mac"), 1);
+        assert_eq!(rollup.removals_of("wider"), 1);
+        assert_eq!(rollup.premature_purges, 1);
+        assert_eq!(rollup.expires, 1);
+        assert_eq!(rollup.evicts, 1);
+        assert_eq!(rollup.refreshes, 1);
+        assert_eq!(rollup.stale_latency_ns(0.5), Some(1_500_000));
+        assert_eq!(rollup.stale_latency_ns(0.99), Some(1_500_000));
+    }
+
+    #[test]
+    fn rollup_latency_quantiles_use_nearest_rank() {
+        let mut rollup = CacheRollup::new("x");
+        rollup.stale_latencies_ns = vec![40, 10, 30, 20];
+        assert_eq!(rollup.stale_latency_ns(0.5), Some(20));
+        assert_eq!(rollup.stale_latency_ns(0.99), Some(40));
+        assert_eq!(rollup.stale_latency_ns(0.0), Some(10));
+        assert_eq!(CacheRollup::new("y").stale_latency_ns(0.5), None);
+    }
+
+    #[test]
+    fn dropped_rows_are_carried_not_hidden() {
+        let mut trace = sample_trace();
+        trace.dropped = 7;
+        let text = trace.render();
+        assert!(text.contains("dropped = 7"));
+        let mut rollup = CacheRollup::new(&trace.label);
+        rollup.add(&trace);
+        rollup.add(&trace);
+        assert_eq!(rollup.dropped, 14);
+    }
+
+    #[test]
+    fn empty_hit_fraction_is_zero() {
+        assert_eq!(CacheRollup::new("x").stale_hit_fraction(), 0.0);
+    }
+}

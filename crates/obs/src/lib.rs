@@ -19,11 +19,13 @@
 //! perturb the simulation. Wall-clock measurement never feeds back into
 //! simulated time.
 
+pub mod cachetrace;
 pub mod profile;
 pub mod query;
 pub mod text;
 pub mod timeseries;
 
+pub use cachetrace::{CacheRollup, CacheRow, CacheTrace, COLUMNS, OPS};
 pub use profile::{Profile, Tally, TallyMap};
 pub use query::{
     follow_uid, parse_trace_line, read_file, Filter, FollowReport, ObsFile, TraceLine,
@@ -99,6 +101,11 @@ pub struct ObsConfig {
     pub timeseries_dir: Option<PathBuf>,
     /// Emit live stderr heartbeat lines while the campaign runs.
     pub heartbeat: bool,
+    /// Directory for per-run `dsr-cachetrace v1` cache-decision traces;
+    /// `None` disables decision tracing. Independent of `mode` — and
+    /// deliberately *not* consulted by [`ObsConfig::is_on`], which gates
+    /// the sampler/profiler pillar only.
+    pub cachetrace_dir: Option<PathBuf>,
 }
 
 impl ObsConfig {

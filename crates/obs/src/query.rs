@@ -1,12 +1,13 @@
 //! Parsing, filtering, and summarizing of trace lines and observability
 //! files — the engine behind the `trace_query` binary.
 //!
-//! Understands four inputs, detected from the first line:
+//! Understands five inputs, detected from the first line:
 //!
 //! * raw ns-2-flavored trace lines (one [`TraceLine`] per line),
 //! * `dsr-forensics v1` artifacts (the escaped `trace.N` tail is extracted),
 //! * `dsr-timeseries v1` files,
-//! * `dsr-profile v1` files.
+//! * `dsr-profile v1` files,
+//! * `dsr-cachetrace v1` cache-decision traces.
 //!
 //! The trace grammar matches `runner::trace`'s `Display` impl:
 //!
@@ -18,6 +19,7 @@
 //! q 14.100000 _n5_ RTR discovery(flood) for n9
 //! ```
 
+use crate::cachetrace::CacheTrace;
 use crate::profile::Profile;
 use crate::text::{unescape, KvBlock, ObsError};
 use crate::timeseries::TimeSeries;
@@ -162,6 +164,8 @@ pub enum ObsFile {
     TimeSeries(TimeSeries),
     /// A `dsr-profile v1` file.
     Profile(Profile),
+    /// A `dsr-cachetrace v1` cache-decision trace.
+    CacheTrace(CacheTrace),
 }
 
 /// Detects and parses any supported input text.
@@ -176,6 +180,9 @@ pub fn read_file(text: &str) -> Result<ObsFile, ObsError> {
         }
         if format == crate::profile::FORMAT_HEADER {
             return Ok(ObsFile::Profile(Profile::parse(text)?));
+        }
+        if format == crate::cachetrace::FORMAT_HEADER {
+            return Ok(ObsFile::CacheTrace(CacheTrace::parse(text)?));
         }
         if format.starts_with("dsr-forensics") {
             return Ok(ObsFile::Trace(forensic_trace_tail(text)?));
@@ -303,6 +310,14 @@ q 2.600000 _n0_ RTR discovery(flood) for n1
         assert!(matches!(read_file(&ts.render()), Ok(ObsFile::TimeSeries(_))));
         let profile = Profile { runs: 1, ..Profile::default() };
         assert!(matches!(read_file(&profile.render()), Ok(ObsFile::Profile(p)) if p.runs == 1));
+        let ct = crate::cachetrace::CacheTrace {
+            label: "DSR".into(),
+            seed: 1,
+            fingerprint: 2,
+            rows: vec![],
+            dropped: 0,
+        };
+        assert!(matches!(read_file(&ct.render()), Ok(ObsFile::CacheTrace(c)) if c.seed == 1));
         assert!(matches!(read_file(""), Ok(ObsFile::Trace(v)) if v.is_empty()));
     }
 

@@ -89,6 +89,126 @@ pub enum CacheHitKind {
     Reply,
 }
 
+impl CacheHitKind {
+    /// Stable string spelling for trace rows.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CacheHitKind::Origination => "origination",
+            CacheHitKind::Salvage => "salvage",
+            CacheHitKind::Reply => "reply",
+        }
+    }
+}
+
+/// How a route entered a cache (cache-decision trace vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheInsertProvenance {
+    /// Carried by a route reply addressed to this node.
+    Reply,
+    /// Learned in passing: forwarded data, snooped frames, request
+    /// reverse routes, reply transit segments.
+    Overheard,
+    /// Advertised by a gratuitous (shortcut) route reply.
+    Gratuitous,
+    /// Reserved: installed while salvaging. The path-cache implementation
+    /// salvages from existing entries (a lookup, never an insert), so this
+    /// provenance is defined for the trace format but currently unused.
+    Salvage,
+}
+
+impl CacheInsertProvenance {
+    /// Stable string spelling for trace rows.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CacheInsertProvenance::Reply => "reply",
+            CacheInsertProvenance::Overheard => "overheard",
+            CacheInsertProvenance::Gratuitous => "gratuitous",
+            CacheInsertProvenance::Salvage => "salvage",
+        }
+    }
+}
+
+/// Why a link was purged from (or vetoed out of) a route cache
+/// (cache-decision trace vocabulary). Timer expiry and capacity eviction
+/// are per-route decisions, reported as [`CacheDecision::Expire`] and
+/// [`CacheDecision::Evict`] instead of a removal cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheRemovalCause {
+    /// A route error reached this node (unicast RERR, snooped error, or a
+    /// gratuitous-repair piggyback on a route request).
+    ErrorReceived,
+    /// A wider-error broadcast was processed (first copy).
+    WiderError,
+    /// The node's own MAC exhausted retransmissions on the link.
+    MacFeedback,
+    /// The negative cache vetoed use of the link (an insert was truncated
+    /// or refused, or a forward was refused).
+    NegativeVeto,
+}
+
+impl CacheRemovalCause {
+    /// Stable string spelling for trace rows.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CacheRemovalCause::ErrorReceived => "rerr",
+            CacheRemovalCause::WiderError => "wider",
+            CacheRemovalCause::MacFeedback => "mac",
+            CacheRemovalCause::NegativeVeto => "neg-veto",
+        }
+    }
+}
+
+/// One route-cache decision, for the cache forensics trace. Emitted by
+/// agents only when decision tracing is enabled; like every protocol
+/// event, validity and staleness are judged by the driver's ground-truth
+/// oracle, never here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheDecision {
+    /// A route entered (or refreshed) the cache.
+    Insert {
+        /// The route as inserted (after any negative-cache truncation).
+        route: Route,
+        /// How the agent came to know it.
+        provenance: CacheInsertProvenance,
+        /// Whether the cache reported a state change.
+        changed: bool,
+    },
+    /// The cache was consulted for a route to `dst`.
+    Lookup {
+        /// The destination looked up.
+        dst: NodeId,
+        /// What the route was wanted for.
+        purpose: CacheHitKind,
+        /// The route found (`None` on a miss).
+        route: Option<Route>,
+    },
+    /// A link believed broken was purged (or vetoed, see
+    /// [`CacheRemovalCause::NegativeVeto`]).
+    RemoveLink {
+        /// The link in question.
+        link: Link,
+        /// What the purge was triggered by.
+        cause: CacheRemovalCause,
+        /// Whether the cache actually held the link.
+        contained: bool,
+    },
+    /// Timer-based expiry pruned this stored route (pre-prune path).
+    Expire {
+        /// The route as stored before the prune.
+        route: Route,
+    },
+    /// Capacity pressure evicted this stored route.
+    Evict {
+        /// The evicted route.
+        route: Route,
+    },
+    /// `mark_used` refreshed last-used timestamps along `route`.
+    Refresh {
+        /// The route observed in use.
+        route: Route,
+    },
+}
+
 /// Semantic protocol events for the metrics layer. Route validity is
 /// *not* judged here — the driver checks the attached routes against the
 /// ground-truth oracle at the instant the event is emitted.
@@ -139,6 +259,12 @@ pub enum ProtocolEvent {
     LinkBreakDetected {
         /// The failed link.
         link: Link,
+    },
+    /// A route-cache decision was made (cache forensics; emitted only when
+    /// decision tracing is enabled, so the off path carries no cost).
+    CacheDecision {
+        /// The decision.
+        decision: CacheDecision,
     },
 }
 

@@ -15,5 +15,8 @@ pub use dsr::{
     DataPacket, ErrorDelivery, Packet, PacketUid, RouteErrorPkt, RouteReply, RouteRequest,
     ADDR_BYTES, IP_HEADER_BYTES,
 };
-pub use events::{CacheHitKind, DropReason, NetPacket, ProtocolEvent};
+pub use events::{
+    CacheDecision, CacheHitKind, CacheInsertProvenance, CacheRemovalCause, DropReason, NetPacket,
+    ProtocolEvent,
+};
 pub use route::{InvalidRoute, Link, Route};

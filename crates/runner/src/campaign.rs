@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use dsr::DsrNode;
 use metrics::Report;
-use obs::{ObsConfig, Profile, RunObservation};
+use obs::{CacheTrace, ObsConfig, Profile, RunObservation};
 use sim_core::{NodeId, SimRng, SimTime};
 
 use crate::audit::AuditLevel;
@@ -42,7 +42,7 @@ use crate::config::ScenarioConfig;
 use crate::executor::{self, ExecutorChaos};
 use crate::forensics::TRACE_TAIL_CAPACITY;
 use crate::proto::RoutingAgent;
-use crate::sim::{HeartbeatSink, Simulator};
+use crate::sim::{CacheTraceBuf, HeartbeatSink, Simulator};
 use crate::trace::TraceEvent;
 
 /// Per-run watchdog limits enforced by
@@ -472,18 +472,25 @@ pub(crate) struct AttemptHooks {
 /// [`RunObservation`] crosses the unwind boundary through a shared slot
 /// (the same pattern as the trace ring) — a run that panics or trips a
 /// watchdog leaves the slot empty.
+///
+/// When [`ObsConfig::cachetrace_dir`] is set, the run's cache decisions
+/// cross the same boundary through a shared [`CacheTraceBuf`]; the buffer
+/// is recovered on success *and* failure (a failed campaign's partial
+/// trace is forensic material), assembled into a [`CacheTrace`], and
+/// returned as the fourth element.
 pub(crate) fn attempt_one<A, F>(
     cfg: ScenarioConfig,
     label: &str,
     make_agent: &F,
     campaign: &CampaignConfig,
     hooks: AttemptHooks,
-) -> (Result<Report, RunError>, Vec<String>, Option<RunObservation>)
+) -> (Result<Report, RunError>, Vec<String>, Option<RunObservation>, Option<CacheTrace>)
 where
     A: RoutingAgent,
     F: Fn(NodeId, SimRng) -> A + Send + Sync,
 {
     let seed = cfg.seed;
+    let fingerprint = crate::forensics::config_fingerprint(&cfg);
     let AttemptHooks { capture_trace, heartbeat, cancel, paired } = hooks;
     let ring: Option<Arc<Mutex<VecDeque<TraceEvent>>>> =
         capture_trace.then(|| Arc::new(Mutex::new(VecDeque::new())));
@@ -491,6 +498,12 @@ where
     let observation: Arc<Mutex<Option<RunObservation>>> = Arc::new(Mutex::new(None));
     let obs_slot = Arc::clone(&observation);
     let obs_interval = campaign.obs.mode.interval();
+    let cache_buf: Option<Arc<Mutex<CacheTraceBuf>>> = campaign
+        .obs
+        .cachetrace_dir
+        .is_some()
+        .then(|| Arc::new(Mutex::new(CacheTraceBuf::default())));
+    let sim_cache_buf = cache_buf.as_ref().map(Arc::clone);
     let audit = campaign.audit;
     let limits = campaign.limits;
     // The simulator is consumed by the run and nothing borrowed crosses
@@ -520,6 +533,9 @@ where
                 }),
             );
         }
+        if let Some(buf) = sim_cache_buf {
+            sim.set_cachetrace(buf);
+        }
         if let Some(sink) = heartbeat {
             sim.set_heartbeat(sink);
         }
@@ -538,6 +554,19 @@ where
         None => Vec::new(),
     };
     let observation = observation.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+    // Recovered poison-tolerantly for the same reason as the trace ring:
+    // a failed run's partial cache trace is exactly what forensics wants.
+    let cachetrace = cache_buf.map(|buf| {
+        let mut buf = buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let buf = std::mem::take(&mut *buf);
+        CacheTrace {
+            label: label.to_string(),
+            seed,
+            fingerprint,
+            rows: buf.rows,
+            dropped: buf.dropped,
+        }
+    });
     let result = match caught {
         Ok(run_result) => run_result,
         Err(payload) => {
@@ -551,7 +580,7 @@ where
             Err(RunError::Panicked { seed, payload })
         }
     };
-    (result, trace, observation)
+    (result, trace, observation, cachetrace)
 }
 
 #[cfg(test)]
@@ -658,13 +687,14 @@ mod tests {
         let dsr = cfg.dsr.clone();
         let make_agent = move |node, rng| DsrNode::new(node, dsr.clone(), rng);
         let campaign = CampaignConfig::default();
-        let (result, trace, observation) =
+        let (result, trace, observation, cachetrace) =
             attempt_one(cfg.clone(), "test", &make_agent, &campaign, AttemptHooks::default());
         assert!(result.is_ok());
         assert!(trace.is_empty(), "no capture => no ring, no sink");
         assert!(observation.is_none(), "obs off => no observation");
+        assert!(cachetrace.is_none(), "cachetrace off => no trace");
         let hooks = AttemptHooks { capture_trace: true, ..AttemptHooks::default() };
-        let (result, trace, _) = attempt_one(cfg, "test", &make_agent, &campaign, hooks);
+        let (result, trace, _, _) = attempt_one(cfg, "test", &make_agent, &campaign, hooks);
         assert!(result.is_ok());
         assert!(!trace.is_empty(), "capturing keeps the trace tail");
     }
@@ -679,6 +709,7 @@ mod tests {
                 mode: obs::ObsMode::Sample { interval: SimDuration::from_secs(1.0) },
                 timeseries_dir: Some(dir.clone()),
                 heartbeat: false,
+                cachetrace_dir: None,
             },
             ..CampaignConfig::default()
         };

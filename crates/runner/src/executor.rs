@@ -38,7 +38,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use metrics::Report;
-use obs::{CampaignProgress, Profile, RunObservation, WorkerState};
+use obs::{CacheTrace, CampaignProgress, Profile, RunObservation, WorkerState};
 use sim_core::{NodeId, SimRng};
 
 use crate::campaign::{
@@ -230,10 +230,12 @@ struct WorkerSlot {
     inflight: Mutex<Option<InFlight>>,
 }
 
-/// A finished attempt's result, shipped to the supervisor.
+/// A finished attempt's result, shipped to the supervisor. The cache
+/// trace rides along on both arms: failures keep their partial trace as
+/// forensic material.
 enum Outcome {
-    Success { report: Report, observation: Option<RunObservation> },
-    Failure { failure: RunFailure, trace: Vec<String> },
+    Success { report: Report, observation: Option<RunObservation>, cachetrace: Option<CacheTrace> },
+    Failure { failure: RunFailure, trace: Vec<String>, cachetrace: Option<CacheTrace> },
 }
 
 enum Msg {
@@ -412,7 +414,7 @@ fn run_pool<A, F>(
             cancel: Some(cancel),
             paired: None,
         };
-        let (result, trace, observation) =
+        let (result, trace, observation, cachetrace) =
             attempt_one(job.clone(), label, make_agent, campaign, hooks);
         *lock(&slots[worker].inflight) = None;
         if let Some(p) = &progress {
@@ -422,7 +424,7 @@ fn run_pool<A, F>(
             Ok(report) => {
                 let _ = tx.send(Msg::Done {
                     index: task.index,
-                    outcome: Outcome::Success { report, observation },
+                    outcome: Outcome::Success { report, observation, cachetrace },
                 });
             }
             Err(error) => {
@@ -442,7 +444,7 @@ fn run_pool<A, F>(
                 let failure = RunFailure { seed, error, retried: task.retry > 0 };
                 let _ = tx.send(Msg::Done {
                     index: task.index,
-                    outcome: Outcome::Failure { failure, trace },
+                    outcome: Outcome::Failure { failure, trace, cachetrace },
                 });
             }
         }
@@ -601,7 +603,7 @@ fn supervise(ctx: SuperviseCtx<'_>) {
             Msg::Done { index, outcome } => {
                 remaining -= 1;
                 match outcome {
-                    Outcome::Success { report, observation } => {
+                    Outcome::Success { report, observation, cachetrace } => {
                         let events = observation.as_ref().map_or(0, |o| o.profile.events);
                         if let (Some(obs), Some(dir)) = (&observation, &campaign.obs.timeseries_dir)
                         {
@@ -612,13 +614,42 @@ fn supervise(ctx: SuperviseCtx<'_>) {
                                 );
                             }
                         }
+                        // Supervisor-only write, like every other side
+                        // effect: rows were buffered in event-dispatch
+                        // order inside the run, so the file bytes are
+                        // independent of the worker count.
+                        if let (Some(ct), Some(dir)) = (&cachetrace, &campaign.obs.cachetrace_dir) {
+                            if let Err(e) = ct.write_to(dir) {
+                                eprintln!(
+                                    "warning: could not write cache trace for seed {}: {e}",
+                                    jobs[index].seed
+                                );
+                            }
+                        }
                         observations[index] = observation;
                         outcomes[index] = Some(Ok(report));
                         if let Some(p) = progress {
                             p.run_finished(true, events);
                         }
                     }
-                    Outcome::Failure { failure, trace } => {
+                    Outcome::Failure { failure, trace, cachetrace } => {
+                        // A failed run's partial cache trace lands next to
+                        // the forensic artifact (same file stem) when a
+                        // forensics dir exists, else in the trace dir.
+                        if let Some(ct) = &cachetrace {
+                            let dir = campaign
+                                .forensics_dir
+                                .as_ref()
+                                .or(campaign.obs.cachetrace_dir.as_ref());
+                            if let Some(dir) = dir {
+                                if let Err(e) = ct.write_to(dir) {
+                                    eprintln!(
+                                        "warning: could not write cache trace for seed {}: {e}",
+                                        jobs[index].seed
+                                    );
+                                }
+                            }
+                        }
                         if let Some(dir) = &campaign.forensics_dir {
                             let artifact = ForensicArtifact {
                                 label: label.to_string(),

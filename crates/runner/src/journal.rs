@@ -14,7 +14,7 @@
 //!
 //! The format is line-oriented and hand-rolled (no serde): each record is
 //! `run <payload-len> <fnv1a-hex> <payload>` where the payload is
-//! `<fingerprint-hex> <seed> <label> <32 metric values>` with floats in
+//! `<fingerprint-hex> <seed> <label> <34 metric values>` with floats in
 //! Rust's exact shortest round-trip form. The length and FNV-1a checksum
 //! cover the payload bytes, so a record is accepted only if it is exactly
 //! as long as the writer said *and* hashes to the same value — a torn or
@@ -186,7 +186,9 @@ macro_rules! report_numeric_fields {
             frames_corrupted: u64,
             arrivals_suppressed: u64,
             delay_p99_s: f64,
-            delay_jitter_s: f64
+            delay_jitter_s: f64,
+            cache_stale_hits: u64,
+            stale_route_sends: u64
         )
     };
 }
@@ -275,6 +277,8 @@ mod tests {
             faults_injected: 0,
             frames_corrupted: 0,
             arrivals_suppressed: 0,
+            cache_stale_hits: 3,
+            stale_route_sends: 2,
             series: None,
         }
     }

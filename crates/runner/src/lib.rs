@@ -37,5 +37,5 @@ pub use executor::ExecutorChaos;
 pub use forensics::{config_fingerprint, ForensicArtifact, ForensicError};
 pub use journal::{Journal, JournalWriter};
 pub use proto::{AgentCommand, RoutingAgent};
-pub use sim::{run_scenario, run_scenario_with, HeartbeatSink, ObsSink, Simulator};
+pub use sim::{run_scenario, run_scenario_with, CacheTraceBuf, HeartbeatSink, ObsSink, Simulator};
 pub use trace::{TraceEvent, TraceKind, TraceSink};

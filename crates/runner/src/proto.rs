@@ -164,6 +164,13 @@ pub trait RoutingAgent: Send {
     fn observe(&self, _now: SimTime) -> Option<obs::AgentObservation> {
         None
     }
+
+    /// Enables (or disables) cache-decision tracing: the agent emits a
+    /// [`ProtocolEvent::CacheDecision`] for every route-cache insert,
+    /// lookup, purge, eviction, expiry, and refresh. Pure observation —
+    /// enabling it must not change protocol behaviour, timers, or RNG use.
+    /// Protocols without a traced cache keep the default no-op.
+    fn set_decision_trace(&mut self, _on: bool) {}
 }
 
 fn translate(cmd: dsr::DsrCommand) -> AgentCommand<packet::Packet, dsr::DsrTimer> {
@@ -265,6 +272,10 @@ impl RoutingAgent for dsr::DsrNode {
             send_buffer: self.buffered(),
             discoveries: self.discoveries_in_flight(),
         })
+    }
+
+    fn set_decision_trace(&mut self, on: bool) {
+        dsr::DsrNode::set_decision_trace(self, on);
     }
 }
 

@@ -34,13 +34,13 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use dsr::DsrNode;
 use mac::{Dcf, MacCommand, MacFrame, MacTimer, Priority};
 use metrics::{Metrics, Report};
 use mobility::{LinkOracle, MobilityModel, NeighborGrid, Point, RandomWaypoint, StaticPositions};
-use packet::{NetPacket, ProtocolEvent};
+use packet::{CacheDecision, NetPacket, ProtocolEvent, Route};
 use phy::{
     plan_arrivals_indexed_into, plan_arrivals_into, Arrival, PendingArrival, ReceiverState, TxId,
     TxIdSource,
@@ -48,7 +48,7 @@ use phy::{
 use sim_core::{EventId, EventQueue, NodeId, RngFactory, SimDuration, SimRng, SimTime};
 use traffic::{generate_flows, CbrFlow};
 
-use obs::{HeartbeatTick, Profile, RunObservation, SampleRow, Sampler, Tally, TallyMap};
+use obs::{CacheRow, HeartbeatTick, Profile, RunObservation, SampleRow, Sampler, Tally, TallyMap};
 
 use crate::audit::{AuditLevel, Auditor};
 use crate::campaign::{RunError, RunLimits};
@@ -109,6 +109,62 @@ struct ObsState {
     kind_wall_ns: [u64; EV_KIND_NAMES.len()],
     drops: TallyMap,
     traces: TallyMap,
+}
+
+/// Rows a cache-decision recorder appends into, shared with the campaign
+/// layer across the panic-isolation boundary (the supervisor recovers the
+/// buffer even when the run dies, so failed campaigns keep their traces).
+#[derive(Debug, Default)]
+pub struct CacheTraceBuf {
+    /// Decisions in event-dispatch order.
+    pub rows: Vec<CacheRow>,
+    /// Rows discarded after [`CACHETRACE_MAX_ROWS`] filled.
+    pub dropped: u64,
+}
+
+/// Deterministic per-run row cap for cache-decision traces. Overflow is
+/// counted (never silently hidden) in [`CacheTraceBuf::dropped`]; the cap
+/// itself is a constant so identical runs truncate identically.
+pub const CACHETRACE_MAX_ROWS: usize = 1_000_000;
+
+/// Backward step the staleness scan takes when hunting for the last
+/// instant a purged link was still up.
+const STALE_SCAN_STEP_MS: f64 = 250.0;
+
+/// Maximum backward steps before the scan gives up and attributes the
+/// staleness to the whole probed window (a deterministic lower bound).
+const STALE_SCAN_MAX_STEPS: u32 = 256;
+
+/// In-flight cache-decision recorder state; present only when tracing is
+/// enabled, so the untraced hot path pays a single `Option` check per
+/// agent event. Recording is pure observation: it reads the mobility
+/// oracle at past instants, schedules nothing, and draws no RNG.
+struct CacheTraceState {
+    /// Destination buffer (shared with the campaign supervisor).
+    buf: Arc<Mutex<CacheTraceBuf>>,
+    /// Most recent instant each link was *observed* up by a traced
+    /// decision (valid insert, lookup hit, or refresh), keyed by the
+    /// normalized endpoint pair. Floors the staleness scan so it never
+    /// walks past ground the oracle already vouched for.
+    last_up: HashMap<(u16, u16), SimTime>,
+}
+
+/// Normalized (undirected) memo key for a link's endpoints.
+fn link_key(a: NodeId, b: NodeId) -> (u16, u16) {
+    let (a, b) = (a.index() as u16, b.index() as u16);
+    (a.min(b), a.max(b))
+}
+
+/// Renders a route as `0-1-2` for a trace row.
+fn route_str(route: &Route) -> String {
+    let mut out = String::new();
+    for (i, n) in route.nodes().iter().enumerate() {
+        if i > 0 {
+            out.push('-');
+        }
+        out.push_str(&n.index().to_string());
+    }
+    out
 }
 
 /// Global simulation events.
@@ -270,6 +326,10 @@ pub struct Simulator<A: RoutingAgent = DsrNode> {
     /// Time-series sampler + event-loop profiler (see [`obs`]); off by
     /// default and provably inert when off.
     obs: Option<Box<ObsState>>,
+    /// Cache-decision recorder (see [`obs::cachetrace`]); off by default
+    /// and provably inert when off — enabling it must leave the `Report`
+    /// byte-identical.
+    cachetrace: Option<Box<CacheTraceState>>,
     /// Campaign heartbeat sink; off by default.
     heartbeat: Option<HeartbeatSink>,
     /// Supervisor cancellation token: when set and raised, the run stops
@@ -381,6 +441,7 @@ impl<A: RoutingAgent> Simulator<A> {
             fault_rng: factory.stream("fault", 0),
             audit: Auditor::default(),
             obs: None,
+            cachetrace: None,
             heartbeat: None,
             cancel: None,
             cfg,
@@ -498,6 +559,20 @@ impl<A: RoutingAgent> Simulator<A> {
     /// watchdog.
     pub fn set_cancel(&mut self, token: Arc<AtomicBool>) {
         self.cancel = Some(token);
+    }
+
+    /// Enables cache-decision tracing: every agent starts emitting
+    /// [`CacheDecision`] events, and the driver stamps each one with the
+    /// mobility oracle's verdict before appending it to `buf`. Pure
+    /// observation — no events are scheduled and no RNG is drawn, so the
+    /// `Report` of a traced run is byte-identical to an untraced one, and
+    /// the rows arrive in event-dispatch order, which the supervised
+    /// executor makes independent of the worker count.
+    pub fn set_cachetrace(&mut self, buf: Arc<Mutex<CacheTraceBuf>>) {
+        for agent in &mut self.agents {
+            agent.set_decision_trace(true);
+        }
+        self.cachetrace = Some(Box::new(CacheTraceState { buf, last_up: HashMap::new() }));
     }
 
     /// Collects the per-layer gauges for a sample boundary at `t`. Pure
@@ -1550,7 +1625,173 @@ impl<A: RoutingAgent> Simulator<A> {
                     self.emit_trace(node, TraceKind::LinkBreak { to: link.to });
                 }
             }
+            ProtocolEvent::CacheDecision { decision } => {
+                self.record_cache_decision(node, decision);
+            }
         }
+    }
+
+    /// Stamps one agent cache decision with the oracle's verdict and
+    /// appends it to the trace buffer. Observation only: reads the
+    /// mobility oracle (at the current and past instants), touches no
+    /// metrics, schedules nothing, draws no RNG.
+    fn record_cache_decision(&mut self, node: u16, decision: CacheDecision) {
+        // Agents only emit decisions while tracing is on, but an event can
+        // outlive the recorder in principle; dropping it is always safe.
+        let Some(mut state) = self.cachetrace.take() else { return };
+        let now = self.now;
+        let dash = || "-".to_string();
+        let row = match decision {
+            CacheDecision::Insert { route, provenance, changed: _ } => {
+                let valid = self.oracle.route_valid(route.nodes(), now);
+                if valid {
+                    self.memo_route_up(&mut state, &route, now);
+                }
+                CacheRow {
+                    t_ns: now.as_nanos(),
+                    node: node as u64,
+                    op: "insert".to_string(),
+                    kind: provenance.name().to_string(),
+                    dst: dash(),
+                    route: route_str(&route),
+                    valid: Some(valid),
+                    stale_ns: None,
+                }
+            }
+            CacheDecision::Lookup { dst, purpose, route } => {
+                let valid = route.as_ref().map(|r| self.oracle.route_valid(r.nodes(), now));
+                if valid == Some(true) {
+                    let r = route.as_ref().expect("hit checked above");
+                    self.memo_route_up(&mut state, r, now);
+                }
+                CacheRow {
+                    t_ns: now.as_nanos(),
+                    node: node as u64,
+                    op: "lookup".to_string(),
+                    kind: purpose.name().to_string(),
+                    dst: dst.index().to_string(),
+                    route: route.as_ref().map_or_else(dash, route_str),
+                    valid,
+                    stale_ns: None,
+                }
+            }
+            CacheDecision::RemoveLink { link, cause, contained: _ } => {
+                let up = self.oracle.link_up(link.from, link.to, now);
+                let stale_ns = if up {
+                    // Premature purge: the link is physically fine — the
+                    // cache threw away working state. Zero latency by
+                    // definition, and the memo learns the link is up.
+                    state.last_up.insert(link_key(link.from, link.to), now);
+                    0
+                } else {
+                    self.staleness_ns(&state, link.from, link.to, now)
+                };
+                CacheRow {
+                    t_ns: now.as_nanos(),
+                    node: node as u64,
+                    op: "remove".to_string(),
+                    kind: cause.name().to_string(),
+                    dst: dash(),
+                    route: format!("{}>{}", link.from.index(), link.to.index()),
+                    valid: Some(up),
+                    stale_ns: Some(stale_ns),
+                }
+            }
+            CacheDecision::Expire { route } => CacheRow {
+                t_ns: now.as_nanos(),
+                node: node as u64,
+                op: "expire".to_string(),
+                kind: dash(),
+                dst: dash(),
+                route: route_str(&route),
+                valid: Some(self.oracle.route_valid(route.nodes(), now)),
+                stale_ns: None,
+            },
+            CacheDecision::Evict { route } => CacheRow {
+                t_ns: now.as_nanos(),
+                node: node as u64,
+                op: "evict".to_string(),
+                kind: dash(),
+                dst: dash(),
+                route: route_str(&route),
+                valid: Some(self.oracle.route_valid(route.nodes(), now)),
+                stale_ns: None,
+            },
+            CacheDecision::Refresh { route } => {
+                let valid = self.oracle.route_valid(route.nodes(), now);
+                if valid {
+                    self.memo_route_up(&mut state, &route, now);
+                }
+                CacheRow {
+                    t_ns: now.as_nanos(),
+                    node: node as u64,
+                    op: "refresh".to_string(),
+                    kind: dash(),
+                    dst: dash(),
+                    route: route_str(&route),
+                    valid: Some(valid),
+                    stale_ns: None,
+                }
+            }
+        };
+        {
+            let mut buf = state.buf.lock().unwrap_or_else(|p| p.into_inner());
+            if buf.rows.len() < CACHETRACE_MAX_ROWS {
+                buf.rows.push(row);
+            } else {
+                buf.dropped += 1;
+            }
+        }
+        self.cachetrace = Some(state);
+    }
+
+    /// Memoizes "every link of `route` was up at `t`" for the staleness
+    /// scan's floor.
+    fn memo_route_up(&self, state: &mut CacheTraceState, route: &Route, t: SimTime) {
+        for w in route.nodes().windows(2) {
+            state.last_up.insert(link_key(w[0], w[1]), t);
+        }
+    }
+
+    /// How long the cache kept a genuinely broken link past its physical
+    /// break, in nanoseconds: walks backward from `now` (known down) in
+    /// [`STALE_SCAN_STEP_MS`] steps until the oracle says the link was up
+    /// — flooring at the last instant a traced decision already observed
+    /// it up — then bisects the bracket to ~1 ms. If the scan exhausts its
+    /// step budget without finding an up instant, the probed window is
+    /// returned as a deterministic lower bound.
+    fn staleness_ns(&self, state: &CacheTraceState, a: NodeId, b: NodeId, now: SimTime) -> u64 {
+        let floor = state.last_up.get(&link_key(a, b)).copied().unwrap_or(SimTime::ZERO);
+        let step = SimDuration::from_millis(STALE_SCAN_STEP_MS);
+        let mut down = now;
+        let mut up = None;
+        for _ in 0..STALE_SCAN_MAX_STEPS {
+            let probe = if down.saturating_since(floor) > step { down - step } else { floor };
+            if self.oracle.link_up(a, b, probe) {
+                up = Some(probe);
+                break;
+            }
+            down = probe;
+            if probe == floor {
+                break;
+            }
+        }
+        let Some(up) = up else {
+            return now.saturating_since(down).as_nanos();
+        };
+        let tol = SimDuration::from_millis(1.0);
+        let (mut lo, mut hi) = (up, down);
+        while hi.saturating_since(lo) > tol {
+            let mid = lo + hi.saturating_since(lo) / 2;
+            if self.oracle.link_up(a, b, mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // `hi` is the earliest known-down instant of the bracket: the
+        // break time to ~1 ms.
+        now.saturating_since(hi).as_nanos()
     }
 
     fn hand_to_mac(&mut self, node: u16, packet: A::Packet, next_hop: NodeId) {

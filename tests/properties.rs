@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use dsr_caching::dsr::{NegativeCache, NegativeCacheConfig, PathCache};
+use dsr_caching::dsr::{DsrConfig, NegativeCache, NegativeCacheConfig, PathCache};
 use dsr_caching::mobility::{
     Field, MobilityModel, NeighborGrid, Point, RandomWaypoint, WaypointConfig,
 };
@@ -12,6 +12,7 @@ use dsr_caching::phy::{
     assert_fused_matches_eager, plan_arrivals_indexed_into, plan_arrivals_masked, DiffArrival,
     RadioConfig,
 };
+use dsr_caching::runner::{run_campaign, CampaignConfig, FaultPlan, ScenarioConfig};
 use dsr_caching::sim_core::{EventQueue, NodeId, RngFactory, SimDuration, SimTime};
 
 /// Strategy: a loop-free node sequence of 2..=8 nodes drawn from 0..16.
@@ -399,5 +400,74 @@ proptest! {
             })
             .collect();
         assert_fused_matches_eager(&RadioConfig::wavelan(), &arrivals, own_tx);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Cache-decision tracing invariants (ISSUE 9)
+// ----------------------------------------------------------------------
+//
+// Each case runs full campaigns, so this block caps its case count to keep
+// CI within budget; the seed/fault space is still sampled fresh every run.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Tracing is pure observation and supervisor-serialized: for a random
+    /// fault plan, (a) a cachetrace-on campaign produces byte-for-byte the
+    /// same reports and failures as a cachetrace-off one, and (b) the
+    /// trace files themselves are byte-identical at `--jobs 1` and
+    /// `--jobs 4`.
+    #[test]
+    fn cachetrace_is_pure_and_job_count_invariant(
+        scenario_seed in 0u64..1_000,
+        fault_kind in 0u8..3,
+        victim in 0u16..20,
+        at_s in 1.0f64..8.0,
+        dur_s in 0.5f64..4.0,
+        corruption in 0.01f64..0.4,
+    ) {
+        let mut cfg = ScenarioConfig::tiny(0.0, 2.0, DsrConfig::combined(), scenario_seed);
+        cfg.duration = SimDuration::from_secs(10.0);
+        let at = SimTime::from_secs(at_s);
+        let dur = SimDuration::from_secs(dur_s);
+        cfg.faults = match fault_kind {
+            0 => FaultPlan::none().node_down(NodeId::new(victim), at, dur),
+            1 => FaultPlan::none().frame_corruption(
+                corruption, at, SimTime::from_secs(at_s + dur_s)),
+            _ => FaultPlan::none().node_churn(NodeId::new(victim), at, dur),
+        };
+        let seeds = [1, 2];
+
+        let off = run_campaign(&cfg, &seeds, &CampaignConfig::default());
+
+        let traced = |jobs: usize, tag: &str| {
+            let dir = std::env::temp_dir().join(format!(
+                "ct-prop-{tag}-{}-{scenario_seed}-{fault_kind}-{victim}",
+                std::process::id(),
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut campaign = CampaignConfig { jobs, ..CampaignConfig::default() };
+            campaign.obs.cachetrace_dir = Some(dir.clone());
+            let result = run_campaign(&cfg, &seeds, &campaign);
+            let files: std::collections::BTreeMap<String, Vec<u8>> = std::fs::read_dir(&dir)
+                .expect("trace dir")
+                .map(|e| {
+                    let p = e.expect("entry").path();
+                    (
+                        p.file_name().unwrap().to_string_lossy().into_owned(),
+                        std::fs::read(&p).expect("read trace"),
+                    )
+                })
+                .collect();
+            let _ = std::fs::remove_dir_all(&dir);
+            (result, files)
+        };
+        let (on_seq, traces_seq) = traced(1, "j1");
+        let (on_par, traces_par) = traced(4, "j4");
+
+        prop_assert_eq!(&on_seq, &off, "tracing must not perturb the campaign");
+        prop_assert_eq!(&on_par, &off, "jobs must not perturb the campaign");
+        prop_assert_eq!(traces_seq.len(), seeds.len(), "one trace per seed");
+        prop_assert_eq!(traces_seq, traces_par, "trace bytes must not depend on job count");
     }
 }
