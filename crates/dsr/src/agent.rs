@@ -19,11 +19,12 @@
 //!   [`DsrConfig`]: wider error notification, timer-based route expiry
 //!   (static or adaptive), and negative caches.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use packet::{
     CacheDecision, CacheHitKind, CacheInsertProvenance, CacheRemovalCause, DataPacket, DropReason,
     ErrorDelivery, Link, Packet, ProtocolEvent, Route, RouteErrorPkt, RouteReply, RouteRequest,
+    SuppressedAction,
 };
 
 use sim_core::rng::uniform;
@@ -33,7 +34,7 @@ use crate::adaptive::AdaptiveTimeout;
 use crate::cache::link_cache::LinkCache;
 use crate::cache::negative::NegativeCache;
 use crate::cache::path_cache::PathCache;
-use crate::cache::{CacheEvent, RouteCache};
+use crate::cache::{CacheEvent, RemovedLink, RouteCache};
 use crate::config::{CacheOrganization, DsrConfig, ExpiryPolicy, WiderErrorRebroadcast};
 use crate::request_table::RequestTable;
 use crate::send_buffer::{PendingData, SendBuffer};
@@ -46,6 +47,21 @@ const SEEN_ERROR_CACHE: usize = 4096;
 const GRAT_REPLY_CACHE: usize = 32;
 /// Minimum spacing between gratuitous replies for the same flow.
 const GRAT_REPLY_HOLDOFF: SimDuration = SimDuration::from_micros_u64(1_000_000);
+/// How many answered `(origin, request_id)` pairs the suppression
+/// bookkeeping remembers (FIFO replacement).
+const ANSWERED_REQUEST_CACHE: usize = 256;
+
+/// Per-neighbor signal-strength state for Preemptive-DSR.
+#[derive(Debug, Clone, Copy, Default)]
+struct NeighborSignal {
+    /// Last observation was below the warning threshold.
+    below: bool,
+    /// When the last preemptive repair for this neighbor fired.
+    last_repair: Option<SimTime>,
+    /// A repair fired and the next packet routed over the fading link
+    /// still owes its source a warning route error.
+    warn_armed: bool,
+}
 
 /// Timers the agent asks the driver to run. `SetTimer` replaces any pending
 /// timer with the same value.
@@ -126,6 +142,12 @@ pub struct DsrNode {
     seen_errors_set: HashSet<u64>,
     /// Recently sent gratuitous replies: `((source, destination), when)`.
     grat_replies: VecDeque<((NodeId, NodeId), SimTime)>,
+    /// Preemptive-DSR: per-neighbor receive-power state (keyed access
+    /// only, so map iteration order never leaks into behaviour).
+    signal: HashMap<NodeId, NeighborSignal>,
+    /// Suppression: best hop count already answered per
+    /// `(origin, request_id)`, FIFO-bounded.
+    answered_requests: VecDeque<((NodeId, u64), usize)>,
     uid_counter: u64,
     rng: SimRng,
     /// Cache-decision tracing (cache forensics). Off by default: no
@@ -161,6 +183,8 @@ impl DsrNode {
             seen_errors: VecDeque::new(),
             seen_errors_set: HashSet::new(),
             grat_replies: VecDeque::new(),
+            signal: HashMap::new(),
+            answered_requests: VecDeque::new(),
             uid_counter: 0,
             rng,
             trace_decisions: false,
@@ -171,7 +195,16 @@ impl DsrNode {
 
     fn build_cache(node: NodeId, cfg: &DsrConfig) -> Box<dyn RouteCache> {
         let mut cache: Box<dyn RouteCache> = match cfg.cache_organization {
-            CacheOrganization::Path => Box::new(PathCache::new(node, cfg.cache_capacity)),
+            CacheOrganization::Path => {
+                let mut path_cache = PathCache::new(node, cfg.cache_capacity);
+                // Multipath is a path-cache feature; the link-cache
+                // organization already synthesizes alternates from its
+                // link graph.
+                if let Some(mp) = cfg.multipath {
+                    path_cache.set_multipath(mp.k);
+                }
+                Box::new(path_cache)
+            }
             CacheOrganization::Link => Box::new(LinkCache::new(node, cfg.cache_capacity)),
         };
         // Read-time expiry mirrors the sweep policy so lookups between
@@ -387,6 +420,8 @@ impl DsrNode {
         self.seen_errors.clear();
         self.seen_errors_set.clear();
         self.grat_replies.clear();
+        self.signal.clear();
+        self.answered_requests.clear();
         cmds.push(DsrCommand::SetTimer { timer: DsrTimer::Tick, at: now + self.tick_period() });
         cmds
     }
@@ -433,9 +468,77 @@ impl DsrNode {
             Packet::Request(req) => self.handle_request(req, now, &mut cmds),
             Packet::Reply(rep) => self.handle_reply(rep, now, &mut cmds),
             Packet::Error(err) => self.handle_error(err, from, now, &mut cmds),
-            Packet::Data(data) => self.handle_data(data, now, &mut cmds),
+            Packet::Data(data) => self.handle_data(data, from, now, &mut cmds),
         }
         cmds
+    }
+
+    /// The PHY decoded a frame from `from` intact at receive power
+    /// `power_w` watts (Preemptive-DSR hook; no-op unless configured).
+    ///
+    /// On a downward threshold crossing the fading link is purged from
+    /// the route cache ahead of the actual break, and the next data
+    /// packet routed over it triggers a warning route error back to its
+    /// source (Ramesh et al.'s preemptive RERR). A per-neighbor holdoff
+    /// keeps a node lingering near the threshold from firing repeatedly.
+    pub fn on_signal(&mut self, from: NodeId, power_w: f64, now: SimTime) -> Vec<DsrCommand> {
+        let mut cmds = Vec::new();
+        let Some(pre) = self.cfg.preemptive else {
+            return cmds;
+        };
+        let state = self.signal.entry(from).or_default();
+        let below = power_w < pre.threshold_w;
+        let crossed = below && !state.below;
+        state.below = below;
+        if !crossed {
+            return cmds;
+        }
+        if let Some(last) = state.last_repair {
+            if now < last + pre.holdoff {
+                return cmds;
+            }
+        }
+        state.last_repair = Some(now);
+        state.warn_armed = true;
+        // The fading link as data actually traverses it: from -> us.
+        let link = Link::new(from, self.id);
+        cmds.push(DsrCommand::Event { event: DsrEvent::PreemptiveRepair { link } });
+        self.preemptive_purge(link, now, &mut cmds);
+        self.preemptive_purge(Link::new(self.id, from), now, &mut cmds);
+        cmds
+    }
+
+    /// Purges a fading (but not yet broken) link from the cache. Unlike
+    /// [`Self::apply_link_break`] this feeds neither the adaptive
+    /// estimator (no route died) nor the negative cache (the link still
+    /// works; blacklisting it would veto usable routes).
+    fn preemptive_purge(&mut self, link: Link, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+        let removed = self.cache.remove_link(link, now);
+        self.trace_remove(link, CacheRemovalCause::Preemptive, removed.contained, cmds);
+        self.emit_failovers(&removed, cmds);
+    }
+
+    /// If a preemptive repair fired for `from` and still owes a warning,
+    /// send the source of `route` a route error for the fading link so it
+    /// refreshes its route before the break happens.
+    fn maybe_preemptive_warn(
+        &mut self,
+        from: NodeId,
+        route: &Route,
+        now: SimTime,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
+        if self.cfg.preemptive.is_none() || route.source() == self.id {
+            return;
+        }
+        let Some(state) = self.signal.get_mut(&from) else {
+            return;
+        };
+        if !state.warn_armed {
+            return;
+        }
+        state.warn_armed = false;
+        self.originate_route_error_for_route(Link::new(from, self.id), route, now, cmds);
     }
 
     /// The MAC promiscuously overheard a data-bearing frame addressed to
@@ -613,6 +716,9 @@ impl DsrNode {
             // The destination answers every copy of the request, giving the
             // source a supply of alternate routes.
             let discovered = Route::new(forward_nodes).expect("checked loop-free above");
+            if self.suppress_duplicate_reply(&req, &discovered, cmds) {
+                return;
+            }
             self.send_reply(discovered, false, now, cmds);
             return;
         }
@@ -645,6 +751,49 @@ impl DsrNode {
             });
         }
         // TTL exhausted (non-propagating probe): quietly die here.
+    }
+
+    /// Non-optimal route suppression (DSR-NORS), reply side: the target
+    /// answers the *first* copy of each request unconditionally, but
+    /// withholds later copies whose route is more than `stretch` times the
+    /// best hop count already answered. Returns `true` when the reply
+    /// should be withheld.
+    fn suppress_duplicate_reply(
+        &mut self,
+        req: &RouteRequest,
+        discovered: &Route,
+        cmds: &mut Vec<DsrCommand>,
+    ) -> bool {
+        let Some(sup) = self.cfg.suppression else {
+            return false;
+        };
+        let key = (req.origin, req.request_id);
+        match self.answered_requests.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, best)) => {
+                if (discovered.hops() as f64) > sup.stretch * (*best as f64) {
+                    if self.trace_decisions {
+                        cmds.push(DsrCommand::Event {
+                            event: DsrEvent::CacheDecision {
+                                decision: CacheDecision::Suppress {
+                                    route: discovered.clone(),
+                                    action: SuppressedAction::Reply,
+                                },
+                            },
+                        });
+                    }
+                    return true;
+                }
+                *best = (*best).min(discovered.hops());
+                false
+            }
+            None => {
+                if self.answered_requests.len() >= ANSWERED_REQUEST_CACHE {
+                    self.answered_requests.pop_front();
+                }
+                self.answered_requests.push_back((key, discovered.hops()));
+                false
+            }
+        }
     }
 
     fn send_reply(
@@ -761,7 +910,16 @@ impl DsrNode {
         });
     }
 
-    fn handle_data(&mut self, mut data: DataPacket, now: SimTime, cmds: &mut Vec<DsrCommand>) {
+    fn handle_data(
+        &mut self,
+        mut data: DataPacket,
+        from: NodeId,
+        now: SimTime,
+        cmds: &mut Vec<DsrCommand>,
+    ) {
+        // Preemptive-DSR: a packet arriving over a fading link warns its
+        // source before the link actually breaks.
+        self.maybe_preemptive_warn(from, &data.route, now, cmds);
         // Forwarding nodes cache the routes they carry and refresh expiry
         // timestamps ("seen in a unicast packet being forwarded").
         self.learn_from_route(&data.route, None, now, cmds);
@@ -963,6 +1121,7 @@ impl DsrNode {
                 for lifetime in &removed.route_lifetimes {
                     self.adaptive.observe_break(*lifetime, now);
                 }
+                self.emit_failovers(&removed, cmds);
                 if let Some(neg) = &mut self.negative {
                     neg.insert(err.broken, now);
                 }
@@ -1019,11 +1178,29 @@ impl DsrNode {
     ) {
         let removed = self.cache.remove_link(link, now);
         self.trace_remove(link, cause, removed.contained, cmds);
-        for lifetime in removed.route_lifetimes {
-            self.adaptive.observe_break(lifetime, now);
+        for lifetime in &removed.route_lifetimes {
+            self.adaptive.observe_break(*lifetime, now);
         }
+        self.emit_failovers(&removed, cmds);
         if let Some(neg) = &mut self.negative {
             neg.insert(link, now);
+        }
+    }
+
+    /// Reports every destination that lost a route to the purged link but
+    /// still has a cached alternate (multipath caching): an always-on
+    /// protocol event per destination, plus a traced decision carrying the
+    /// surviving route when decision tracing is enabled.
+    fn emit_failovers(&self, removed: &RemovedLink, cmds: &mut Vec<DsrCommand>) {
+        for (dst, route) in &removed.failovers {
+            cmds.push(DsrCommand::Event { event: DsrEvent::Failover { dst: *dst } });
+            if self.trace_decisions {
+                cmds.push(DsrCommand::Event {
+                    event: DsrEvent::CacheDecision {
+                        decision: CacheDecision::Failover { dst: *dst, route: route.clone() },
+                    },
+                });
+            }
         }
     }
 
@@ -1105,6 +1282,28 @@ impl DsrNode {
         }
         if filtered.hops() == 0 {
             return;
+        }
+        // Non-optimal route suppression (DSR-NORS), insert side: veto
+        // routes more than `stretch` times the best cached path to the
+        // same destination. The `find` is a pure read (no trace row — it
+        // is bookkeeping, not a routing decision).
+        if let Some(sup) = self.cfg.suppression {
+            if let Some(best) = self.cache.find(filtered.destination(), now) {
+                if (filtered.hops() as f64) > sup.stretch * (best.hops() as f64) {
+                    cmds.push(DsrCommand::Event { event: DsrEvent::SuppressedInsert });
+                    if self.trace_decisions {
+                        cmds.push(DsrCommand::Event {
+                            event: DsrEvent::CacheDecision {
+                                decision: CacheDecision::Suppress {
+                                    route: filtered,
+                                    action: SuppressedAction::Insert,
+                                },
+                            },
+                        });
+                    }
+                    return;
+                }
+            }
         }
         // Clone only under tracing: the off path moves the route into the
         // cache exactly as before.
@@ -1238,5 +1437,199 @@ impl DsrNode {
                 self.drain_cache_events(cmds);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sim_core::RngFactory;
+
+    use super::*;
+    use crate::config::DsrConfig;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn route(ids: &[u16]) -> Route {
+        Route::new(ids.iter().map(|&i| n(i)).collect()).expect("valid route")
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn agent(id: u16, cfg: DsrConfig) -> DsrNode {
+        DsrNode::new(n(id), cfg, RngFactory::new(1).stream("agent-test", u64::from(id)))
+    }
+
+    fn data_on(route_ids: &[u16], uid: u64) -> DataPacket {
+        let r = route(route_ids);
+        DataPacket {
+            uid,
+            src: r.source(),
+            dst: r.destination(),
+            seq: 0,
+            payload_bytes: 512,
+            sent_at: SimTime::ZERO,
+            route: r,
+            hop: 0,
+            salvage_count: 0,
+        }
+    }
+
+    fn count_event(cmds: &[DsrCommand], pred: impl Fn(&DsrEvent) -> bool) -> usize {
+        cmds.iter().filter(|c| matches!(c, DsrCommand::Event { event } if pred(event))).count()
+    }
+
+    #[test]
+    fn preemptive_crossing_purges_fading_link_and_warns_source() {
+        let mut a = agent(1, DsrConfig::preemptive());
+        let threshold = a.cfg.preemptive.expect("configured").threshold_w;
+        // Forwarding a packet on 0->1->2 caches [1,2] and [1,0].
+        let cmds = a.on_receive(n(0), Packet::Data(data_on(&[0, 1, 2], 1)), t(0.0));
+        assert_eq!(count_event(&cmds, |e| matches!(e, DsrEvent::PreemptiveRepair { .. })), 0);
+        assert!(a.cache().contains_link(Link::new(n(1), n(0))));
+
+        // Healthy signal: nothing happens.
+        let cmds = a.on_signal(n(0), threshold * 2.0, t(1.0));
+        assert!(cmds.is_empty());
+        // Downward crossing: repair event, both directions purged.
+        let cmds = a.on_signal(n(0), threshold / 2.0, t(2.0));
+        assert_eq!(count_event(&cmds, |e| matches!(e, DsrEvent::PreemptiveRepair { .. })), 1);
+        assert!(!a.cache().contains_link(Link::new(n(1), n(0))));
+        assert!(a.cache().contains_link(Link::new(n(1), n(2))), "healthy link kept");
+
+        // The next packet over the fading link warns its source.
+        let cmds = a.on_receive(n(0), Packet::Data(data_on(&[0, 1, 2], 2)), t(2.5));
+        assert_eq!(
+            count_event(&cmds, |e| matches!(e, DsrEvent::RouteErrorSent { wider: false })),
+            1,
+            "preemptive warning RERR sent to the source"
+        );
+        // The warning is one-shot per crossing.
+        let cmds = a.on_receive(n(0), Packet::Data(data_on(&[0, 1, 2], 3)), t(2.6));
+        assert_eq!(count_event(&cmds, |e| matches!(e, DsrEvent::RouteErrorSent { .. })), 0);
+    }
+
+    #[test]
+    fn preemptive_holdoff_suppresses_rapid_refiring() {
+        let mut a = agent(1, DsrConfig::preemptive());
+        let pre = a.cfg.preemptive.expect("configured");
+        let cmds = a.on_signal(n(0), pre.threshold_w / 2.0, t(1.0));
+        assert_eq!(count_event(&cmds, |e| matches!(e, DsrEvent::PreemptiveRepair { .. })), 1);
+        // Recover, then cross again inside the holdoff window: no repair.
+        assert!(a.on_signal(n(0), pre.threshold_w * 2.0, t(1.1)).is_empty());
+        let cmds = a.on_signal(n(0), pre.threshold_w / 2.0, t(1.2));
+        assert_eq!(count_event(&cmds, |e| matches!(e, DsrEvent::PreemptiveRepair { .. })), 0);
+        // After the holdoff elapses the same pattern fires again.
+        assert!(a.on_signal(n(0), pre.threshold_w * 2.0, t(1.3)).is_empty());
+        let later = t(1.0) + pre.holdoff + SimDuration::from_secs(0.1);
+        let cmds = a.on_signal(n(0), pre.threshold_w / 2.0, later);
+        assert_eq!(count_event(&cmds, |e| matches!(e, DsrEvent::PreemptiveRepair { .. })), 1);
+    }
+
+    #[test]
+    fn suppression_withholds_stretch_worse_duplicate_replies() {
+        let mut a = agent(5, DsrConfig::suppression());
+        let req = |path: &[u16], uid| RouteRequest {
+            uid,
+            origin: n(0),
+            target: n(5),
+            request_id: 1,
+            path: path.iter().map(|&i| n(i)).collect(),
+            ttl: 8,
+            piggyback_error: None,
+        };
+        let replies = |cmds: &[DsrCommand]| {
+            cmds.iter()
+                .filter(|c| matches!(c, DsrCommand::Send { packet: Packet::Reply(_), .. }))
+                .count()
+        };
+        // First copy (1 hop) always answered.
+        let cmds = a.on_receive(n(0), Packet::Request(req(&[0], 1)), t(0.0));
+        assert_eq!(replies(&cmds), 1);
+        // 3-hop duplicate: 3 > 1.5 * 1, withheld.
+        let cmds = a.on_receive(n(4), Packet::Request(req(&[0, 2, 4], 2)), t(0.1));
+        assert_eq!(replies(&cmds), 0, "stretch-worse duplicate suppressed");
+        // A different request id is a fresh discovery: answered again.
+        let mut other = req(&[0, 2, 4], 3);
+        other.request_id = 2;
+        let cmds = a.on_receive(n(4), Packet::Request(other), t(0.2));
+        assert_eq!(replies(&cmds), 1);
+    }
+
+    #[test]
+    fn suppression_vetoes_stretch_worse_cache_inserts() {
+        let mut a = agent(1, DsrConfig::suppression());
+        // Forwarding on 0->1->2 caches the 1-hop route [1,2].
+        let cmds = a.on_receive(n(0), Packet::Data(data_on(&[0, 1, 2], 1)), t(0.0));
+        assert_eq!(count_event(&cmds, |e| matches!(e, DsrEvent::SuppressedInsert)), 0);
+        // A 3-hop detour to the same destination is vetoed (3 > 1.5 * 1).
+        let cmds = a.on_receive(n(9), Packet::Data(data_on(&[9, 1, 7, 8, 2], 2)), t(0.1));
+        assert!(count_event(&cmds, |e| matches!(e, DsrEvent::SuppressedInsert)) >= 1);
+        assert!(!a.cache().contains_link(Link::new(n(7), n(8))), "detour not cached");
+        let best = a.cache().find(n(2), t(0.1)).expect("short route kept");
+        assert_eq!(best.hops(), 1);
+    }
+
+    #[test]
+    fn multipath_failover_fires_without_new_discovery() {
+        let mut a = agent(0, DsrConfig::multipath());
+        let reply = |discovered: Route, uid| RouteReply {
+            uid,
+            route: discovered.prefix_through(n(0)).map(|p| p.reversed()).unwrap_or_else(|| {
+                Route::new(vec![discovered.nodes()[1], n(0)]).expect("reply route")
+            }),
+            discovered,
+            from_cache: false,
+            hop: 0,
+            gratuitous: false,
+        };
+        // Two link-disjoint routes to 3 arrive via replies.
+        a.on_receive(n(1), Packet::Reply(reply(route(&[0, 1, 3]), 1)), t(0.0));
+        a.on_receive(n(2), Packet::Reply(reply(route(&[0, 2, 3]), 2)), t(0.1));
+        assert!(a.cache().contains_link(Link::new(n(1), n(3))));
+        assert!(a.cache().contains_link(Link::new(n(2), n(3))));
+
+        // Primary breaks: the agent fails over to the cached alternate.
+        let cmds = a.on_tx_failed(Packet::Data(data_on(&[0, 1, 3], 9)), n(1), t(1.0));
+        assert_eq!(
+            count_event(&cmds, |e| matches!(e, DsrEvent::Failover { dst } if *dst == n(3))),
+            1
+        );
+        let survivor = a.cache().find(n(3), t(1.0)).expect("alternate survives");
+        assert_eq!(survivor, route(&[0, 2, 3]));
+    }
+
+    #[test]
+    fn single_path_config_never_emits_failover() {
+        let mut a = agent(0, DsrConfig::base());
+        let reply = |discovered: Route, uid| RouteReply {
+            uid,
+            route: discovered.prefix_through(n(0)).map(|p| p.reversed()).expect("on route"),
+            discovered,
+            from_cache: false,
+            hop: 0,
+            gratuitous: false,
+        };
+        a.on_receive(n(1), Packet::Reply(reply(route(&[0, 1, 3]), 1)), t(0.0));
+        a.on_receive(n(2), Packet::Reply(reply(route(&[0, 2, 3]), 2)), t(0.1));
+        let cmds = a.on_tx_failed(Packet::Data(data_on(&[0, 1, 3], 9)), n(1), t(1.0));
+        assert_eq!(count_event(&cmds, |e| matches!(e, DsrEvent::Failover { .. })), 0);
+    }
+
+    #[test]
+    fn reboot_clears_preemptive_and_suppression_state() {
+        let mut a = agent(1, DsrConfig::preemptive());
+        let threshold = a.cfg.preemptive.expect("configured").threshold_w;
+        let cmds = a.on_signal(n(0), threshold / 2.0, t(1.0));
+        assert_eq!(count_event(&cmds, |e| matches!(e, DsrEvent::PreemptiveRepair { .. })), 1);
+        a.reboot(t(2.0));
+        assert!(a.signal.is_empty(), "per-neighbor signal state is volatile");
+        assert!(a.answered_requests.is_empty());
+        // Fresh state: the same crossing fires again immediately.
+        let cmds = a.on_signal(n(0), threshold / 2.0, t(2.1));
+        assert_eq!(count_event(&cmds, |e| matches!(e, DsrEvent::PreemptiveRepair { .. })), 1);
     }
 }

@@ -152,6 +152,8 @@ impl RouteCache for LinkCache {
                 // A link cache has no per-route lifetime; the link's own age
                 // is the natural analogue for the adaptive estimator.
                 route_lifetimes: vec![now.saturating_since(data.added_at)],
+                // Multipath failover is a path-cache feature.
+                failovers: Vec::new(),
             },
             None => RemovedLink::default(),
         }

@@ -68,6 +68,11 @@ pub struct RemovedLink {
     pub was_used_for_forwarding: bool,
     /// `now - entered_at` of every affected path (its observed lifetime).
     pub route_lifetimes: Vec<SimDuration>,
+    /// Multipath mode only: destinations cut off by the purge that remain
+    /// reachable through a surviving cached path, paired with that path —
+    /// the failovers that spare a fresh discovery. Always empty for
+    /// single-path caches.
+    pub failovers: Vec<(NodeId, Route)>,
 }
 
 /// A bounded cache of loop-free paths rooted at one node.
@@ -103,6 +108,10 @@ pub struct PathCache {
     /// Internal decision-event log for the cache forensics trace;
     /// allocated only while enabled.
     log: Option<Vec<CacheEvent>>,
+    /// Multipath mode: retain up to `k` link-disjoint paths per final
+    /// destination and report failovers from [`PathCache::remove_link`].
+    /// `None` = classic single-best-path behaviour.
+    multipath_k: Option<usize>,
 }
 
 impl PathCache {
@@ -114,7 +123,26 @@ impl PathCache {
     /// Panics if `capacity` is zero.
     pub fn new(owner: NodeId, capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        PathCache { owner, capacity, entries: Vec::new(), read_expiry: None, log: None }
+        PathCache {
+            owner,
+            capacity,
+            entries: Vec::new(),
+            read_expiry: None,
+            log: None,
+            multipath_k: None,
+        }
+    }
+
+    /// Enables multipath mode: keep up to `k` link-disjoint paths per
+    /// final destination, and report failovers from
+    /// [`PathCache::remove_link`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn set_multipath(&mut self, k: usize) {
+        assert!(k > 0, "multipath k must be positive");
+        self.multipath_k = Some(k);
     }
 
     /// Installs the read-time expiry timeout (see
@@ -196,10 +224,67 @@ impl PathCache {
         }
         // Replace any existing entries that are prefixes of the new path.
         self.entries.retain(|e| e.path.nodes() != &path.nodes()[..e.path.len().min(path.len())]);
+        if let Some(k) = self.multipath_k {
+            if !self.admit_multipath(&path, k, now) {
+                return false;
+            }
+        }
         if self.entries.len() >= self.capacity {
             self.evict_lru();
         }
         self.entries.push(PathEntry::new(path, now));
+        true
+    }
+
+    /// Multipath admission for `path` against the entries sharing its
+    /// final destination. Link-disjointness rule:
+    ///
+    /// - a candidate sharing a link with an existing same-destination
+    ///   entry replaces it (them) only when strictly shorter than each,
+    ///   and is refused otherwise — overlapping alternates add no
+    ///   failover value;
+    /// - a fully disjoint candidate is admitted while fewer than `k`
+    ///   same-destination paths are cached; at `k` it displaces the
+    ///   longest one only when strictly shorter than it.
+    ///
+    /// Returns whether `path` may be inserted (displaced entries are
+    /// already removed and logged as evictions).
+    fn admit_multipath(&mut self, path: &Route, k: usize, _now: SimTime) -> bool {
+        let dst = path.destination();
+        let same_dst: Vec<usize> = (0..self.entries.len())
+            .filter(|&i| self.entries[i].path.destination() == dst)
+            .collect();
+        let overlapping: Vec<usize> = same_dst
+            .iter()
+            .copied()
+            .filter(|&i| self.entries[i].path.links().any(|l| path.contains_link(l)))
+            .collect();
+        if !overlapping.is_empty() {
+            if overlapping.iter().any(|&i| self.entries[i].path.hops() <= path.hops()) {
+                return false;
+            }
+            for &i in overlapping.iter().rev() {
+                let entry = self.entries.remove(i);
+                if let Some(log) = &mut self.log {
+                    log.push(CacheEvent::Evicted { route: entry.path });
+                }
+            }
+            return true;
+        }
+        if same_dst.len() < k {
+            return true;
+        }
+        let longest = same_dst
+            .into_iter()
+            .max_by_key(|&i| (self.entries[i].path.hops(), self.entries[i].path.nodes().to_vec()))
+            .expect("k > 0 entries");
+        if self.entries[longest].path.hops() <= path.hops() {
+            return false;
+        }
+        let entry = self.entries.remove(longest);
+        if let Some(log) = &mut self.log {
+            log.push(CacheEvent::Evicted { route: entry.path });
+        }
         true
     }
 
@@ -259,12 +344,17 @@ impl PathCache {
     /// affected.
     pub fn remove_link(&mut self, link: Link, now: SimTime) -> RemovedLink {
         let mut outcome = RemovedLink::default();
+        let mut lost_dsts: Vec<NodeId> = Vec::new();
         let mut kept = Vec::with_capacity(self.entries.len());
         for mut entry in self.entries.drain(..) {
             if let Some(truncated) = entry.path.truncate_before_link(link) {
                 outcome.contained = true;
                 outcome.was_used_for_forwarding |= entry.used_for_forwarding;
                 outcome.route_lifetimes.push(now.saturating_since(entry.entered_at));
+                let dst = entry.path.destination();
+                if !lost_dsts.contains(&dst) {
+                    lost_dsts.push(dst);
+                }
                 if truncated.hops() >= 1 {
                     entry.last_used.truncate(truncated.len());
                     entry.path = truncated;
@@ -282,6 +372,15 @@ impl PathCache {
             }
         }
         self.entries = deduped;
+        if self.multipath_k.is_some() {
+            // A destination whose path was cut but that a surviving entry
+            // still reaches fails over without a fresh discovery.
+            for dst in lost_dsts {
+                if let Some(route) = self.find(dst, now) {
+                    outcome.failovers.push((dst, route));
+                }
+            }
+        }
         outcome
     }
 
@@ -636,6 +735,78 @@ mod tests {
         let mut events = Vec::new();
         c.drain_events(&mut events);
         assert!(events.is_empty());
+    }
+
+    fn multipath_cache() -> PathCache {
+        let mut c = PathCache::new(n(0), 16);
+        c.set_multipath(2);
+        c
+    }
+
+    #[test]
+    fn multipath_keeps_disjoint_alternates() {
+        let mut c = multipath_cache();
+        assert!(c.insert(route(&[0, 1, 2, 3]), t(0.0)));
+        assert!(c.insert(route(&[0, 4, 5, 3]), t(0.0)), "disjoint alternate admitted");
+        assert_eq!(c.len(), 2);
+        // A third disjoint path of equal length is refused at k = 2.
+        assert!(!c.insert(route(&[0, 6, 7, 3]), t(0.0)));
+        assert_eq!(c.len(), 2);
+        // A shorter disjoint path displaces the longest alternate.
+        assert!(c.insert(route(&[0, 8, 3]), t(1.0)));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.find(n(3), t(1.0)).unwrap(), route(&[0, 8, 3]));
+    }
+
+    #[test]
+    fn multipath_overlapping_path_replaced_only_when_shorter() {
+        let mut c = multipath_cache();
+        c.insert(route(&[0, 1, 2, 3]), t(0.0));
+        // Shares link 1->2 and is no shorter: refused.
+        assert!(!c.insert(route(&[0, 1, 2, 4, 3]), t(0.0)));
+        assert_eq!(c.len(), 1);
+        // Shares link 2->3 but is shorter: replaces the overlapping entry.
+        assert!(c.insert(route(&[0, 2, 3]), t(1.0)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.find(n(3), t(1.0)).unwrap(), route(&[0, 2, 3]));
+    }
+
+    #[test]
+    fn multipath_remove_link_reports_failover() {
+        let mut c = multipath_cache();
+        c.insert(route(&[0, 1, 2]), t(0.0));
+        c.insert(route(&[0, 3, 2]), t(0.0));
+        let out = c.remove_link(Link::new(n(1), n(2)), t(1.0));
+        assert!(out.contained);
+        assert_eq!(out.failovers, vec![(n(2), route(&[0, 3, 2]))]);
+        // The second break leaves no survivor: no failover reported.
+        let out = c.remove_link(Link::new(n(3), n(2)), t(2.0));
+        assert!(out.contained);
+        assert!(out.failovers.is_empty());
+    }
+
+    #[test]
+    fn single_path_mode_never_reports_failovers() {
+        let mut c = PathCache::new(n(0), 16);
+        c.insert(route(&[0, 1, 2]), t(0.0));
+        c.insert(route(&[0, 3, 2]), t(0.0));
+        let out = c.remove_link(Link::new(n(1), n(2)), t(1.0));
+        assert!(out.contained);
+        assert!(out.failovers.is_empty(), "failover reporting is multipath-only");
+    }
+
+    #[test]
+    fn multipath_eviction_of_displaced_alternate_is_logged() {
+        let mut c = multipath_cache();
+        c.set_event_log(true);
+        c.insert(route(&[0, 1, 2, 3]), t(0.0));
+        c.insert(route(&[0, 4, 3]), t(0.0));
+        let mut events = Vec::new();
+        c.drain_events(&mut events);
+        events.clear();
+        assert!(c.insert(route(&[0, 5, 3]), t(1.0)), "shorter disjoint path displaces longest");
+        c.drain_events(&mut events);
+        assert_eq!(events, vec![CacheEvent::Evicted { route: route(&[0, 1, 2, 3]) }]);
     }
 
     #[test]

@@ -109,6 +109,61 @@ impl Default for NegativeCacheConfig {
     }
 }
 
+/// Preemptive-DSR parameters (Ramesh et al.): repair routes early when a
+/// next-hop's receive power sinks below a warning threshold, before the
+/// link actually breaks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreemptiveConfig {
+    /// Receive-power warning threshold in watts. A frame from a neighbor
+    /// arriving below this power marks the link as about to break. The
+    /// default is 2x the radio's reception threshold (3.652e-10 W for the
+    /// 250 m nominal range), i.e. the preemptive region starts roughly
+    /// 30 m before the edge of range under the two-ray model.
+    pub threshold_w: f64,
+    /// Minimum spacing between two preemptive repairs of the same
+    /// neighbor, so a node flapping around the threshold does not spray
+    /// route errors.
+    pub holdoff: SimDuration,
+}
+
+impl Default for PreemptiveConfig {
+    fn default() -> Self {
+        PreemptiveConfig { threshold_w: 2.0 * 3.652e-10, holdoff: SimDuration::from_secs(1.0) }
+    }
+}
+
+/// Non-optimal route suppression parameters (DSR-NORS, Seet et al.): veto
+/// cache inserts and duplicate route replies whose path is longer than
+/// the best known by more than a stretch factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuppressionConfig {
+    /// Maximum tolerated path stretch: a candidate with more than
+    /// `stretch * best_known_hops` hops is suppressed. 1.0 keeps only
+    /// best-length paths; the default 1.5 tolerates 50% detours.
+    pub stretch: f64,
+}
+
+impl Default for SuppressionConfig {
+    fn default() -> Self {
+        SuppressionConfig { stretch: 1.5 }
+    }
+}
+
+/// Multipath caching parameters: retain up to `k` link-disjoint paths per
+/// destination and fail over to a survivor on a route error instead of
+/// launching a fresh discovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultipathConfig {
+    /// Maximum link-disjoint paths retained per destination.
+    pub k: usize,
+}
+
+impl Default for MultipathConfig {
+    fn default() -> Self {
+        MultipathConfig { k: 2 }
+    }
+}
+
 /// Full DSR configuration: standard optimizations (on by default, as in the
 /// CMU ns-2 implementation the paper extends) plus the three
 /// cache-correctness techniques (off by default).
@@ -166,6 +221,14 @@ pub struct DsrConfig {
     pub expiry: ExpiryPolicy,
     /// Negative cache of recently broken links.
     pub negative_cache: Option<NegativeCacheConfig>,
+
+    // --- post-paper strategies (strategy matrix) ------------------------
+    /// Preemptive-DSR: signal-strength-triggered early route repair.
+    pub preemptive: Option<PreemptiveConfig>,
+    /// Non-optimal route suppression (DSR-NORS).
+    pub suppression: Option<SuppressionConfig>,
+    /// k-link-disjoint multipath caching with RERR failover.
+    pub multipath: Option<MultipathConfig>,
 }
 
 impl DsrConfig {
@@ -192,6 +255,9 @@ impl DsrConfig {
             wider_error_rebroadcast: WiderErrorRebroadcast::CachedAndUsed,
             expiry: ExpiryPolicy::None,
             negative_cache: None,
+            preemptive: None,
+            suppression: None,
+            multipath: None,
         }
     }
 
@@ -213,6 +279,21 @@ impl DsrConfig {
     /// Base DSR + negative caches.
     pub fn negative_cache() -> Self {
         DsrConfig { negative_cache: Some(NegativeCacheConfig::default()), ..DsrConfig::base() }
+    }
+
+    /// Base DSR + preemptive signal-strength route repair.
+    pub fn preemptive() -> Self {
+        DsrConfig { preemptive: Some(PreemptiveConfig::default()), ..DsrConfig::base() }
+    }
+
+    /// Base DSR + non-optimal route suppression.
+    pub fn suppression() -> Self {
+        DsrConfig { suppression: Some(SuppressionConfig::default()), ..DsrConfig::base() }
+    }
+
+    /// Base DSR + k-link-disjoint multipath caching.
+    pub fn multipath() -> Self {
+        DsrConfig { multipath: Some(MultipathConfig::default()), ..DsrConfig::base() }
     }
 
     /// All three techniques combined — the paper's best-performing variant.
@@ -239,6 +320,15 @@ impl DsrConfig {
         }
         if self.negative_cache.is_some() {
             tags.push("NC".to_string());
+        }
+        if self.preemptive.is_some() {
+            tags.push("PR".to_string());
+        }
+        if self.suppression.is_some() {
+            tags.push("SUP".to_string());
+        }
+        if self.multipath.is_some() {
+            tags.push("MP".to_string());
         }
         let base = match tags.len() {
             0 => "DSR".to_string(),
@@ -276,6 +366,25 @@ mod tests {
         assert_eq!(DsrConfig::negative_cache().label(), "DSR-NC");
         assert_eq!(DsrConfig::combined().label(), "DSR-C");
         assert_eq!(DsrConfig::static_expiry(SimDuration::from_secs(10.0)).label(), "DSR-SE(10s)");
+        assert_eq!(DsrConfig::preemptive().label(), "DSR-PR");
+        assert_eq!(DsrConfig::suppression().label(), "DSR-SUP");
+        assert_eq!(DsrConfig::multipath().label(), "DSR-MP");
+        let stacked =
+            DsrConfig { multipath: Some(MultipathConfig::default()), ..DsrConfig::wider_error() };
+        assert_eq!(stacked.label(), "DSR-WE+MP", "new tags compose with the paper's");
+    }
+
+    #[test]
+    fn strategy_matrix_defaults() {
+        let p = PreemptiveConfig::default();
+        assert!(p.threshold_w > 3.652e-10, "warning threshold sits above the rx threshold");
+        assert_eq!(p.holdoff, SimDuration::from_secs(1.0));
+        assert!((SuppressionConfig::default().stretch - 1.5).abs() < 1e-12);
+        assert_eq!(MultipathConfig::default().k, 2);
+        assert!(DsrConfig::base().preemptive.is_none());
+        assert!(DsrConfig::preemptive().preemptive.is_some());
+        assert!(DsrConfig::suppression().suppression.is_some());
+        assert!(DsrConfig::multipath().multipath.is_some());
     }
 
     #[test]

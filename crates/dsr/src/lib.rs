@@ -13,7 +13,13 @@
 //! - **timer-based route expiry** — static or adaptive per-node timeout
 //!   selection;
 //! - **negative caches** — a blacklist of recently broken links, mutually
-//!   exclusive with the route cache.
+//!   exclusive with the route cache;
+//! - **preemptive repair** — receive-power-triggered early route errors
+//!   before a fading link actually breaks;
+//! - **non-optimal route suppression** — cache inserts and duplicate
+//!   route replies vetoed beyond a stretch factor of the best known path;
+//! - **multipath caching** — up to `k` link-disjoint paths per
+//!   destination with failover on route error instead of rediscovery.
 //!
 //! The protocol engine is [`DsrNode`]; supporting structures ([`PathCache`],
 //! [`NegativeCache`], [`AdaptiveTimeout`], [`SendBuffer`], [`RequestTable`])
@@ -33,7 +39,8 @@ pub use cache::negative::NegativeCache;
 pub use cache::path_cache::{PathCache, PathEntry, RemovedLink};
 pub use cache::{CacheEvent, RouteCache};
 pub use config::{
-    CacheOrganization, DsrConfig, ExpiryPolicy, NegativeCacheConfig, WiderErrorRebroadcast,
+    CacheOrganization, DsrConfig, ExpiryPolicy, MultipathConfig, NegativeCacheConfig,
+    PreemptiveConfig, SuppressionConfig, WiderErrorRebroadcast,
 };
 pub use packet::{CacheHitKind, DropReason};
 pub use request_table::{DiscoveryPhase, RequestTable};

@@ -7,7 +7,9 @@
 //! often lookups hand out already-broken routes (stale-hit fraction), how
 //! long broken links linger before a purge (staleness latency p50/p99),
 //! and what finally removes them (route errors, wider error propagation,
-//! MAC-layer feedback, negative-cache vetoes).
+//! MAC-layer feedback, negative-cache vetoes, preemptive repair), plus
+//! the strategy decisions themselves: non-optimal routes suppressed at
+//! insert/reply time and multipath failovers to a surviving alternate.
 //!
 //! ```sh
 //! cargo run --release -p experiments --bin cache_query -- \
@@ -140,6 +142,9 @@ fn render(rollups: &[CacheRollup], summary: bool) {
             "expires",
             "evicts",
             "refreshes",
+            "sup_insert",
+            "sup_reply",
+            "failovers",
             "dropped",
         ],
     );
@@ -164,6 +169,9 @@ fn render(rollups: &[CacheRollup], summary: bool) {
             r.expires.to_string(),
             r.evicts.to_string(),
             r.refreshes.to_string(),
+            r.suppressions_of("insert").to_string(),
+            r.suppressions_of("reply").to_string(),
+            r.failovers.to_string(),
             r.dropped.to_string(),
         ]);
     }

@@ -340,6 +340,23 @@ pub fn variants() -> Vec<DsrConfig> {
     ]
 }
 
+/// The seven-strategy cross-product the `ablation_matrix` binary sweeps:
+/// the paper's four cache-maintenance variants plus the three
+/// route-acquisition strategies (preemptive repair, non-optimal route
+/// suppression, k-link-disjoint multipath caching), each layered on base
+/// DSR so every row isolates one technique.
+pub fn matrix_variants() -> Vec<DsrConfig> {
+    vec![
+        DsrConfig::base(),
+        DsrConfig::wider_error(),
+        DsrConfig::adaptive_expiry(),
+        DsrConfig::negative_cache(),
+        DsrConfig::preemptive(),
+        DsrConfig::suppression(),
+        DsrConfig::multipath(),
+    ]
+}
+
 /// One averaged data point: the mean report across the seeds that
 /// completed, plus how many runs produced no report. Derefs to [`Report`]
 /// so table code reads the metrics directly.
@@ -548,6 +565,15 @@ mod tests {
     fn variants_cover_the_paper() {
         let labels: Vec<String> = variants().iter().map(|v| v.label()).collect();
         assert_eq!(labels, vec!["DSR", "DSR-WE", "DSR-AE", "DSR-NC", "DSR-C"]);
+    }
+
+    #[test]
+    fn matrix_variants_isolate_each_strategy() {
+        let labels: Vec<String> = matrix_variants().iter().map(|v| v.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["DSR", "DSR-WE", "DSR-AE", "DSR-NC", "DSR-PR", "DSR-SUP", "DSR-MP"]
+        );
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct Metrics {
     faults_injected: u64,
     frames_corrupted: u64,
     arrivals_suppressed: u64,
+
+    preemptive_repairs: u64,
+    suppressed_inserts: u64,
+    failovers: u64,
 }
 
 impl Metrics {
@@ -216,6 +220,22 @@ impl Metrics {
         self.arrivals_suppressed += n;
     }
 
+    /// Preemptive-DSR purged a fading link ahead of its actual break.
+    pub fn record_preemptive_repair(&mut self) {
+        self.preemptive_repairs += 1;
+    }
+
+    /// Route suppression vetoed a stretch-worse cache insert.
+    pub fn record_suppressed_insert(&mut self) {
+        self.suppressed_inserts += 1;
+    }
+
+    /// A multipath cache lost a route to a link break but failed over to a
+    /// cached link-disjoint alternate instead of forcing a rediscovery.
+    pub fn record_failover(&mut self) {
+        self.failovers += 1;
+    }
+
     /// Drop count for one reason.
     pub fn drops(&self, reason: DropReason) -> u64 {
         self.drops.get(&reason).copied().unwrap_or(0)
@@ -283,6 +303,9 @@ impl Metrics {
             arrivals_suppressed: self.arrivals_suppressed,
             cache_stale_hits: self.invalid_cache_hits,
             stale_route_sends: self.stale_route_sends,
+            preemptive_repairs: self.preemptive_repairs,
+            suppressed_inserts: self.suppressed_inserts,
+            failovers: self.failovers,
             series: self.series_points(),
         }
     }
@@ -369,6 +392,13 @@ pub struct Report {
     /// Stale hits that actually put a data packet on the air (origination
     /// and salvage uses; cached replies excluded).
     pub stale_route_sends: u64,
+    /// Preemptive-DSR early repairs: fading links purged before breaking.
+    pub preemptive_repairs: u64,
+    /// Cache inserts vetoed by non-optimal route suppression.
+    pub suppressed_inserts: u64,
+    /// Link breaks absorbed by failing over to a cached link-disjoint
+    /// alternate (multipath caching) instead of rediscovering.
+    pub failovers: u64,
     /// Delivery time series, when enabled on the collector.
     pub series: Option<Vec<SeriesPoint>>,
 }
@@ -436,6 +466,9 @@ impl Report {
             arrivals_suppressed: uavg(&|r| r.arrivals_suppressed),
             cache_stale_hits: uavg(&|r| r.cache_stale_hits),
             stale_route_sends: uavg(&|r| r.stale_route_sends),
+            preemptive_repairs: uavg(&|r| r.preemptive_repairs),
+            suppressed_inserts: uavg(&|r| r.suppressed_inserts),
+            failovers: uavg(&|r| r.failovers),
             // Per-seed series are not merged; averaging loses alignment.
             series: None,
         }
@@ -596,6 +629,25 @@ mod tests {
         let mean = Report::mean(&[r.clone(), r]);
         assert_eq!(mean.cache_stale_hits, 3);
         assert_eq!(mean.stale_route_sends, 2);
+    }
+
+    #[test]
+    fn strategy_counters_flow_into_the_report() {
+        let mut m = Metrics::new();
+        m.record_preemptive_repair();
+        m.record_preemptive_repair();
+        m.record_suppressed_insert();
+        m.record_failover();
+        m.record_failover();
+        m.record_failover();
+        let r = m.report("x", 10.0);
+        assert_eq!(r.preemptive_repairs, 2);
+        assert_eq!(r.suppressed_inserts, 1);
+        assert_eq!(r.failovers, 3);
+        let mean = Report::mean(&[r.clone(), r]);
+        assert_eq!(mean.preemptive_repairs, 2);
+        assert_eq!(mean.suppressed_inserts, 1);
+        assert_eq!(mean.failovers, 3);
     }
 
     #[test]

@@ -25,10 +25,13 @@
 //!
 //! Column conventions (`-` marks a column the op does not use):
 //!
-//! * `op` — `insert`, `lookup`, `remove`, `expire`, `evict`, `refresh`;
+//! * `op` — `insert`, `lookup`, `remove`, `expire`, `evict`, `refresh`,
+//!   `suppress` (a non-optimal route vetoed), `failover` (a multipath
+//!   cache promoted a surviving alternate after a link purge);
 //! * `kind` — the insert provenance (`reply`/`overheard`/`gratuitous`/
-//!   `salvage`), lookup purpose (`origination`/`salvage`/`reply`), or
-//!   removal cause (`rerr`/`wider`/`mac`/`neg-veto`);
+//!   `salvage`), lookup purpose (`origination`/`salvage`/`reply`),
+//!   removal cause (`rerr`/`wider`/`mac`/`neg-veto`/`preempt`), or the
+//!   suppressed action (`insert`/`reply`);
 //! * `dst` — the looked-up destination (lookup rows only);
 //! * `route` — the route as `0-1-2`, or the removed link as `a>b`;
 //! * `valid` — the oracle's verdict (`1` valid, `0` stale/broken, `-` on
@@ -52,7 +55,8 @@ pub const FORMAT_HEADER: &str = "dsr-cachetrace v1";
 pub const COLUMNS: &[&str] = &["t_ns", "node", "op", "kind", "dst", "route", "valid", "stale_ns"];
 
 /// The `op` column's vocabulary.
-pub const OPS: &[&str] = &["insert", "lookup", "remove", "expire", "evict", "refresh"];
+pub const OPS: &[&str] =
+    &["insert", "lookup", "remove", "expire", "evict", "refresh", "suppress", "failover"];
 
 /// One recorded cache decision.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -238,6 +242,11 @@ pub struct CacheRollup {
     pub evicts: u64,
     /// `mark_used` refreshes.
     pub refreshes: u64,
+    /// Non-optimal routes vetoed per action (`insert`/`reply`), in
+    /// first-seen order.
+    pub suppressions: Vec<(String, u64)>,
+    /// Multipath failovers: alternates promoted after a link purge.
+    pub failovers: u64,
     /// Staleness latencies (ns) of genuinely broken purged links, unsorted.
     pub stale_latencies_ns: Vec<u64>,
 }
@@ -282,6 +291,8 @@ impl CacheRollup {
                 "expire" => self.expires += 1,
                 "evict" => self.evicts += 1,
                 "refresh" => self.refreshes += 1,
+                "suppress" => bump(&mut self.suppressions, &row.kind),
+                "failover" => self.failovers += 1,
                 _ => {}
             }
         }
@@ -322,6 +333,11 @@ impl CacheRollup {
     /// Removal count for one cause.
     pub fn removals_of(&self, cause: &str) -> u64 {
         self.removals.iter().find(|(k, _)| k == cause).map_or(0, |(_, n)| *n)
+    }
+
+    /// Suppression count for one vetoed action (`insert` or `reply`).
+    pub fn suppressions_of(&self, action: &str) -> u64 {
+        self.suppressions.iter().find(|(k, _)| k == action).map_or(0, |(_, n)| *n)
     }
 }
 
@@ -364,6 +380,9 @@ mod tests {
                 row(4_000_000, "expire", "-", Some(false), None),
                 row(4_100_000, "evict", "-", Some(true), None),
                 row(4_200_000, "refresh", "-", Some(true), None),
+                row(4_300_000, "suppress", "insert", Some(true), None),
+                row(4_400_000, "suppress", "reply", Some(true), None),
+                row(4_500_000, "failover", "-", Some(true), None),
             ],
             dropped: 0,
         }
@@ -400,7 +419,7 @@ mod tests {
         let mut text = trace.render();
         text.push_str("1 2 3\n"); // short row
         assert!(CacheTrace::parse(&text).is_err());
-        let text = trace.render().replace("rows = 10", "rows = 11");
+        let text = trace.render().replace("rows = 13", "rows = 14");
         assert!(CacheTrace::parse(&text).is_err());
         // Unknown op and bad valid flag are rejected, not silently kept.
         let text = trace.render().replace(" insert ", " implode ");
@@ -427,6 +446,10 @@ mod tests {
         assert_eq!(rollup.expires, 1);
         assert_eq!(rollup.evicts, 1);
         assert_eq!(rollup.refreshes, 1);
+        assert_eq!(rollup.suppressions_of("insert"), 1);
+        assert_eq!(rollup.suppressions_of("reply"), 1);
+        assert_eq!(rollup.suppressions_of("lookup"), 0);
+        assert_eq!(rollup.failovers, 1);
         assert_eq!(rollup.stale_latency_ns(0.5), Some(1_500_000));
         assert_eq!(rollup.stale_latency_ns(0.99), Some(1_500_000));
     }

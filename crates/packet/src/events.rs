@@ -144,6 +144,9 @@ pub enum CacheRemovalCause {
     /// The negative cache vetoed use of the link (an insert was truncated
     /// or refused, or a forward was refused).
     NegativeVeto,
+    /// Preemptive repair purged the link after its receive power sank
+    /// below the early-warning threshold (Preemptive-DSR).
+    Preemptive,
 }
 
 impl CacheRemovalCause {
@@ -154,6 +157,27 @@ impl CacheRemovalCause {
             CacheRemovalCause::WiderError => "wider",
             CacheRemovalCause::MacFeedback => "mac",
             CacheRemovalCause::NegativeVeto => "neg-veto",
+            CacheRemovalCause::Preemptive => "preempt",
+        }
+    }
+}
+
+/// Which action a non-optimal route suppression veto blocked
+/// (cache-decision trace vocabulary for [`CacheDecision::Suppress`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuppressedAction {
+    /// A cache insert was refused.
+    Insert,
+    /// A duplicate route reply was withheld.
+    Reply,
+}
+
+impl SuppressedAction {
+    /// Stable string spelling for trace rows.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SuppressedAction::Insert => "insert",
+            SuppressedAction::Reply => "reply",
         }
     }
 }
@@ -205,6 +229,21 @@ pub enum CacheDecision {
     /// `mark_used` refreshed last-used timestamps along `route`.
     Refresh {
         /// The route observed in use.
+        route: Route,
+    },
+    /// Non-optimal route suppression vetoed an action involving `route`.
+    Suppress {
+        /// The route judged too long relative to the best known.
+        route: Route,
+        /// What the veto blocked (a cache insert or a duplicate reply).
+        action: SuppressedAction,
+    },
+    /// A broken-link purge left a surviving multipath alternative in
+    /// service for `dst` (no fresh discovery needed).
+    Failover {
+        /// The destination that kept connectivity.
+        dst: NodeId,
+        /// The surviving route now carrying the traffic.
         route: Route,
     },
 }
@@ -265,6 +304,24 @@ pub enum ProtocolEvent {
     CacheDecision {
         /// The decision.
         decision: CacheDecision,
+    },
+    /// Preemptive repair fired: a next-hop's receive power crossed below
+    /// the early-warning threshold and the link was purged ahead of an
+    /// actual break. Always emitted (drives the `preemptive_repairs`
+    /// counter), independent of decision tracing.
+    PreemptiveRepair {
+        /// The link judged about to break.
+        link: Link,
+    },
+    /// Non-optimal route suppression vetoed a cache insert. Always
+    /// emitted (drives the `suppressed_inserts` counter).
+    SuppressedInsert,
+    /// A multipath cache failed over to a surviving link-disjoint route
+    /// after a purge, avoiding a fresh discovery. Always emitted (drives
+    /// the `failovers` counter).
+    Failover {
+        /// The destination that kept a working route.
+        dst: NodeId,
     },
 }
 

@@ -17,6 +17,6 @@ pub use dsr::{
 };
 pub use events::{
     CacheDecision, CacheHitKind, CacheInsertProvenance, CacheRemovalCause, DropReason, NetPacket,
-    ProtocolEvent,
+    ProtocolEvent, SuppressedAction,
 };
 pub use route::{InvalidRoute, Link, Route};

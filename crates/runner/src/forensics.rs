@@ -25,7 +25,10 @@ use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use dsr::{CacheOrganization, DsrConfig, ExpiryPolicy, NegativeCacheConfig, WiderErrorRebroadcast};
+use dsr::{
+    CacheOrganization, DsrConfig, ExpiryPolicy, MultipathConfig, NegativeCacheConfig,
+    PreemptiveConfig, SuppressionConfig, WiderErrorRebroadcast,
+};
 use mac::MacConfig;
 use mobility::{Field, Point, WaypointConfig};
 use phy::RadioConfig;
@@ -207,6 +210,13 @@ impl KvBlock {
             .ok_or_else(|| ForensicError::MissingKey(key.to_string()))
     }
 
+    /// Whether `key` was written at all. Optional blocks (the strategy
+    /// configs) are serialized only when enabled so that every scenario
+    /// written before they existed keeps its config fingerprint.
+    fn has(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
     fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, ForensicError> {
         let raw = self.get(key)?;
         raw.parse()
@@ -289,6 +299,22 @@ fn push_scenario(kv: &mut KvBlock, cfg: &ScenarioConfig) {
             kv.push("dsr.negative_cache.capacity", n.capacity);
             kv.push("dsr.negative_cache.timeout_ns", n.timeout.as_nanos());
         }
+    }
+    // Strategy blocks are written only when enabled: absent keys keep the
+    // config fingerprint of every scenario serialized before these
+    // strategies existed.
+    if let Some(p) = d.preemptive {
+        kv.push("dsr.preemptive", true);
+        kv.push("dsr.preemptive.threshold_w", fmt_f64(p.threshold_w));
+        kv.push("dsr.preemptive.holdoff_ns", p.holdoff.as_nanos());
+    }
+    if let Some(s) = d.suppression {
+        kv.push("dsr.suppression", true);
+        kv.push("dsr.suppression.stretch", fmt_f64(s.stretch));
+    }
+    if let Some(mp) = d.multipath {
+        kv.push("dsr.multipath", true);
+        kv.push("dsr.multipath.k", mp.k);
     }
 
     let m = &cfg.mac;
@@ -446,6 +472,24 @@ fn parse_scenario(kv: &KvBlock) -> Result<ScenarioConfig, ForensicError> {
     } else {
         None
     };
+    let preemptive = if kv.has("dsr.preemptive") {
+        Some(PreemptiveConfig {
+            threshold_w: kv.get_parsed("dsr.preemptive.threshold_w")?,
+            holdoff: kv.get_duration("dsr.preemptive.holdoff_ns")?,
+        })
+    } else {
+        None
+    };
+    let suppression = if kv.has("dsr.suppression") {
+        Some(SuppressionConfig { stretch: kv.get_parsed("dsr.suppression.stretch")? })
+    } else {
+        None
+    };
+    let multipath = if kv.has("dsr.multipath") {
+        Some(MultipathConfig { k: kv.get_parsed("dsr.multipath.k")? })
+    } else {
+        None
+    };
     let dsr = DsrConfig {
         replies_from_cache: kv.get_parsed("dsr.replies_from_cache")?,
         salvaging: kv.get_parsed("dsr.salvaging")?,
@@ -475,6 +519,9 @@ fn parse_scenario(kv: &KvBlock) -> Result<ScenarioConfig, ForensicError> {
         },
         expiry,
         negative_cache,
+        preemptive,
+        suppression,
+        multipath,
     };
 
     let mac = MacConfig {
@@ -910,6 +957,20 @@ mod tests {
             ScenarioConfig::static_line(4, 200.0, 2.0, DsrConfig::combined(), 9),
             ScenarioConfig::tiny(30.0, 4.0, DsrConfig::adaptive_expiry(), 3),
             ScenarioConfig::quick(0.0, 3.0, DsrConfig::negative_cache(), 5),
+            ScenarioConfig::quick(0.0, 3.0, DsrConfig::preemptive(), 11),
+            ScenarioConfig::quick(0.0, 3.0, DsrConfig::suppression(), 13),
+            ScenarioConfig::quick(0.0, 3.0, DsrConfig::multipath(), 17),
+            ScenarioConfig::quick(
+                0.0,
+                3.0,
+                DsrConfig {
+                    preemptive: Some(PreemptiveConfig::default()),
+                    suppression: Some(SuppressionConfig::default()),
+                    multipath: Some(MultipathConfig::default()),
+                    ..DsrConfig::combined()
+                },
+                19,
+            ),
         ];
         configs[0].faults = FaultPlan::none()
             .node_down(NodeId::new(2), SimTime::from_secs(5.0), SimDuration::from_secs(2.0))

@@ -14,7 +14,7 @@
 //!
 //! The format is line-oriented and hand-rolled (no serde): each record is
 //! `run <payload-len> <fnv1a-hex> <payload>` where the payload is
-//! `<fingerprint-hex> <seed> <label> <34 metric values>` with floats in
+//! `<fingerprint-hex> <seed> <label> <39 metric values>` with floats in
 //! Rust's exact shortest round-trip form. The length and FNV-1a checksum
 //! cover the payload bytes, so a record is accepted only if it is exactly
 //! as long as the writer said *and* hashes to the same value — a torn or
@@ -188,7 +188,10 @@ macro_rules! report_numeric_fields {
             delay_p99_s: f64,
             delay_jitter_s: f64,
             cache_stale_hits: u64,
-            stale_route_sends: u64
+            stale_route_sends: u64,
+            preemptive_repairs: u64,
+            suppressed_inserts: u64,
+            failovers: u64
         )
     };
 }
@@ -279,6 +282,9 @@ mod tests {
             arrivals_suppressed: 0,
             cache_stale_hits: 3,
             stale_route_sends: 2,
+            preemptive_repairs: 4,
+            suppressed_inserts: 9,
+            failovers: 5,
             series: None,
         }
     }

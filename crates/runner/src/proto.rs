@@ -99,6 +99,21 @@ pub trait RoutingAgent: Send {
         now: SimTime,
     ) -> Vec<AgentCommand<Self::Packet, Self::Timer>>;
 
+    /// The PHY decoded a frame from `from` intact at receive power
+    /// `power_w` watts. Fired just before the corresponding `on_receive`
+    /// (same ordering on the eager and fused arrival paths). Protocols
+    /// that do not watch signal strength keep the default no-op;
+    /// Preemptive-DSR uses it to repair routes before a fading link
+    /// breaks.
+    fn on_signal(
+        &mut self,
+        _from: NodeId,
+        _power_w: f64,
+        _now: SimTime,
+    ) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
+        Vec::new()
+    }
+
     /// Link-layer feedback: `packet` could not be delivered to `next_hop`.
     fn on_tx_failed(
         &mut self,
@@ -230,6 +245,15 @@ impl RoutingAgent for dsr::DsrNode {
         now: SimTime,
     ) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
         translate_all(dsr::DsrNode::on_snoop(self, transmitter, packet, now))
+    }
+
+    fn on_signal(
+        &mut self,
+        from: NodeId,
+        power_w: f64,
+        now: SimTime,
+    ) -> Vec<AgentCommand<Self::Packet, Self::Timer>> {
+        translate_all(dsr::DsrNode::on_signal(self, from, power_w, now))
     }
 
     fn on_tx_failed(

@@ -1503,6 +1503,14 @@ impl<A: RoutingAgent> Simulator<A> {
                     }
                 }
                 MacCommand::Deliver { from, payload } => {
+                    // Signal-strength hook (Preemptive-DSR): the receive
+                    // power of the frame that carried this payload, read
+                    // from the receiver that just decoded it. One program
+                    // point serves both the paired and fused arrival paths,
+                    // so their event orders stay statement-mirrored.
+                    let power_w = self.rx_states[node as usize].last_intact_power_w();
+                    let cmds = self.agents[node as usize].on_signal(from, power_w, self.now);
+                    self.apply_agent(node, cmds);
                     let cmds = self.agents[node as usize].on_receive(from, payload, self.now);
                     self.apply_agent(node, cmds);
                 }
@@ -1625,6 +1633,19 @@ impl<A: RoutingAgent> Simulator<A> {
                     self.emit_trace(node, TraceKind::LinkBreak { to: link.to });
                 }
             }
+            ProtocolEvent::PreemptiveRepair { .. } => {
+                self.metrics.record_preemptive_repair();
+                if let Some(o) = self.obs.as_mut() {
+                    o.traces.record("preemptive_repair", 0);
+                }
+            }
+            ProtocolEvent::SuppressedInsert => self.metrics.record_suppressed_insert(),
+            ProtocolEvent::Failover { .. } => {
+                self.metrics.record_failover();
+                if let Some(o) = self.obs.as_mut() {
+                    o.traces.record("failover", 0);
+                }
+            }
             ProtocolEvent::CacheDecision { decision } => {
                 self.record_cache_decision(node, decision);
             }
@@ -1728,6 +1749,44 @@ impl<A: RoutingAgent> Simulator<A> {
                     op: "refresh".to_string(),
                     kind: dash(),
                     dst: dash(),
+                    route: route_str(&route),
+                    valid: Some(valid),
+                    stale_ns: None,
+                }
+            }
+            CacheDecision::Suppress { route, action } => {
+                // The oracle verdict answers the strategy's key question:
+                // how often does suppression discard a route that was in
+                // fact physically usable?
+                let valid = self.oracle.route_valid(route.nodes(), now);
+                if valid {
+                    self.memo_route_up(&mut state, &route, now);
+                }
+                CacheRow {
+                    t_ns: now.as_nanos(),
+                    node: node as u64,
+                    op: "suppress".to_string(),
+                    kind: action.name().to_string(),
+                    dst: route.destination().index().to_string(),
+                    route: route_str(&route),
+                    valid: Some(valid),
+                    stale_ns: None,
+                }
+            }
+            CacheDecision::Failover { dst, route } => {
+                // `route` is the surviving alternate the cache failed over
+                // to; the verdict says whether the failover actually saved
+                // a rediscovery.
+                let valid = self.oracle.route_valid(route.nodes(), now);
+                if valid {
+                    self.memo_route_up(&mut state, &route, now);
+                }
+                CacheRow {
+                    t_ns: now.as_nanos(),
+                    node: node as u64,
+                    op: "failover".to_string(),
+                    kind: dash(),
+                    dst: dst.index().to_string(),
                     route: route_str(&route),
                     valid: Some(valid),
                     stale_ns: None,

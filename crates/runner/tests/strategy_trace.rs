@@ -1,0 +1,127 @@
+//! Acceptance tests for the strategy matrix (ISSUE 10): the three new
+//! strategies — preemptive repair, non-optimal route suppression,
+//! multipath caching — keep cache-decision tracing pure (campaign results
+//! identical traced vs untraced), and their decisions land in the trace
+//! under the `suppress`/`failover` ops and the `preempt` removal cause
+//! while the always-on report counters stay in lockstep.
+
+use std::path::PathBuf;
+
+use dsr::DsrConfig;
+use obs::{CacheTrace, OPS};
+use runner::{run_campaign, CampaignConfig, ScenarioConfig};
+use sim_core::SimDuration;
+
+/// A unique scratch path, cleaned up by each test.
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("strategy-trace-it-{tag}-{}", std::process::id()))
+}
+
+/// A short mobile scenario: waypoint movement guarantees link breaks, so
+/// preemptive thresholds fire, alternates break, and stretch-worse routes
+/// circulate.
+fn mobile(dsr: DsrConfig, seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::tiny(0.0, 2.0, dsr, seed);
+    cfg.duration = SimDuration::from_secs(12.0);
+    cfg
+}
+
+/// Runs `cfg` untraced and traced, asserts tracing is pure observation,
+/// and returns the traced campaign's reports plus the per-seed traces.
+fn traced_campaign(cfg: &ScenarioConfig, tag: &str) -> (runner::CampaignResult, Vec<CacheTrace>) {
+    let seeds = [1, 2];
+    let off = run_campaign(cfg, &seeds, &CampaignConfig::default());
+    assert_eq!(off.reports.len(), seeds.len(), "{}", off.failure_summary());
+
+    let dir = scratch(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut campaign = CampaignConfig::default();
+    campaign.obs.cachetrace_dir = Some(dir.clone());
+    let on = run_campaign(cfg, &seeds, &campaign);
+    assert_eq!(on, off, "[{}] tracing must be pure observation", cfg.dsr.label());
+
+    let mut paths: Vec<PathBuf> =
+        std::fs::read_dir(&dir).expect("trace dir").map(|e| e.expect("entry").path()).collect();
+    paths.sort();
+    let traces: Vec<CacheTrace> =
+        paths.iter().map(|p| CacheTrace::load(p).expect("well-formed trace")).collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    (on, traces)
+}
+
+#[test]
+fn suppression_vetoes_are_traced_and_counted() {
+    let (result, traces) = traced_campaign(&mobile(DsrConfig::suppression(), 0), "sup");
+    let counted: u64 = result.reports.iter().map(|r| r.suppressed_inserts).sum();
+    assert!(counted > 0, "a mobile suppression run must veto some inserts");
+
+    let suppress_rows: Vec<_> =
+        traces.iter().flat_map(|t| t.rows.iter()).filter(|r| r.op == "suppress").collect();
+    assert!(!suppress_rows.is_empty(), "vetoes must appear in the trace");
+    for row in &suppress_rows {
+        assert!(OPS.contains(&row.op.as_str()));
+        assert!(
+            row.kind == "insert" || row.kind == "reply",
+            "suppress rows name the vetoed action, got {:?}",
+            row.kind
+        );
+        assert!(row.route.contains('-'), "the vetoed route is recorded: {:?}", row.route);
+        assert_ne!(row.dst, "-", "the vetoed destination is recorded");
+        assert!(row.valid.is_some(), "the oracle stamps the vetoed route");
+    }
+    // Insert vetoes drive the always-on counter; reply vetoes are
+    // trace-only, so the traced insert vetoes must match the counter
+    // exactly (dropped rows would break this, so require none).
+    assert!(traces.iter().all(|t| t.dropped == 0));
+    let traced_inserts = suppress_rows.iter().filter(|r| r.kind == "insert").count() as u64;
+    assert_eq!(traced_inserts, counted, "trace and counter must agree on insert vetoes");
+}
+
+#[test]
+fn multipath_failovers_are_traced_and_counted() {
+    let (result, traces) = traced_campaign(&mobile(DsrConfig::multipath(), 0), "mp");
+    let counted: u64 = result.reports.iter().map(|r| r.failovers).sum();
+    assert!(counted > 0, "a mobile multipath run must fail over");
+
+    let failover_rows: Vec<_> =
+        traces.iter().flat_map(|t| t.rows.iter()).filter(|r| r.op == "failover").collect();
+    assert!(!failover_rows.is_empty(), "failovers must appear in the trace");
+    for row in &failover_rows {
+        assert_ne!(row.dst, "-", "failover rows name the destination");
+        assert!(row.route.contains('-'), "the surviving route is recorded: {:?}", row.route);
+        assert!(row.valid.is_some(), "the oracle stamps the surviving route");
+    }
+    assert!(traces.iter().all(|t| t.dropped == 0));
+    assert_eq!(failover_rows.len() as u64, counted, "trace and counter must agree");
+}
+
+#[test]
+fn preemptive_repairs_are_traced_and_counted() {
+    let (result, traces) = traced_campaign(&mobile(DsrConfig::preemptive(), 0), "pr");
+    let counted: u64 = result.reports.iter().map(|r| r.preemptive_repairs).sum();
+    assert!(counted > 0, "a mobile preemptive run must fire repairs");
+
+    let preempt_removes = traces
+        .iter()
+        .flat_map(|t| t.rows.iter())
+        .filter(|r| r.op == "remove" && r.kind == "preempt")
+        .count();
+    assert!(preempt_removes > 0, "preemptive purges must appear as remove/preempt rows");
+}
+
+#[test]
+fn baseline_configs_never_emit_strategy_decisions() {
+    let (result, traces) = traced_campaign(&mobile(DsrConfig::combined(), 0), "base");
+    for r in &result.reports {
+        assert_eq!(r.preemptive_repairs, 0);
+        assert_eq!(r.suppressed_inserts, 0);
+        assert_eq!(r.failovers, 0);
+    }
+    for trace in &traces {
+        assert!(
+            trace.rows.iter().all(|r| r.op != "suppress" && r.op != "failover"),
+            "strategy ops must not leak into non-strategy configs"
+        );
+        assert!(trace.rows.iter().all(|r| r.kind != "preempt"));
+    }
+}

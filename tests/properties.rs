@@ -12,7 +12,7 @@ use dsr_caching::phy::{
     assert_fused_matches_eager, plan_arrivals_indexed_into, plan_arrivals_masked, DiffArrival,
     RadioConfig,
 };
-use dsr_caching::runner::{run_campaign, CampaignConfig, FaultPlan, ScenarioConfig};
+use dsr_caching::runner::{run_campaign, AuditLevel, CampaignConfig, FaultPlan, ScenarioConfig};
 use dsr_caching::sim_core::{EventQueue, NodeId, RngFactory, SimDuration, SimTime};
 
 /// Strategy: a loop-free node sequence of 2..=8 nodes drawn from 0..16.
@@ -469,5 +469,70 @@ proptest! {
         prop_assert_eq!(&on_par, &off, "jobs must not perturb the campaign");
         prop_assert_eq!(traces_seq.len(), seeds.len(), "one trace per seed");
         prop_assert_eq!(traces_seq, traces_par, "trace bytes must not depend on job count");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Strategy-matrix invariants (ISSUE 10)
+// ----------------------------------------------------------------------
+//
+// Full campaigns again, so the case count stays small; the strategy ×
+// fault-plan space is sampled fresh every run.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The three new strategies (preemptive repair, route suppression,
+    /// multipath caching) — alone and stacked — stay conservation-clean
+    /// at `--audit full` under random fault plans, and their campaigns
+    /// are byte-identical at `--jobs 1` and `--jobs 4`.
+    #[test]
+    fn strategy_campaigns_are_conservation_clean_and_job_invariant(
+        strategy in 0u8..4,
+        scenario_seed in 0u64..1_000,
+        fault_kind in 0u8..3,
+        victim in 0u16..20,
+        at_s in 1.0f64..8.0,
+        dur_s in 0.5f64..4.0,
+        corruption in 0.01f64..0.4,
+    ) {
+        use dsr_caching::dsr::{MultipathConfig, PreemptiveConfig, SuppressionConfig};
+        let dsr = match strategy {
+            0 => DsrConfig::preemptive(),
+            1 => DsrConfig::suppression(),
+            2 => DsrConfig::multipath(),
+            _ => DsrConfig {
+                preemptive: Some(PreemptiveConfig::default()),
+                suppression: Some(SuppressionConfig::default()),
+                multipath: Some(MultipathConfig::default()),
+                ..DsrConfig::base()
+            },
+        };
+        let mut cfg = ScenarioConfig::tiny(0.0, 2.0, dsr, scenario_seed);
+        cfg.duration = SimDuration::from_secs(10.0);
+        let at = SimTime::from_secs(at_s);
+        let dur = SimDuration::from_secs(dur_s);
+        cfg.faults = match fault_kind {
+            0 => FaultPlan::none().node_down(NodeId::new(victim), at, dur),
+            1 => FaultPlan::none().frame_corruption(
+                corruption, at, SimTime::from_secs(at_s + dur_s)),
+            _ => FaultPlan::none().node_churn(NodeId::new(victim), at, dur),
+        };
+        let seeds = [1, 2];
+        let campaign = CampaignConfig { audit: AuditLevel::Full, ..CampaignConfig::default() };
+
+        let seq = run_campaign(&cfg, &seeds, &campaign);
+        prop_assert!(
+            seq.all_ok(),
+            "strategy {} campaign failed under faults: {}",
+            cfg.dsr.label(),
+            seq.failure_summary()
+        );
+
+        let par = run_campaign(
+            &cfg,
+            &seeds,
+            &CampaignConfig { jobs: 4, ..campaign },
+        );
+        prop_assert_eq!(&seq, &par, "reports must not depend on job count");
     }
 }

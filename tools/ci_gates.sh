@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# Shared CI gate checks, deduplicated out of the workflow YAML so the
+# perf-smoke, chaos-smoke and matrix-smoke jobs (and local runs) apply
+# byte-for-byte the same rules.
+#
+#   ci_gates.sh fused-share <bench.json> [max_share]
+#       Fail if the paired arrival kinds (arrival_start/arrival_end)
+#       account for >= max_share (default 0.60) of dispatched events,
+#       or if the profile's paired_runs counter is nonzero.
+#   ci_gates.sh paired-runs <bench.json>
+#       Fail if the profile's paired_runs counter is nonzero.
+#   ci_gates.sh identical <a> <b>
+#       Fail (with a CI error annotation) unless the two files are
+#       byte-identical. Used for the parallel-determinism and
+#       cachetrace-purity gates.
+#   ci_gates.sh selftest
+#       Exercise every gate in both the passing and failing direction
+#       against synthetic inputs; exits nonzero on any surprise.
+set -euo pipefail
+
+die() {
+  echo "::error::$*" >&2
+  exit 1
+}
+
+usage() {
+  sed -n '2,19p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
+  exit 2
+}
+
+# Reads "dispatched", the paired arrival kind counts and "paired_runs"
+# out of a BENCH profile json. Emitted as shell assignments to keep the
+# jq-free parsing in one place.
+read_profile() {
+  local bench=$1
+  [[ -f $bench ]] || die "no such BENCH profile: $bench"
+  python3 - "$bench" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    profile = json.load(f)
+dispatched = profile["dispatched"]
+paired = sum(k["count"] for k in profile["kinds"]
+             if k["name"] in ("arrival_start", "arrival_end"))
+print(f"dispatched={dispatched}")
+print(f"paired={paired}")
+print(f"paired_runs={profile.get('paired_runs', 0)}")
+EOF
+}
+
+gate_fused_share() {
+  local bench=$1 max_share=${2:-0.60}
+  local dispatched paired paired_runs
+  eval "$(read_profile "$bench")"
+  local share
+  share=$(python3 -c "print($paired / $dispatched if $dispatched else 0.0)")
+  echo "paired arrival kinds: $paired of $dispatched dispatched (share $share, max $max_share)"
+  if python3 -c "import sys; sys.exit(0 if $share >= $max_share else 1)"; then
+    die "paired arrival kinds dominate dispatch -- fused envelope path appears disabled"
+  fi
+  gate_paired_runs "$bench"
+}
+
+gate_paired_runs() {
+  local bench=$1
+  local dispatched paired paired_runs
+  eval "$(read_profile "$bench")"
+  echo "paired_runs = $paired_runs"
+  if [[ $paired_runs -ne 0 ]]; then
+    die "$paired_runs run(s) executed on the legacy paired arrival path"
+  fi
+}
+
+gate_identical() {
+  local a=$1 b=$2
+  [[ -f $a ]] || die "no such file: $a"
+  [[ -f $b ]] || die "no such file: $b"
+  if ! cmp "$a" "$b"; then
+    die "$a and $b differ -- expected byte-identical output"
+  fi
+  echo "$a == $b (byte-identical)"
+}
+
+# A gate invocation that must FAIL for the selftest to pass. Runs in a
+# subshell so the gate's `exit 1` cannot kill the selftest itself.
+expect_fail() {
+  if ("$@") >/dev/null 2>&1; then
+    echo "selftest: expected failure, got success: $*" >&2
+    exit 1
+  fi
+}
+
+selftest() {
+  local tmp
+  tmp=$(mktemp -d)
+  # Expand now: `tmp` is function-local and gone by the time EXIT fires.
+  trap "rm -rf '$tmp'" EXIT
+
+  cat >"$tmp/fused.json" <<'EOF'
+{"dispatched": 1000,
+ "kinds": [{"name": "arrival_start", "count": 50},
+           {"name": "arrival_end", "count": 50},
+           {"name": "timer", "count": 900}],
+ "paired_runs": 0}
+EOF
+  cat >"$tmp/paired.json" <<'EOF'
+{"dispatched": 1000,
+ "kinds": [{"name": "arrival_start", "count": 400},
+           {"name": "arrival_end", "count": 400}],
+ "paired_runs": 2}
+EOF
+  gate_fused_share "$tmp/fused.json" >/dev/null
+  gate_paired_runs "$tmp/fused.json" >/dev/null
+  expect_fail gate_fused_share "$tmp/paired.json"
+  expect_fail gate_paired_runs "$tmp/paired.json"
+  # A fused share but nonzero paired_runs must still fail fused-share.
+  cat >"$tmp/sneaky.json" <<'EOF'
+{"dispatched": 1000, "kinds": [], "paired_runs": 1}
+EOF
+  expect_fail gate_fused_share "$tmp/sneaky.json"
+  expect_fail gate_fused_share "$tmp/missing.json"
+  # Threshold override: 10% paired share passes at 0.60, fails at 0.05.
+  expect_fail gate_fused_share "$tmp/fused.json" 0.05
+
+  printf 'a,b\n1,2\n' >"$tmp/x.csv"
+  printf 'a,b\n1,2\n' >"$tmp/same.csv"
+  printf 'a,b\n1,3\n' >"$tmp/diff.csv"
+  gate_identical "$tmp/x.csv" "$tmp/same.csv" >/dev/null
+  expect_fail gate_identical "$tmp/x.csv" "$tmp/diff.csv"
+  expect_fail gate_identical "$tmp/x.csv" "$tmp/missing.csv"
+
+  echo "ci_gates selftest OK"
+}
+
+case "${1:-}" in
+  fused-share)
+    [[ $# -ge 2 ]] || usage
+    gate_fused_share "$2" "${3:-0.60}"
+    ;;
+  paired-runs)
+    [[ $# -eq 2 ]] || usage
+    gate_paired_runs "$2"
+    ;;
+  identical)
+    [[ $# -eq 3 ]] || usage
+    gate_identical "$2" "$3"
+    ;;
+  selftest)
+    selftest
+    ;;
+  *)
+    usage
+    ;;
+esac
